@@ -1,0 +1,53 @@
+//! Ablation: the token-queue bound `max_ig` (§4.2).
+//!
+//! DESIGN.md calls this trade-off out: a small `max_ig` keeps update
+//! queues tiny and the gap tight but couples workers to stragglers
+//! quickly; a large one buys slack at the cost of memory and staleness.
+//! Sweeps `max_ig` for the backup-worker setting under random slowdown
+//! and reports wall time, observed maximum gap, and the queue-capacity
+//! bound `(1 + max_ig) * |Nin|`.
+
+use hop_bench::{banner, experiment, run, Workload};
+use hop_core::config::Protocol;
+use hop_core::HopConfig;
+use hop_graph::bounds;
+use hop_graph::Topology;
+use hop_metrics::Table;
+use hop_sim::SlowdownModel;
+
+fn main() {
+    banner(
+        "Ablation: max_ig sweep (backup workers, 6x random slowdown, SVM)",
+        "larger max_ig decouples workers from stragglers at bounded memory cost",
+    );
+    let n = 16;
+    let workload = Workload::Svm;
+    let topo = Topology::ring_based(n);
+    let mut table = Table::new(vec![
+        "max_ig",
+        "wall time",
+        "mean iter duration",
+        "observed max gap",
+        "update-queue capacity bound",
+    ]);
+    for max_ig in [1u64, 2, 4, 8, 16] {
+        let mut exp = experiment(
+            topo.clone(),
+            Protocol::Hop(HopConfig::backup(1, max_ig)),
+            workload,
+        );
+        exp.max_iters = 150;
+        exp.slowdown = SlowdownModel::paper_random(n);
+        exp.eval_every = 0;
+        let report = run(&exp, workload);
+        assert!(!report.deadlocked);
+        table.add_row(vec![
+            max_ig.to_string(),
+            format!("{:.2}s", report.wall_time),
+            format!("{:.1}ms", report.mean_iteration_duration() * 1e3),
+            report.trace.max_gap().to_string(),
+            bounds::update_queue_capacity(max_ig, topo.in_degree(0)).to_string(),
+        ]);
+    }
+    print!("{table}");
+}

@@ -1,0 +1,54 @@
+//! Ablation: staleness weighting schemes (§4.4 "future work").
+//!
+//! The paper compares simple averaging to the iteration-weighted average
+//! of Eq. (2) and finds the latter "slightly better", explicitly leaving
+//! further weighting optimization open. This harness compares uniform,
+//! linear (Eq. 2) and exponential weighting under random slowdown.
+
+use hop_bench::{banner, curve_row, experiment, fmt_time_to, run, Workload};
+use hop_core::config::Protocol;
+use hop_core::semantics::StalenessWeighting;
+use hop_core::HopConfig;
+use hop_graph::Topology;
+use hop_metrics::Table;
+use hop_sim::SlowdownModel;
+
+fn main() {
+    banner(
+        "Ablation: staleness Reduce weighting (§4.4)",
+        "Eq.(2) linear weighting slightly beats uniform averaging",
+    );
+    let n = 16;
+    let workload = Workload::Cnn;
+    let threshold = 1.9;
+    let mut table = Table::new(vec![
+        "weighting",
+        "wall time",
+        "time to threshold",
+        "final eval loss",
+        "curve (loss@t)",
+    ]);
+    for (name, scheme) in [
+        ("uniform (simple average)", StalenessWeighting::Uniform),
+        ("linear (Eq. 2)", StalenessWeighting::Linear),
+        (
+            "exponential (decay 0.5)",
+            StalenessWeighting::Exponential { decay: 0.5 },
+        ),
+    ] {
+        let cfg = HopConfig::staleness(5, 6).with_staleness_weighting(scheme);
+        let mut exp = experiment(Topology::ring_based(n), Protocol::Hop(cfg), workload);
+        exp.max_iters = 150;
+        exp.slowdown = SlowdownModel::paper_random(n);
+        let report = run(&exp, workload);
+        assert!(!report.deadlocked);
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.2}s", report.wall_time),
+            fmt_time_to(report.time_to_eval_loss(threshold)),
+            format!("{:.3}", report.eval_time.last().map_or(f64::NAN, |p| p.1)),
+            curve_row(&report.eval_time, 4).join("  "),
+        ]);
+    }
+    print!("{table}");
+}

@@ -1,0 +1,78 @@
+//! Figure 12: effect of random heterogeneity on three communication graphs
+//! (ring, ring-based, double-ring), CNN and SVM.
+//!
+//! Paper: no graph is immune to the 6× / prob-1/n random slowdown, and
+//! *sparser* graphs suffer less (fewer in-neighbors to wait for).
+
+use hop_bench::{banner, curve_row, experiment, fmt_time_to, run, Workload, SEED};
+use hop_core::config::Protocol;
+use hop_core::HopConfig;
+use hop_graph::Topology;
+use hop_metrics::Table;
+use hop_sim::SlowdownModel;
+
+fn main() {
+    banner(
+        "Figure 12: effect of heterogeneity (loss vs time)",
+        "random slowdown hurts all graphs; sparser graphs degrade less",
+    );
+    let n = 16;
+    let graphs: [(&str, Topology); 3] = [
+        ("ring", Topology::ring(n)),
+        ("ring-based", Topology::ring_based(n)),
+        ("double-ring", Topology::double_ring(n)),
+    ];
+    for workload in [Workload::Cnn, Workload::Svm] {
+        let iters = if workload == Workload::Cnn { 150 } else { 200 };
+        let threshold = if workload == Workload::Cnn { 1.9 } else { 0.45 };
+        let mut table = Table::new(vec![
+            "graph".to_string(),
+            "slowdown".to_string(),
+            "wall time".to_string(),
+            format!("time to loss {threshold}"),
+            "final eval loss".to_string(),
+            "curve (loss@t)".to_string(),
+        ]);
+        let mut homo_times = Vec::new();
+        let mut hetero_times = Vec::new();
+        for (name, topo) in &graphs {
+            for hetero in [false, true] {
+                let mut exp = experiment(
+                    topo.clone(),
+                    Protocol::Hop(HopConfig::standard()),
+                    workload,
+                );
+                exp.max_iters = iters;
+                exp.slowdown = if hetero {
+                    SlowdownModel::paper_random(n)
+                } else {
+                    SlowdownModel::None
+                };
+                exp.seed = SEED;
+                let report = run(&exp, workload);
+                assert!(!report.deadlocked, "{name} deadlocked");
+                if hetero {
+                    hetero_times.push(report.wall_time);
+                } else {
+                    homo_times.push(report.wall_time);
+                }
+                table.add_row(vec![
+                    name.to_string(),
+                    if hetero { "6x prob 1/n" } else { "none" }.to_string(),
+                    format!("{:.2}s", report.wall_time),
+                    fmt_time_to(report.time_to_eval_loss(threshold)),
+                    format!("{:.3}", report.eval_time.last().map_or(f64::NAN, |p| p.1)),
+                    curve_row(&report.eval_time, 4).join("  "),
+                ]);
+            }
+        }
+        println!("\n[{}] {} iterations/worker", workload.name(), iters);
+        print!("{table}");
+        for (i, (name, _)) in graphs.iter().enumerate() {
+            println!(
+                "{name}: slowdown-induced stretch = {:.2}x",
+                hetero_times[i] / homo_times[i]
+            );
+        }
+    }
+}

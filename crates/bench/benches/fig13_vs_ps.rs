@@ -1,0 +1,78 @@
+//! Figure 13: decentralized training vs parameter server (BSP).
+//!
+//! Paper: decentralized training on the ring-based graph — heterogeneous
+//! *or* homogeneous — converges much faster on wall-clock time than the
+//! homogeneous PS, because all PS traffic funnels through one node's NICs.
+
+use hop_bench::{banner, curve_row, experiment, fmt_time_to, run, Workload};
+use hop_core::config::{Protocol, PsConfig, PsMode};
+use hop_core::HopConfig;
+use hop_graph::Topology;
+use hop_metrics::Table;
+use hop_sim::SlowdownModel;
+
+fn main() {
+    banner(
+        "Figure 13: decentralized vs PS (loss vs time)",
+        "decentralized (even heterogeneous) beats homogeneous PS/BSP",
+    );
+    let n = 16;
+    for workload in [Workload::Cnn, Workload::Svm] {
+        let iters = if workload == Workload::Cnn { 150 } else { 200 };
+        let threshold = if workload == Workload::Cnn { 1.9 } else { 0.45 };
+        let configs: [(&str, Protocol, SlowdownModel); 3] = [
+            (
+                "decentralized (homogeneous)",
+                Protocol::Hop(HopConfig::standard()),
+                SlowdownModel::None,
+            ),
+            (
+                "decentralized (heterogeneous)",
+                Protocol::Hop(HopConfig::standard()),
+                SlowdownModel::paper_random(n),
+            ),
+            (
+                "PS/BSP (homogeneous)",
+                Protocol::Ps(PsConfig { mode: PsMode::Bsp }),
+                SlowdownModel::None,
+            ),
+        ];
+        let mut table = Table::new(vec![
+            "system",
+            "wall time",
+            "time to threshold",
+            "final eval loss",
+            "curve (loss@t)",
+        ]);
+        let mut times = Vec::new();
+        for (name, protocol, slowdown) in configs {
+            let mut exp = experiment(Topology::ring_based(n), protocol, workload);
+            // Scale wire payloads to a full-size model (VGG11-class for
+            // the CNN task): the PS hotspot only exists when parameter
+            // traffic is non-trivial relative to compute (DESIGN.md §2).
+            let scale = if workload == Workload::Cnn { 2000.0 } else { 1000.0 };
+            exp.cluster = hop_sim::ClusterSpec::uniform(
+                n,
+                4,
+                0.1,
+                hop_sim::LinkModel::ethernet_1gbps().with_payload_scale(scale),
+            );
+            exp.max_iters = iters;
+            exp.slowdown = slowdown;
+            let report = run(&exp, workload);
+            times.push((name, report.time_to_eval_loss(threshold)));
+            table.add_row(vec![
+                name.to_string(),
+                format!("{:.2}s", report.wall_time),
+                fmt_time_to(report.time_to_eval_loss(threshold)),
+                format!("{:.3}", report.eval_time.last().map_or(f64::NAN, |p| p.1)),
+                curve_row(&report.eval_time, 4).join("  "),
+            ]);
+        }
+        println!("\n[{}] threshold eval loss = {threshold}", workload.name());
+        print!("{table}");
+        if let (Some(dec), Some(ps)) = (times[0].1, times[2].1) {
+            println!("decentralized speedup over PS at threshold: {:.2}x", ps / dec);
+        }
+    }
+}

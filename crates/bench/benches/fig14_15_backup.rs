@@ -1,0 +1,68 @@
+//! Figures 14 & 15: effect of backup workers under random slowdown.
+//!
+//! Paper: with one backup worker (each node needs one less update),
+//! loss-vs-*time* converges faster than standard decentralized training
+//! (Fig. 14) even though loss-vs-*steps* is slightly worse per iteration
+//! (Fig. 15) — the per-iteration speedup outweighs the statistical loss.
+//! Evaluated on the ring-based and double-ring graphs.
+
+use hop_bench::{banner, curve_row, experiment, fmt_time_to, run, Workload};
+use hop_core::config::Protocol;
+use hop_core::HopConfig;
+use hop_graph::Topology;
+use hop_metrics::Table;
+use hop_sim::SlowdownModel;
+
+fn main() {
+    banner(
+        "Figures 14 (loss vs time) & 15 (loss vs steps): backup workers",
+        "backup workers win on time, cost slightly on per-step progress",
+    );
+    let n = 16;
+    let graphs: [(&str, Topology); 2] = [
+        ("ring-based", Topology::ring_based(n)),
+        ("double-ring", Topology::double_ring(n)),
+    ];
+    for workload in [Workload::Cnn, Workload::Svm] {
+        let iters = if workload == Workload::Cnn { 150 } else { 200 };
+        let threshold = if workload == Workload::Cnn { 1.9 } else { 0.45 };
+        let mut table = Table::new(vec![
+            "graph",
+            "protocol",
+            "wall time",
+            "time to threshold",
+            "fig14 loss@time",
+            "fig15 loss@step",
+        ]);
+        for (gname, topo) in &graphs {
+            let mut results = Vec::new();
+            for (pname, cfg) in [
+                ("standard+tokens", HopConfig::standard_with_tokens(5)),
+                ("backup N_buw=1", HopConfig::backup(1, 5)),
+            ] {
+                let mut exp = experiment(topo.clone(), Protocol::Hop(cfg), workload);
+                exp.max_iters = iters;
+                exp.slowdown = SlowdownModel::paper_random(n);
+                let report = run(&exp, workload);
+                assert!(!report.deadlocked);
+                table.add_row(vec![
+                    gname.to_string(),
+                    pname.to_string(),
+                    format!("{:.2}s", report.wall_time),
+                    fmt_time_to(report.time_to_eval_loss(threshold)),
+                    curve_row(&report.eval_time, 3).join("  "),
+                    curve_row(&report.eval_steps, 3).join("  "),
+                ]);
+                results.push(report);
+            }
+            println!(
+                "[{}/{}] backup wall-time speedup over standard: {:.2}x",
+                workload.name(),
+                gname,
+                results[0].wall_time / results[1].wall_time
+            );
+        }
+        println!("\n[{}]", workload.name());
+        print!("{table}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Figure 17: effect of bounded staleness under random slowdown (CNN,
+//! ring-based graph).
+//!
+//! Paper: staleness bound s = 5 achieves a speedup similar to backup
+//! workers; both beat the standard decentralized setting.
+
+use hop_bench::{banner, curve_row, experiment, fmt_time_to, run, Workload};
+use hop_core::config::Protocol;
+use hop_core::HopConfig;
+use hop_graph::Topology;
+use hop_metrics::Table;
+use hop_sim::SlowdownModel;
+
+fn main() {
+    banner(
+        "Figure 17: bounded staleness (6x random slowdown, CNN)",
+        "staleness s=5 ~ backup workers; both beat standard",
+    );
+    let n = 16;
+    let workload = Workload::Cnn;
+    let threshold = 1.9;
+    let mut table = Table::new(vec![
+        "protocol",
+        "wall time",
+        "mean iter duration",
+        "time to threshold",
+        "curve (loss@t)",
+    ]);
+    let mut walls = Vec::new();
+    for (name, cfg) in [
+        ("standard+tokens", HopConfig::standard_with_tokens(6)),
+        ("staleness s=5", HopConfig::staleness(5, 6)),
+        ("backup N_buw=1", HopConfig::backup(1, 6)),
+    ] {
+        let mut exp = experiment(Topology::ring_based(n), Protocol::Hop(cfg), workload);
+        exp.max_iters = 150;
+        exp.slowdown = SlowdownModel::paper_random(n);
+        let report = run(&exp, workload);
+        assert!(!report.deadlocked);
+        walls.push((name, report.wall_time));
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.2}s", report.wall_time),
+            format!("{:.1}ms", report.mean_iteration_duration() * 1e3),
+            fmt_time_to(report.time_to_eval_loss(threshold)),
+            curve_row(&report.eval_time, 4).join("  "),
+        ]);
+    }
+    print!("{table}");
+    let standard = walls[0].1;
+    for &(name, t) in &walls[1..] {
+        println!("{name}: wall-time speedup over standard = {:.2}x", standard / t);
+    }
+}

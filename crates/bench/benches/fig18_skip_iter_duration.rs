@@ -1,0 +1,71 @@
+//! Figure 18: effect of skipping iterations on iteration duration with a
+//! deterministic 4× straggler (CNN, 16 workers).
+//!
+//! Paper: without skipping, the straggler stretches everyone's iterations
+//! to ~3.9× the homogeneous duration; skipping brings the system back to
+//! ~1.1× (3.90 / 3.43 in the paper's normalization).
+
+use hop_bench::{banner, experiment, run, Workload};
+use hop_core::config::Protocol;
+use hop_core::{HopConfig, SkipConfig};
+use hop_graph::Topology;
+use hop_metrics::Table;
+use hop_sim::SlowdownModel;
+
+fn main() {
+    banner(
+        "Figure 18: iteration duration with a 4x deterministic straggler (CNN)",
+        "skipping iterations cuts the straggler-induced stretch from ~3.9x to ~1.1x",
+    );
+    let n = 16;
+    let workload = Workload::Cnn;
+    let configs: [(&str, HopConfig, SlowdownModel); 3] = [
+        (
+            "no straggler (reference)",
+            HopConfig::backup(1, 5),
+            SlowdownModel::None,
+        ),
+        (
+            "4x straggler, no skipping",
+            HopConfig::backup(1, 5),
+            SlowdownModel::paper_straggler(n, 0, 4.0),
+        ),
+        (
+            "4x straggler + skip (max_jump 10)",
+            HopConfig::backup(1, 5).with_skip(SkipConfig {
+                max_jump: 10,
+                trigger_behind: 2,
+            }),
+            SlowdownModel::paper_straggler(n, 0, 4.0),
+        ),
+    ];
+    let mut table = Table::new(vec![
+        "setting",
+        "mean iter duration (fast workers)",
+        "stretch vs reference",
+        "straggler iterations run",
+    ]);
+    let mut reference = None;
+    for (name, cfg, slowdown) in configs {
+        let mut exp = experiment(Topology::ring_based(n), Protocol::Hop(cfg), workload);
+        exp.max_iters = 120;
+        exp.slowdown = slowdown;
+        exp.eval_every = 0;
+        let report = run(&exp, workload);
+        assert!(!report.deadlocked, "{name} deadlocked");
+        // Average iteration duration over the non-straggler workers.
+        let mut fast_durations = Vec::new();
+        for w in 1..n {
+            fast_durations.extend(report.trace.durations(w));
+        }
+        let mean = fast_durations.iter().sum::<f64>() / fast_durations.len() as f64;
+        let reference_mean = *reference.get_or_insert(mean);
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.1}ms", mean * 1e3),
+            format!("{:.2}x", mean / reference_mean),
+            format!("{}", report.trace.durations(0).len()),
+        ]);
+    }
+    print!("{table}");
+}

@@ -1,0 +1,62 @@
+//! Criterion microbenchmarks of the simulation substrate: event-queue
+//! throughput, a full small decentralized run, and spectral-gap solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hop_bench::{paper_cluster, Workload, SEED};
+use hop_core::config::Protocol;
+use hop_core::trainer::SimExperiment;
+use hop_core::HopConfig;
+use hop_graph::{spectral, Topology, WeightMatrix};
+use hop_sim::EventQueue;
+use hop_sim::SlowdownModel;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.push((i % 97) as f64, i);
+            }
+            while let Some(ev) = q.pop() {
+                black_box(ev);
+            }
+        })
+    });
+}
+
+fn bench_small_run(c: &mut Criterion) {
+    let workload = Workload::Svm;
+    let (model, dataset) = workload.build();
+    c.bench_function("sim_run_ring8_svm_20iters", |b| {
+        b.iter(|| {
+            let exp = SimExperiment {
+                cluster: paper_cluster(8),
+                topology: Topology::ring(8),
+                slowdown: SlowdownModel::paper_random(8),
+                protocol: Protocol::Hop(HopConfig::standard_with_tokens(4)),
+                hyper: workload.hyper(),
+                max_iters: 20,
+                seed: SEED,
+                eval_every: 0,
+                eval_examples: 64,
+            };
+            black_box(exp.run(model.as_ref(), &dataset).expect("valid"))
+        })
+    });
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let w16 = WeightMatrix::uniform(&Topology::ring_based(16));
+    c.bench_function("spectral_gap_jacobi_16", |b| {
+        b.iter(|| black_box(spectral::spectral_gap(black_box(&w16))))
+    });
+    let hier = Topology::hierarchical(&[3, 3, 2], 1);
+    let wm = WeightMatrix::metropolis(&hier);
+    c.bench_function("spectral_gap_metropolis_8", |b| {
+        b.iter(|| black_box(spectral::spectral_gap(black_box(&wm))))
+    });
+}
+
+criterion_group!(benches, bench_event_queue, bench_small_run, bench_spectral);
+criterion_main!(benches);

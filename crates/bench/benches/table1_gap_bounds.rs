@@ -1,0 +1,144 @@
+//! Table 1: theoretical iteration-gap upper bounds vs the maximum gaps
+//! actually observed in simulation.
+//!
+//! For each protocol setting, runs a heterogeneous 8-worker ring and
+//! compares the worst observed `Iter(i) - Iter(j)` over all ordered pairs
+//! against the closed-form bound; a violation would falsify the
+//! implementation (property tests in `tests/` check this on random
+//! topologies too).
+
+use hop_bench::{banner, experiment, run, Workload, SEED};
+use hop_core::config::Protocol;
+use hop_core::HopConfig;
+use hop_graph::bounds::{self, BaseSetting, Bound};
+use hop_graph::{ShortestPaths, Topology};
+use hop_metrics::Table;
+use hop_sim::SlowdownModel;
+
+fn worst_bound(
+    topo: &Topology,
+    sp: &ShortestPaths,
+    bound_of: impl Fn(usize, usize) -> Bound,
+) -> Bound {
+    let mut worst = Bound::Finite(0);
+    for i in 0..topo.len() {
+        for j in 0..topo.len() {
+            if i == j {
+                continue;
+            }
+            worst = match (worst, bound_of(i, j)) {
+                (Bound::Finite(a), Bound::Finite(b)) => Bound::Finite(a.max(b)),
+                _ => Bound::Unbounded,
+            };
+        }
+    }
+    let _ = sp;
+    worst
+}
+
+fn main() {
+    banner(
+        "Table 1: iteration-gap bounds (theory vs observed)",
+        "observed max gap never exceeds the closed-form bound",
+    );
+    let n = 8;
+    let topo = Topology::ring(n);
+    let sp = ShortestPaths::new(&topo);
+    let workload = Workload::Svm;
+    let slowdown = SlowdownModel::Compose(
+        Box::new(SlowdownModel::paper_random(n)),
+        Box::new(SlowdownModel::paper_straggler(n, 0, 3.0)),
+    );
+    let mut table = Table::new(vec![
+        "setting",
+        "bound (worst pair)",
+        "observed max gap",
+        "holds",
+    ]);
+    let cases: Vec<(&str, HopConfig, Box<dyn Fn(usize, usize) -> Bound>)> = vec![
+        (
+            "standard decentralized",
+            HopConfig::standard(),
+            Box::new({
+                let sp = sp.clone();
+                move |i, j| bounds::standard(sp.dist(j, i))
+            }),
+        ),
+        (
+            "bounded staleness s=3",
+            HopConfig::staleness(3, 8),
+            Box::new({
+                let sp = sp.clone();
+                move |i, j| {
+                    BaseSetting::BoundedStaleness(3).pair_bound_with_tokens(
+                        8,
+                        sp.dist(j, i),
+                        sp.dist(i, j),
+                    )
+                }
+            }),
+        ),
+        (
+            "backup N_buw=1 + tokens max_ig=4",
+            HopConfig::backup(1, 4),
+            Box::new({
+                let sp = sp.clone();
+                move |i, j| {
+                    BaseSetting::BackupWorkers.pair_bound_with_tokens(
+                        4,
+                        sp.dist(j, i),
+                        sp.dist(i, j),
+                    )
+                }
+            }),
+        ),
+        (
+            "NOTIFY-ACK",
+            HopConfig::notify_ack(),
+            Box::new({
+                let sp = sp.clone();
+                move |i, j| bounds::notify_ack(sp.dist(j, i), sp.dist(i, j))
+            }),
+        ),
+        (
+            "standard + tokens max_ig=2",
+            HopConfig::standard_with_tokens(2),
+            Box::new({
+                let sp = sp.clone();
+                move |i, j| {
+                    BaseSetting::Standard.pair_bound_with_tokens(2, sp.dist(j, i), sp.dist(i, j))
+                }
+            }),
+        ),
+    ];
+    for (name, cfg, bound_of) in cases {
+        let mut exp = experiment(topo.clone(), Protocol::Hop(cfg), workload);
+        exp.max_iters = 80;
+        exp.slowdown = slowdown.clone();
+        exp.seed = SEED;
+        exp.eval_every = 0;
+        let report = run(&exp, workload);
+        assert!(!report.deadlocked, "{name} deadlocked");
+        let gaps = report.trace.max_pairwise_gap();
+        let mut observed = 0i64;
+        let mut holds = true;
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                observed = observed.max(gaps[i][j]);
+                holds &= bound_of(i, j).admits(gaps[i][j]);
+            }
+        }
+        let worst = worst_bound(&topo, &sp, &bound_of);
+        table.add_row(vec![
+            name.to_string(),
+            format!("{worst}"),
+            format!("{observed}"),
+            if holds { "yes" } else { "VIOLATED" }.to_string(),
+        ]);
+        assert!(holds, "{name}: Table 1 bound violated");
+    }
+    print!("{table}");
+}

@@ -1,0 +1,459 @@
+//! Protocol configuration and validation.
+//!
+//! The configuration space mirrors the paper's design matrix: computation
+//! order (serial vs parallel, Fig. 2), synchronization mechanism
+//! (NOTIFY-ACK vs queue-based with optional token queues, §3–4), the
+//! heterogeneity mitigations (backup workers §4.3, bounded staleness §4.4,
+//! skipping iterations §5), and the baselines (parameter server, ring
+//! all-reduce, AD-PSGD).
+
+use hop_graph::Topology;
+use std::fmt;
+
+/// Whether gradients are applied before or after the parameter exchange
+/// (Fig. 2: serial vs parallel computation graphs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ComputeOrder {
+    /// Fig. 2(a): Compute → Apply → Send → Recv → Reduce. Gradients are
+    /// generated and applied on the same parameters; longer but
+    /// statistically cleaner iterations.
+    Serial,
+    /// Fig. 2(b): Send ∥ Compute → Recv → Reduce → Apply. The default, as
+    /// in the paper's design ("We use parallel approach in our design").
+    #[default]
+    Parallel,
+}
+
+/// Synchronization mechanism between neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncMode {
+    /// The prior-work protocol (§3.3): a worker may not send its next
+    /// update until every out-going neighbor has ACKed the previous one.
+    NotifyAck,
+    /// Hop's queue-based coordination (§4): update queues, plus token
+    /// queues bounding the per-edge iteration gap to `max_ig` when set.
+    /// `max_ig: None` runs with update queues only — correct only when the
+    /// topology itself bounds the gap (Theorem 1), and *incorrect* with
+    /// backup workers (§4.3); validation enforces this.
+    Queues {
+        /// Maximum iteration gap enforced by token queues, if any.
+        max_ig: Option<u64>,
+    },
+}
+
+/// Skipping-iterations configuration (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipConfig {
+    /// Maximum iterations a worker may jump at once (the paper evaluates
+    /// 2 and 10 in Fig. 19).
+    pub max_jump: u64,
+    /// A worker only jumps when it is at least this many iterations behind
+    /// all of its out-going neighbors (the user-specified trigger of §5).
+    pub trigger_behind: u64,
+}
+
+impl SkipConfig {
+    /// Creates a skip config with the default trigger of 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_jump < 2` (a jump of 1 is just a normal advance).
+    pub fn with_max_jump(max_jump: u64) -> Self {
+        assert!(max_jump >= 2, "max_jump must be at least 2");
+        Self {
+            max_jump,
+            trigger_behind: 2,
+        }
+    }
+}
+
+/// Full configuration of Hop's decentralized protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HopConfig {
+    /// Computation-graph order (Fig. 2).
+    pub order: ComputeOrder,
+    /// Synchronization mechanism.
+    pub sync: SyncMode,
+    /// Number of backup workers `N_buw` per node (§4.3): a node advances
+    /// after receiving `|Nin| - N_buw` updates.
+    pub n_backup: usize,
+    /// Staleness bound `s` (§4.4); `None` disables bounded staleness.
+    pub staleness: Option<u64>,
+    /// Skipping-iterations configuration (§5); `None` disables skipping.
+    pub skip: Option<SkipConfig>,
+    /// §6.2(b): inquire the receiver's iteration before sending and skip
+    /// sends that would arrive stale. `None` = enable automatically when
+    /// backup workers are in use (where stale updates accumulate).
+    pub send_inquiry: Option<bool>,
+    /// How the staleness Reduce weighs updates (Eq. 2 by default; the
+    /// alternatives support the §4.4 "future work" ablation).
+    pub staleness_weighting: crate::semantics::StalenessWeighting,
+}
+
+impl HopConfig {
+    /// Standard decentralized training with update queues only (Fig. 4).
+    pub fn standard() -> Self {
+        Self {
+            order: ComputeOrder::Parallel,
+            sync: SyncMode::Queues { max_ig: None },
+            n_backup: 0,
+            staleness: None,
+            skip: None,
+            send_inquiry: None,
+            staleness_weighting: crate::semantics::StalenessWeighting::Linear,
+        }
+    }
+
+    /// Standard decentralized training with token queues (Fig. 7).
+    pub fn standard_with_tokens(max_ig: u64) -> Self {
+        Self {
+            sync: SyncMode::Queues {
+                max_ig: Some(max_ig),
+            },
+            ..Self::standard()
+        }
+    }
+
+    /// The NOTIFY-ACK baseline (§3.3), which implies the serial order.
+    pub fn notify_ack() -> Self {
+        Self {
+            order: ComputeOrder::Serial,
+            sync: SyncMode::NotifyAck,
+            n_backup: 0,
+            staleness: None,
+            skip: None,
+            send_inquiry: None,
+            staleness_weighting: crate::semantics::StalenessWeighting::Linear,
+        }
+    }
+
+    /// Backup workers (§4.3); token queues are mandatory.
+    pub fn backup(n_backup: usize, max_ig: u64) -> Self {
+        Self {
+            n_backup,
+            ..Self::standard_with_tokens(max_ig)
+        }
+    }
+
+    /// Bounded staleness (§4.4) with token queues.
+    pub fn staleness(s: u64, max_ig: u64) -> Self {
+        Self {
+            staleness: Some(s),
+            ..Self::standard_with_tokens(max_ig)
+        }
+    }
+
+    /// The hybrid setting (backup + staleness, Table 1).
+    pub fn hybrid(n_backup: usize, s: u64, max_ig: u64) -> Self {
+        Self {
+            n_backup,
+            staleness: Some(s),
+            ..Self::standard_with_tokens(max_ig)
+        }
+    }
+
+    /// Adds skipping iterations to this configuration.
+    pub fn with_skip(mut self, skip: SkipConfig) -> Self {
+        self.skip = Some(skip);
+        self
+    }
+
+    /// Selects a staleness weighting scheme (default: Eq. 2 linear).
+    pub fn with_staleness_weighting(
+        mut self,
+        scheme: crate::semantics::StalenessWeighting,
+    ) -> Self {
+        self.staleness_weighting = scheme;
+        self
+    }
+
+    /// The `max_ig` in force, if token queues are enabled.
+    pub fn max_ig(&self) -> Option<u64> {
+        match self.sync {
+            SyncMode::Queues { max_ig } => max_ig,
+            SyncMode::NotifyAck => None,
+        }
+    }
+
+    /// Whether §6.2(b) send inquiry is effective.
+    pub fn effective_send_inquiry(&self) -> bool {
+        self.send_inquiry.unwrap_or(self.n_backup > 0)
+    }
+
+    /// Validates the configuration against a topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the combination is one the paper shows
+    /// to be unsupported or unsafe:
+    /// * NOTIFY-ACK with backup workers (§3.4), staleness > 1 (§3.5) or
+    ///   skipping (needs token-queue occupancy);
+    /// * backup workers without token queues (unbounded gap, §4.3);
+    /// * skipping without token queues (§5);
+    /// * `N_buw >= |Nin(i)|` for some node;
+    /// * a disconnected topology.
+    pub fn validate(&self, topology: &Topology) -> Result<(), ConfigError> {
+        if !topology.is_strongly_connected() {
+            return Err(ConfigError::DisconnectedTopology);
+        }
+        match self.sync {
+            SyncMode::NotifyAck => {
+                if self.n_backup > 0 {
+                    return Err(ConfigError::NotifyAckUnsupported("backup workers"));
+                }
+                if self.staleness.is_some() {
+                    return Err(ConfigError::NotifyAckUnsupported("bounded staleness"));
+                }
+                if self.skip.is_some() {
+                    return Err(ConfigError::NotifyAckUnsupported("skipping iterations"));
+                }
+                if self.order != ComputeOrder::Serial {
+                    return Err(ConfigError::NotifyAckUnsupported(
+                        "the parallel computation graph",
+                    ));
+                }
+            }
+            SyncMode::Queues { max_ig } => {
+                if max_ig.is_none() && self.n_backup > 0 {
+                    return Err(ConfigError::TokensRequired("backup workers"));
+                }
+                if max_ig.is_none() && self.skip.is_some() {
+                    return Err(ConfigError::TokensRequired("skipping iterations"));
+                }
+                if let Some(skip) = self.skip {
+                    if skip.max_jump < 2 {
+                        return Err(ConfigError::InvalidSkip(skip.max_jump));
+                    }
+                }
+            }
+        }
+        for i in 0..topology.len() {
+            if self.n_backup >= topology.in_degree(i) {
+                return Err(ConfigError::TooManyBackups {
+                    n_backup: self.n_backup,
+                    in_degree: topology.in_degree(i),
+                    node: i,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for HopConfig {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Parameter-server coordination modes (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PsMode {
+    /// Bulk Synchronous Parallel: global barrier every iteration.
+    Bsp,
+    /// Stale Synchronous Parallel with the given staleness bound.
+    Ssp(u64),
+    /// Fully asynchronous updates.
+    Async,
+}
+
+/// Parameter-server baseline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PsConfig {
+    /// Coordination mode.
+    pub mode: PsMode,
+}
+
+/// AD-PSGD baseline configuration (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdPsgdConfig {
+    /// When true, refuse to run on non-bipartite graphs (the published
+    /// deadlock-free schedule requires bipartiteness); when false, run
+    /// anyway and let the simulator detect deadlock.
+    pub require_bipartite: bool,
+}
+
+impl Default for AdPsgdConfig {
+    fn default() -> Self {
+        Self {
+            require_bipartite: true,
+        }
+    }
+}
+
+/// Top-level protocol selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Protocol {
+    /// Hop's decentralized protocol family (the paper's contribution).
+    Hop(HopConfig),
+    /// Centralized parameter-server baseline.
+    Ps(PsConfig),
+    /// Ring all-reduce baseline (§2.1).
+    RingAllReduce,
+    /// AD-PSGD baseline (§5).
+    AdPsgd(AdPsgdConfig),
+}
+
+/// Configuration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The topology is not strongly connected.
+    DisconnectedTopology,
+    /// NOTIFY-ACK cannot express the named feature.
+    NotifyAckUnsupported(&'static str),
+    /// The named feature requires token queues.
+    TokensRequired(&'static str),
+    /// `N_buw` must be smaller than every node's in-degree.
+    TooManyBackups {
+        /// Configured number of backup workers.
+        n_backup: usize,
+        /// The violating in-degree.
+        in_degree: usize,
+        /// The violating node.
+        node: usize,
+    },
+    /// `max_jump` must be at least 2.
+    InvalidSkip(u64),
+    /// AD-PSGD's deadlock-free schedule needs a bipartite graph.
+    NotBipartite,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DisconnectedTopology => {
+                write!(f, "topology must be strongly connected")
+            }
+            ConfigError::NotifyAckUnsupported(feature) => {
+                write!(f, "NOTIFY-ACK cannot support {feature}")
+            }
+            ConfigError::TokensRequired(feature) => {
+                write!(f, "{feature} requires token queues (set max_ig)")
+            }
+            ConfigError::TooManyBackups {
+                n_backup,
+                in_degree,
+                node,
+            } => write!(
+                f,
+                "N_buw = {n_backup} must be < |Nin({node})| = {in_degree}"
+            ),
+            ConfigError::InvalidSkip(j) => write!(f, "max_jump {j} must be >= 2"),
+            ConfigError::NotBipartite => {
+                write!(f, "AD-PSGD requires a bipartite communication graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> Topology {
+        Topology::ring(8)
+    }
+
+    #[test]
+    fn standard_validates() {
+        HopConfig::standard().validate(&ring()).unwrap();
+        HopConfig::standard_with_tokens(5).validate(&ring()).unwrap();
+        HopConfig::notify_ack().validate(&ring()).unwrap();
+    }
+
+    #[test]
+    fn notify_ack_rejects_extensions() {
+        let mut c = HopConfig::notify_ack();
+        c.n_backup = 1;
+        assert_eq!(
+            c.validate(&ring()),
+            Err(ConfigError::NotifyAckUnsupported("backup workers"))
+        );
+        let mut c = HopConfig::notify_ack();
+        c.staleness = Some(5);
+        assert!(matches!(
+            c.validate(&ring()),
+            Err(ConfigError::NotifyAckUnsupported(_))
+        ));
+        let mut c = HopConfig::notify_ack();
+        c.skip = Some(SkipConfig::with_max_jump(4));
+        assert!(c.validate(&ring()).is_err());
+        let mut c = HopConfig::notify_ack();
+        c.order = ComputeOrder::Parallel;
+        assert!(c.validate(&ring()).is_err());
+    }
+
+    #[test]
+    fn backup_requires_tokens() {
+        let mut c = HopConfig::standard();
+        c.n_backup = 1;
+        assert_eq!(
+            c.validate(&ring()),
+            Err(ConfigError::TokensRequired("backup workers"))
+        );
+        HopConfig::backup(1, 5).validate(&ring()).unwrap();
+    }
+
+    #[test]
+    fn skip_requires_tokens() {
+        let mut c = HopConfig::standard();
+        c.skip = Some(SkipConfig::with_max_jump(10));
+        assert!(matches!(
+            c.validate(&ring()),
+            Err(ConfigError::TokensRequired(_))
+        ));
+        HopConfig::backup(1, 5)
+            .with_skip(SkipConfig::with_max_jump(10))
+            .validate(&ring())
+            .unwrap();
+    }
+
+    #[test]
+    fn too_many_backups_rejected() {
+        // Ring in-degree is 3 (self + 2); N_buw = 3 is invalid.
+        let c = HopConfig::backup(3, 5);
+        assert!(matches!(
+            c.validate(&ring()),
+            Err(ConfigError::TooManyBackups { .. })
+        ));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        assert_eq!(
+            HopConfig::standard().validate(&t),
+            Err(ConfigError::DisconnectedTopology)
+        );
+    }
+
+    #[test]
+    fn send_inquiry_defaults_on_for_backup() {
+        assert!(!HopConfig::standard().effective_send_inquiry());
+        assert!(HopConfig::backup(1, 5).effective_send_inquiry());
+        let mut c = HopConfig::standard();
+        c.send_inquiry = Some(true);
+        assert!(c.effective_send_inquiry());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ConfigError::TooManyBackups {
+            n_backup: 3,
+            in_degree: 3,
+            node: 0,
+        };
+        assert!(format!("{e}").contains("N_buw"));
+    }
+
+    #[test]
+    fn hybrid_constructor() {
+        let c = HopConfig::hybrid(1, 5, 5);
+        assert_eq!(c.n_backup, 1);
+        assert_eq!(c.staleness, Some(5));
+        assert_eq!(c.max_ig(), Some(5));
+        c.validate(&ring()).unwrap();
+    }
+}

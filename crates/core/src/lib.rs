@@ -1,0 +1,58 @@
+//! # hop-core: Heterogeneity-aware decentralized training
+//!
+//! The paper's contribution, implemented end to end:
+//!
+//! * [`config`] — the protocol family: standard decentralized training
+//!   (serial/parallel computation graphs, Fig. 2), the NOTIFY-ACK baseline
+//!   (§3.3), queue-based synchronization with token queues (§4), backup
+//!   workers (§4.3), bounded staleness with the Eq. (2) weighted reduce
+//!   (§4.4), skipping iterations (§5), plus parameter-server, ring
+//!   all-reduce and AD-PSGD baselines.
+//! * [`semantics`] — the pure update-selection/reduction/jump rules shared
+//!   by both runtimes.
+//! * [`sim_runtime`] — deterministic discrete-event execution on
+//!   [`hop_sim`]'s virtual cluster; produces timing traces, gap
+//!   statistics and loss curves for every figure in the paper.
+//! * [`threaded`] — the same protocol on real OS threads with blocking
+//!   queues from [`hop_queue`].
+//! * [`trainer`] — the high-level [`trainer::SimExperiment`] API.
+//!
+//! # Examples
+//!
+//! ```
+//! use hop_core::config::{HopConfig, Protocol};
+//! use hop_core::trainer::{Hyper, SimExperiment};
+//! use hop_data::webspam::SyntheticWebspam;
+//! use hop_graph::Topology;
+//! use hop_model::svm::Svm;
+//! use hop_sim::{ClusterSpec, LinkModel, SlowdownModel};
+//!
+//! let dataset = SyntheticWebspam::generate(256, 0);
+//! let model = Svm::log_loss(hop_data::Dataset::feature_dim(&dataset));
+//! let report = SimExperiment {
+//!     topology: Topology::ring_based(8),
+//!     cluster: ClusterSpec::uniform(8, 4, 0.01, LinkModel::ethernet_1gbps()),
+//!     slowdown: SlowdownModel::paper_random(8),
+//!     protocol: Protocol::Hop(HopConfig::backup(1, 5)),
+//!     hyper: Hyper::svm(),
+//!     max_iters: 30,
+//!     seed: 7,
+//!     eval_every: 10,
+//!     eval_examples: 64,
+//! }
+//! .run(&model, &dataset)?;
+//! assert!(!report.deadlocked);
+//! # Ok::<(), hop_core::config::ConfigError>(())
+//! ```
+
+pub mod config;
+pub mod report;
+pub mod semantics;
+pub mod sim_runtime;
+pub mod threaded;
+pub mod trainer;
+
+pub use config::{ComputeOrder, HopConfig, Protocol, SkipConfig, SyncMode};
+pub use report::TrainingReport;
+pub use sim_runtime::recorder::EvalConfig;
+pub use trainer::{Hyper, SimExperiment};

@@ -1,0 +1,127 @@
+//! Training reports: what an experiment returns.
+
+use hop_metrics::TimeSeries;
+use hop_sim::Trace;
+
+/// The outcome of one simulated (or threaded) training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReport {
+    /// Iteration-entry trace (timing, gaps).
+    pub trace: Trace,
+    /// Per-worker minibatch training loss vs virtual time.
+    pub train_loss_time: Vec<TimeSeries>,
+    /// Per-worker minibatch training loss vs iteration index.
+    pub train_loss_steps: Vec<TimeSeries>,
+    /// Held-out loss of the parameter average across workers, vs time.
+    pub eval_time: TimeSeries,
+    /// Held-out loss of the parameter average across workers, vs steps
+    /// (iteration of worker 0 at evaluation points).
+    pub eval_steps: TimeSeries,
+    /// Final parameters of every worker.
+    pub final_params: Vec<Vec<f32>>,
+    /// Virtual time at which the last worker finished.
+    pub wall_time: f64,
+    /// Stale updates discarded by rotating queues (§6.2).
+    pub stale_discarded: u64,
+    /// Payload bytes moved over the network.
+    pub bytes_sent: u64,
+    /// Whether the run ended in deadlock (event queue drained before all
+    /// workers finished) — expected for AD-PSGD on non-bipartite graphs.
+    pub deadlocked: bool,
+}
+
+impl TrainingReport {
+    /// Mean of the per-worker training-loss curves, resampled onto the
+    /// union of their time stamps (step interpolation). Useful as the
+    /// single "loss vs time" line the paper plots per protocol.
+    pub fn mean_train_loss_time(&self) -> TimeSeries {
+        merge_mean(&self.train_loss_time)
+    }
+
+    /// Mean of the per-worker loss-vs-steps curves.
+    pub fn mean_train_loss_steps(&self) -> TimeSeries {
+        merge_mean(&self.train_loss_steps)
+    }
+
+    /// Virtual time to bring the evaluation loss down to `threshold`.
+    pub fn time_to_eval_loss(&self, threshold: f64) -> Option<f64> {
+        self.eval_time.time_to_reach(threshold)
+    }
+
+    /// Average iteration duration across workers.
+    pub fn mean_iteration_duration(&self) -> f64 {
+        self.trace.mean_iteration_duration()
+    }
+
+    /// Elementwise average of all workers' final parameters.
+    pub fn averaged_params(&self) -> Vec<f32> {
+        assert!(!self.final_params.is_empty(), "no final parameters");
+        let mut out = vec![0.0f32; self.final_params[0].len()];
+        let views: Vec<&[f32]> = self.final_params.iter().map(Vec::as_slice).collect();
+        hop_tensor::ops::mean_into(&views, &mut out);
+        out
+    }
+}
+
+/// Pointwise mean of several step-interpolated series over the union of
+/// their sample times.
+fn merge_mean(series: &[TimeSeries]) -> TimeSeries {
+    let mut times: Vec<f64> = series
+        .iter()
+        .flat_map(|s| s.points().iter().map(|&(t, _)| t))
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN times"));
+    times.dedup();
+    let mut out = TimeSeries::new();
+    for t in times {
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for s in series {
+            if let Some(v) = s.value_at(t) {
+                sum += v;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            out.push(t, sum / count as f64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_mean_averages_overlapping() {
+        let a = TimeSeries::from_points(vec![(0.0, 2.0), (2.0, 0.0)]);
+        let b = TimeSeries::from_points(vec![(0.0, 4.0), (2.0, 2.0)]);
+        let m = merge_mean(&[a, b]);
+        assert_eq!(m.points(), &[(0.0, 3.0), (2.0, 1.0)]);
+    }
+
+    #[test]
+    fn merge_mean_steps_between_samples() {
+        let a = TimeSeries::from_points(vec![(0.0, 2.0)]);
+        let b = TimeSeries::from_points(vec![(1.0, 0.0)]);
+        let m = merge_mean(&[a, b]);
+        // At t=0 only `a` exists; at t=1 both (a holds at 2.0).
+        assert_eq!(m.points(), &[(0.0, 2.0), (1.0, 1.0)]);
+    }
+
+    #[test]
+    fn averaged_params_mean() {
+        let report = TrainingReport {
+            final_params: vec![vec![1.0, 3.0], vec![3.0, 5.0]],
+            ..Default::default()
+        };
+        assert_eq!(report.averaged_params(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no final parameters")]
+    fn averaged_params_requires_workers() {
+        TrainingReport::default().averaged_params();
+    }
+}

@@ -1,0 +1,298 @@
+//! Pure protocol semantics shared by the simulated and threaded runtimes.
+//!
+//! Everything numerical about the protocols — which updates a `Recv`
+//! consumes, how a `Reduce` weighs them, when a straggler jumps — lives
+//! here as pure functions so both runtimes (discrete-event and real
+//! threads) provably run the same algorithm, and the functions can be
+//! unit-tested in isolation.
+
+use crate::config::SkipConfig;
+use hop_tensor::ops;
+
+/// Number of updates a `Recv` must collect with backup workers (Fig. 8):
+/// `|Nin(i)| - N_buw(i)`.
+///
+/// # Panics
+///
+/// Panics if `n_backup >= in_degree` (validated earlier by
+/// [`crate::config::HopConfig::validate`]).
+pub fn backup_quota(in_degree: usize, n_backup: usize) -> usize {
+    assert!(n_backup < in_degree, "N_buw must be < |Nin|");
+    in_degree - n_backup
+}
+
+/// Uniform Reduce (Fig. 4 line 15): elementwise mean of the received
+/// parameter vectors.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or lengths mismatch.
+pub fn reduce_mean(updates: &[&[f32]], out: &mut [f32]) {
+    ops::mean_into(updates, out);
+}
+
+/// Whether an update of iteration `update_iter` is *satisfactory* for a
+/// worker in iteration `k` under staleness bound `s` (§4.4): it must be at
+/// most `s` iterations old, i.e. `update_iter >= k - s`.
+pub fn staleness_satisfied(update_iter: u64, k: u64, s: u64) -> bool {
+    update_iter + s >= k
+}
+
+/// How stale updates are weighted in the bounded-staleness Reduce.
+///
+/// The paper settles on the linear rule of Eq. (2) but notes it "may very
+/// well be non-optimal" and leaves alternatives to future work (§4.4);
+/// the extra schemes here support that ablation (see the
+/// `ablation_staleness_weighting` bench).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum StalenessWeighting {
+    /// Eq. (2): weight `Iter(u) - (k - s) + 1`, linear in freshness.
+    #[default]
+    Linear,
+    /// Plain averaging: every satisfactory update weighs 1.
+    Uniform,
+    /// Exponential decay: weight `decay^(k - Iter(u))` with
+    /// `decay` in `(0, 1]`; sharper-than-linear preference for fresh
+    /// updates.
+    Exponential {
+        /// Per-iteration decay factor.
+        decay: f32,
+    },
+}
+
+/// The Eq. (2) weight of an update of iteration `update_iter` for a worker
+/// in iteration `k` with staleness bound `s`:
+/// `Iter(u) - (k - s) + 1`, clamped to at least 1 so that a worker's own
+/// older-than-bound parameters (possible right after a jump, §5) still
+/// carry minimal weight instead of a non-positive one.
+pub fn staleness_weight(update_iter: u64, k: u64, s: u64) -> f32 {
+    let w = update_iter as i64 - (k as i64 - s as i64) + 1;
+    w.max(1) as f32
+}
+
+/// The weight of an update under the chosen [`StalenessWeighting`].
+pub fn staleness_weight_with(
+    scheme: StalenessWeighting,
+    update_iter: u64,
+    k: u64,
+    s: u64,
+) -> f32 {
+    match scheme {
+        StalenessWeighting::Linear => staleness_weight(update_iter, k, s),
+        StalenessWeighting::Uniform => 1.0,
+        StalenessWeighting::Exponential { decay } => {
+            assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+            let age = k.saturating_sub(update_iter) as i32;
+            decay.powi(age).max(f32::MIN_POSITIVE)
+        }
+    }
+}
+
+/// Bounded-staleness Reduce (Fig. 9 lines 18–27, Eq. 2): the
+/// iteration-weighted average of the newest satisfactory updates.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or lengths mismatch.
+pub fn reduce_staleness(updates: &[(u64, &[f32])], k: u64, s: u64, out: &mut [f32]) {
+    reduce_staleness_with(StalenessWeighting::Linear, updates, k, s, out);
+}
+
+/// [`reduce_staleness`] under an explicit weighting scheme.
+///
+/// # Panics
+///
+/// Panics if `updates` is empty or lengths mismatch.
+pub fn reduce_staleness_with(
+    scheme: StalenessWeighting,
+    updates: &[(u64, &[f32])],
+    k: u64,
+    s: u64,
+    out: &mut [f32],
+) {
+    assert!(!updates.is_empty(), "reduce of zero updates");
+    let weights: Vec<f32> = updates
+        .iter()
+        .map(|&(iter, _)| staleness_weight_with(scheme, iter, k, s))
+        .collect();
+    let slices: Vec<&[f32]> = updates.iter().map(|&(_, x)| x).collect();
+    ops::weighted_mean_into(&slices, &weights, out);
+}
+
+/// The skip decision of §5, made while acquiring tokens at the end of an
+/// iteration. `token_counts` holds the number of tokens currently visible
+/// in `TokenQ(o -> me)` for each out-going neighbor `o`; each count equals
+/// `Iter(o) - Iter(me) + max_ig`, so `min(counts) - max_ig` is exactly how
+/// far this worker trails its slowest out-going neighbor.
+///
+/// Returns the *total* number of iterations to advance (`>= 2`) when a
+/// jump should happen, or `None` for a normal single-step advance. The
+/// jump is capped by `max_jump` (user setting) and by
+/// `min(counts) - max_ig` (the "intuitive upper-bound" that keeps the
+/// straggler from overtaking its neighbors).
+pub fn jump_decision(token_counts: &[u64], max_ig: u64, skip: &SkipConfig) -> Option<u64> {
+    let min_tokens = token_counts.iter().copied().min()?;
+    let behind = min_tokens.saturating_sub(max_ig);
+    if behind < skip.trigger_behind {
+        return None;
+    }
+    let jump = behind.min(skip.max_jump);
+    (jump >= 2).then_some(jump)
+}
+
+/// The parallel-order Apply (Fig. 2b / Fig. 4 line 17): the new parameters
+/// are the reduced average plus the locally computed update `delta`
+/// (`delta = -lr * v` from the optimizer, computed on the pre-reduce
+/// parameters).
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+pub fn apply_parallel(reduced: &mut [f32], delta: &[f32]) {
+    ops::axpy(1.0, delta, reduced);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_subtracts_backups() {
+        assert_eq!(backup_quota(5, 0), 5);
+        assert_eq!(backup_quota(5, 2), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "N_buw")]
+    fn quota_validates() {
+        backup_quota(3, 3);
+    }
+
+    #[test]
+    fn mean_reduce() {
+        let a = [2.0, 0.0];
+        let b = [0.0, 4.0];
+        let mut out = [9.0, 9.0];
+        reduce_mean(&[&a, &b], &mut out);
+        assert_eq!(out, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn satisfaction_boundary() {
+        // k = 10, s = 3: updates of iterations 7..=10 are satisfactory.
+        assert!(staleness_satisfied(7, 10, 3));
+        assert!(!staleness_satisfied(6, 10, 3));
+        assert!(staleness_satisfied(10, 10, 3));
+        // Early iterations: k <= s means everything satisfies.
+        assert!(staleness_satisfied(0, 3, 3));
+    }
+
+    #[test]
+    fn eq2_weights() {
+        // k = 10, s = 3: weight(7) = 1, weight(10) = 4.
+        assert_eq!(staleness_weight(7, 10, 3), 1.0);
+        assert_eq!(staleness_weight(10, 10, 3), 4.0);
+        // Clamp below 1 (an over-stale own update after a jump).
+        assert_eq!(staleness_weight(2, 10, 3), 1.0);
+    }
+
+    #[test]
+    fn weighting_schemes_order_freshness_sensitivity() {
+        // k = 10, s = 4; updates of iters 10 (fresh) and 6 (stale).
+        let fresh_bias = |scheme| {
+            staleness_weight_with(scheme, 10, 10, 4) / staleness_weight_with(scheme, 6, 10, 4)
+        };
+        assert_eq!(fresh_bias(StalenessWeighting::Uniform), 1.0);
+        assert_eq!(fresh_bias(StalenessWeighting::Linear), 5.0);
+        let exp = fresh_bias(StalenessWeighting::Exponential { decay: 0.5 });
+        assert!((exp - 16.0).abs() < 1e-4, "exp ratio {exp}");
+    }
+
+    #[test]
+    fn reduce_with_uniform_matches_mean() {
+        let a = [2.0f32, 0.0];
+        let b = [0.0f32, 4.0];
+        let mut weighted = [0.0f32; 2];
+        reduce_staleness_with(
+            StalenessWeighting::Uniform,
+            &[(9, &a), (5, &b)],
+            9,
+            4,
+            &mut weighted,
+        );
+        assert_eq!(weighted, [1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn exponential_validates_decay() {
+        staleness_weight_with(StalenessWeighting::Exponential { decay: 1.5 }, 0, 0, 0);
+    }
+
+    #[test]
+    fn staleness_reduce_matches_eq2_by_hand() {
+        // k = 5, s = 2; updates of iters 5 and 3 → weights 3 and 1.
+        let newest = [4.0f32, 0.0];
+        let older = [0.0f32, 4.0];
+        let mut out = [0.0f32; 2];
+        reduce_staleness(&[(5, &newest), (3, &older)], 5, 2, &mut out);
+        assert_eq!(out, [3.0, 1.0]);
+    }
+
+    #[test]
+    fn jump_needs_trigger() {
+        let skip = SkipConfig {
+            max_jump: 10,
+            trigger_behind: 3,
+        };
+        // min tokens 7, max_ig 5 → behind 2 < trigger 3: no jump.
+        assert_eq!(jump_decision(&[7, 9], 5, &skip), None);
+        // behind 4 ≥ 3 → jump 4.
+        assert_eq!(jump_decision(&[9, 11], 5, &skip), Some(4));
+    }
+
+    #[test]
+    fn jump_caps_at_max_jump() {
+        let skip = SkipConfig {
+            max_jump: 2,
+            trigger_behind: 2,
+        };
+        assert_eq!(jump_decision(&[15, 12], 5, &skip), Some(2));
+    }
+
+    #[test]
+    fn jump_of_one_is_normal_advance() {
+        let skip = SkipConfig {
+            max_jump: 10,
+            trigger_behind: 1,
+        };
+        // behind = 1 → a jump of 1 is pointless; decline.
+        assert_eq!(jump_decision(&[6], 5, &skip), None);
+    }
+
+    #[test]
+    fn fig10_examples() {
+        // Fig. 10(a): max_ig 5, tokens(B->A) = tokens(C->A) = 9 → A jumps 4
+        // (iteration 5 → 9).
+        let skip = SkipConfig {
+            max_jump: 10,
+            trigger_behind: 2,
+        };
+        assert_eq!(jump_decision(&[9, 9], 5, &skip), Some(4));
+        // Fig. 10(b): tokens = 10 → A jumps 5 (iteration 5 → 10).
+        assert_eq!(jump_decision(&[10, 10], 5, &skip), Some(5));
+    }
+
+    #[test]
+    fn empty_token_list_never_jumps() {
+        let skip = SkipConfig::with_max_jump(5);
+        assert_eq!(jump_decision(&[], 5, &skip), None);
+    }
+
+    #[test]
+    fn parallel_apply_adds_delta() {
+        let mut reduced = [1.0f32, 2.0];
+        apply_parallel(&mut reduced, &[0.5, -0.5]);
+        assert_eq!(reduced, [1.5, 1.5]);
+    }
+}

@@ -1,0 +1,376 @@
+//! Simulated AD-PSGD baseline (§5).
+//!
+//! AD-PSGD removes the iteration-gap bound entirely: each worker, after
+//! computing a gradient, *atomically averages* its parameters with one
+//! randomly chosen neighbor and moves on. The atomic pairwise averaging is
+//! exactly what can deadlock: if worker A waits to average with busy B,
+//! B waits for C and C waits for A, nobody progresses. The published fix
+//! restricts the communication graph to be *bipartite* and lets only one
+//! side initiate averaging — which §5 criticizes as constraining topology
+//! choice. This module implements both behaviors so the deadlock is
+//! demonstrable and the bipartite schedule testable.
+
+use crate::config::AdPsgdConfig;
+use crate::report::TrainingReport;
+use crate::trainer::Hyper;
+use hop_data::{BatchSampler, Dataset, InMemoryDataset};
+use hop_graph::Topology;
+use hop_model::{Model, Sgd};
+use hop_sim::{ClusterSpec, EventQueue, Network, SlowdownModel, Trace};
+use hop_util::Xoshiro256;
+use std::collections::VecDeque;
+
+use super::recorder::{EvalConfig, Recorder};
+
+enum Ev {
+    ComputeDone { w: usize },
+    AvgDone { active: usize, passive: usize },
+}
+
+struct WorkerSt {
+    params: Vec<f32>,
+    opt: Sgd,
+    sampler: BatchSampler,
+    rng: Xoshiro256,
+    iter: u64,
+    /// Engaged in an averaging exchange (as either side).
+    busy: bool,
+    /// The neighbor this worker is queued on, if any.
+    waiting_on: Option<usize>,
+    /// Requesters waiting to average with this worker.
+    wait_queue: VecDeque<usize>,
+    /// Gradient computed this iteration, applied after averaging.
+    pending_grad: Option<Vec<f32>>,
+    done: bool,
+    /// Whether this worker initiates averaging (bipartite: one side only).
+    initiates: bool,
+}
+
+/// Runs AD-PSGD. With `cfg.require_bipartite` the graph must 2-color and
+/// only one color class initiates averaging (deadlock-free); otherwise all
+/// workers initiate and the run may deadlock — reported via
+/// [`TrainingReport::deadlocked`].
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    cfg: &AdPsgdConfig,
+    topology: &Topology,
+    cluster: &ClusterSpec,
+    slowdown: &SlowdownModel,
+    model: &dyn Model,
+    dataset: &InMemoryDataset,
+    hyper: &Hyper,
+    max_iters: u64,
+    seed: u64,
+    eval: EvalConfig,
+) -> TrainingReport {
+    let n = topology.len();
+    assert_eq!(cluster.len(), n, "cluster/topology size mismatch");
+    let bipartite_sides = two_color(topology);
+    assert!(
+        !cfg.require_bipartite || bipartite_sides.is_some(),
+        "AD-PSGD with require_bipartite needs a bipartite graph (checked by the trainer)"
+    );
+    let mut init_rng = Xoshiro256::seed_from_u64(seed);
+    let init_params = model.init_params(&mut init_rng);
+    let param_bytes = init_params.len() as u64 * 4;
+    let mut workers: Vec<WorkerSt> = (0..n)
+        .map(|w| WorkerSt {
+            params: init_params.clone(),
+            opt: Sgd::new(
+                hyper.lr,
+                hyper.momentum,
+                hyper.weight_decay,
+                init_params.len(),
+            ),
+            sampler: BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w),
+            rng: Xoshiro256::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37)),
+            iter: 0,
+            busy: false,
+            waiting_on: None,
+            wait_queue: VecDeque::new(),
+            pending_grad: None,
+            done: false,
+            initiates: match (&bipartite_sides, cfg.require_bipartite) {
+                (Some(colors), true) => colors[w] == 0,
+                _ => true,
+            },
+        })
+        .collect();
+    let mut net = Network::new(cluster.clone());
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut trace = Trace::new(n);
+    let mut recorder = Recorder::new(n, eval, dataset);
+    let mut grad_buf = vec![0.0f32; init_params.len()];
+    for w in 0..n {
+        trace.record(w, 0, 0.0);
+        let dur = cluster.base_compute(w) * slowdown.factor(seed, w, 0);
+        events.push(dur, Ev::ComputeDone { w });
+    }
+    let mut deadlocked = false;
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::ComputeDone { w } => {
+                let state = &mut workers[w];
+                let batch = state.sampler.next_batch(dataset);
+                let loss = model.loss_grad(&state.params, &batch, &mut grad_buf);
+                recorder.train_loss(w, state.iter, now, loss);
+                state.pending_grad = Some(grad_buf.clone());
+                if state.initiates {
+                    let neighbors = topology.external_out_neighbors(w);
+                    let partner = *workers[w].rng.choose(&neighbors);
+                    workers[w].busy = true;
+                    if workers[partner].busy {
+                        workers[partner].wait_queue.push_back(w);
+                        workers[w].waiting_on = Some(partner);
+                        if has_wait_cycle(&workers, w) {
+                            deadlocked = true;
+                            break;
+                        }
+                    } else {
+                        start_averaging(&mut workers, &mut net, &mut events, w, partner, now, param_bytes);
+                    }
+                } else {
+                    // Passive side: apply the gradient locally and continue;
+                    // actives will average with it asynchronously.
+                    finish_iteration(
+                        &mut workers,
+                        &mut trace,
+                        &mut events,
+                        cluster,
+                        slowdown,
+                        seed,
+                        w,
+                        now,
+                        max_iters,
+                    );
+                }
+            }
+            Ev::AvgDone { active, passive } => {
+                // Atomic pairwise average: both sides take the mean.
+                for i in 0..workers[active].params.len() {
+                    let mean =
+                        0.5 * (workers[active].params[i] + workers[passive].params[i]);
+                    workers[active].params[i] = mean;
+                    workers[passive].params[i] = mean;
+                }
+                workers[active].busy = false;
+                workers[passive].busy = false;
+                finish_iteration(
+                    &mut workers,
+                    &mut trace,
+                    &mut events,
+                    cluster,
+                    slowdown,
+                    seed,
+                    active,
+                    now,
+                    max_iters,
+                );
+                // Serve the next waiter of either side.
+                for side in [passive, active] {
+                    if workers[side].busy {
+                        continue;
+                    }
+                    if let Some(req) = workers[side].wait_queue.pop_front() {
+                        workers[req].waiting_on = None;
+                        start_averaging(
+                            &mut workers,
+                            &mut net,
+                            &mut events,
+                            req,
+                            side,
+                            now,
+                            param_bytes,
+                        );
+                    }
+                }
+            }
+        }
+        if w_all_done(&workers) {
+            break;
+        }
+    }
+    deadlocked = deadlocked || !w_all_done(&workers);
+    // Always record one final evaluation of the parameter averages so even
+    // eval-disabled runs report a terminal loss.
+    let views: Vec<&[f32]> = workers.iter().map(|s| s.params.as_slice()).collect();
+    recorder.evaluate(
+        model,
+        dataset,
+        &views,
+        events.now(),
+        workers.iter().map(|s| s.iter).min().unwrap_or(0),
+    );
+    TrainingReport {
+        trace,
+        train_loss_time: recorder.train_time,
+        train_loss_steps: recorder.train_steps,
+        eval_time: recorder.eval_time,
+        eval_steps: recorder.eval_steps,
+        final_params: workers.into_iter().map(|s| s.params).collect(),
+        wall_time: events.now(),
+        stale_discarded: 0,
+        bytes_sent: net.bytes_sent(),
+        deadlocked,
+    }
+}
+
+fn w_all_done(workers: &[WorkerSt]) -> bool {
+    workers.iter().all(|s| s.done)
+}
+
+fn two_color(topology: &Topology) -> Option<Vec<u8>> {
+    if !topology.is_bipartite() {
+        return None;
+    }
+    let n = topology.len();
+    let mut color = vec![u8::MAX; n];
+    for start in 0..n {
+        if color[start] != u8::MAX {
+            continue;
+        }
+        color[start] = 0;
+        let mut queue = VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for v in topology.external_out_neighbors(u) {
+                if color[v] == u8::MAX {
+                    color[v] = 1 - color[u];
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    Some(color)
+}
+
+fn has_wait_cycle(workers: &[WorkerSt], start: usize) -> bool {
+    let mut cur = start;
+    let mut hops = 0;
+    while let Some(next) = workers[cur].waiting_on {
+        if next == start {
+            return true;
+        }
+        cur = next;
+        hops += 1;
+        if hops > workers.len() {
+            return true;
+        }
+    }
+    false
+}
+
+#[allow(clippy::too_many_arguments)]
+fn start_averaging(
+    workers: &mut [WorkerSt],
+    net: &mut Network,
+    events: &mut EventQueue<Ev>,
+    active: usize,
+    passive: usize,
+    now: f64,
+    param_bytes: u64,
+) {
+    workers[active].busy = true;
+    workers[passive].busy = true;
+    workers[active].waiting_on = None;
+    // One round trip of parameters.
+    let there = net.transfer(now, active, passive, param_bytes);
+    let back = net.transfer(there, passive, active, param_bytes);
+    events.push(back, Ev::AvgDone { active, passive });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finish_iteration(
+    workers: &mut [WorkerSt],
+    trace: &mut Trace,
+    events: &mut EventQueue<Ev>,
+    cluster: &ClusterSpec,
+    slowdown: &SlowdownModel,
+    seed: u64,
+    w: usize,
+    now: f64,
+    max_iters: u64,
+) {
+    let grad = workers[w].pending_grad.take().expect("gradient pending");
+    let WorkerSt { opt, params, .. } = &mut workers[w];
+    opt.step(params, &grad);
+    workers[w].iter += 1;
+    let k = workers[w].iter;
+    trace.record(w, k, now);
+    if k >= max_iters {
+        workers[w].done = true;
+        return;
+    }
+    let dur = cluster.base_compute(w) * slowdown.factor(seed, w, k);
+    events.push(now + dur, Ev::ComputeDone { w });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hop_data::webspam::SyntheticWebspam;
+    use hop_model::svm::Svm;
+    use hop_sim::LinkModel;
+
+    fn run_on(topo: &Topology, require_bipartite: bool, seed: u64) -> TrainingReport {
+        let cluster = ClusterSpec::uniform(topo.len(), 2, 0.01, LinkModel::ethernet_1gbps());
+        let dataset = SyntheticWebspam::generate(128, 7);
+        let model = Svm::log_loss(hop_data::Dataset::feature_dim(&dataset));
+        let hyper = Hyper {
+            lr: 0.5,
+            momentum: 0.9,
+            weight_decay: 1e-7,
+            batch_size: 16,
+        };
+        run(
+            &AdPsgdConfig { require_bipartite },
+            topo,
+            &cluster,
+            &SlowdownModel::None,
+            &model,
+            &dataset,
+            &hyper,
+            30,
+            seed,
+            EvalConfig {
+                every: 0,
+                examples: 32,
+            },
+        )
+    }
+
+    #[test]
+    fn bipartite_ring_never_deadlocks() {
+        let topo = Topology::ring(6); // even ring = bipartite
+        for seed in 0..5 {
+            let r = run_on(&topo, true, seed);
+            assert!(!r.deadlocked, "seed {seed} deadlocked");
+        }
+    }
+
+    #[test]
+    fn bipartite_run_learns() {
+        let topo = Topology::ring(6);
+        let r = run_on(&topo, true, 1);
+        let last = r.eval_time.last().unwrap().1;
+        assert!(last < 0.69, "final loss {last} not below ln 2");
+    }
+
+    #[test]
+    fn non_bipartite_can_deadlock() {
+        // A triangle with every worker initiating: some seed deadlocks
+        // quickly (the §5 argument for why AD-PSGD constrains topology).
+        let topo = Topology::complete(3);
+        let deadlocks = (0..20).filter(|&s| run_on(&topo, false, s).deadlocked).count();
+        assert!(
+            deadlocks > 0,
+            "expected at least one deadlock across seeds on a non-bipartite graph"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "bipartite")]
+    fn require_bipartite_panics_on_triangle() {
+        let topo = Topology::complete(3);
+        let _ = run_on(&topo, true, 0);
+    }
+}

@@ -1,0 +1,847 @@
+//! The simulated decentralized runtime: Hop's protocol family plus the
+//! NOTIFY-ACK baseline, as worker state machines over the discrete-event
+//! network.
+//!
+//! Every worker runs the five operations of §3.2 (Compute, Send, Recv,
+//! Reduce, Apply) in either the serial or parallel order of Fig. 2, with
+//! synchronization provided by the rotating update queues of §6.1 and,
+//! when configured, the token queues of §4.2, backup workers (Fig. 8),
+//! bounded staleness (Fig. 9) and skipping iterations (§5).
+
+use crate::config::{ComputeOrder, HopConfig, SyncMode};
+use crate::report::TrainingReport;
+use crate::semantics;
+use crate::trainer::Hyper;
+use hop_data::{BatchSampler, Dataset, InMemoryDataset};
+use hop_graph::Topology;
+use hop_model::{Model, Sgd};
+use hop_queue::{RotatingQueues, Tag};
+use hop_sim::{ClusterSpec, EventQueue, Network, SlowdownModel, Trace};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use super::recorder::{EvalConfig, Recorder};
+
+/// When token queues are disabled, rotating queues still need a modulus;
+/// this must exceed any reachable iteration gap. The runtime uses the
+/// graph-diameter bound of Theorem 1 (standard/staleness modes only;
+/// backup mode without tokens is rejected by validation).
+fn rotation_window(cfg: &HopConfig, topology: &Topology) -> u64 {
+    if let Some(max_ig) = cfg.max_ig() {
+        return max_ig;
+    }
+    let sp = hop_graph::ShortestPaths::new(topology);
+    let diameter = sp.diameter().expect("validated: strongly connected") as u64;
+    let per_hop = cfg.staleness.map_or(1, |s| s + 1);
+    // Theorem 1 (or its staleness generalization): gap <= per_hop * diameter.
+    (per_hop * diameter.max(1)).max(1)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Gradient computation in flight (parallel: sends already issued).
+    Computing,
+    /// Serial/NOTIFY-ACK only: ready to send but waiting for ACKs.
+    WaitAck,
+    /// Waiting for the Recv condition of the current iteration.
+    WaitUpdates,
+    /// Reduce+Apply done; waiting for tokens to advance.
+    WaitTokens,
+    /// Skip-iterations: waiting for `Recv(target - 1)` before jumping.
+    JumpRecv { target: u64 },
+    /// Reached `max_iters`.
+    Finished,
+}
+
+enum Ev {
+    ComputeDone { w: usize, iter: u64 },
+    Update { to: usize, from: usize, iter: u64, params: Arc<Vec<f32>> },
+    Tokens { to: usize, from: usize, count: u64 },
+    Ack { to: usize },
+}
+
+struct WorkerSt {
+    iter: u64,
+    params: Vec<f32>,
+    compute_params: Vec<f32>,
+    opt: Sgd,
+    sampler: BatchSampler,
+    grad: Vec<f32>,
+    delta: Vec<f32>,
+    queue: RotatingQueues<Arc<Vec<f32>>>,
+    /// Newest update seen per in-neighbor (staleness mode, incl. self).
+    newest_from: HashMap<usize, (u64, Arc<Vec<f32>>)>,
+    /// Tokens visible from each external out-neighbor's `TokenQ(o -> w)`.
+    tokens_from: HashMap<usize, u64>,
+    /// NOTIFY-ACK: ACKs received for the last sent iteration.
+    acks_received: usize,
+    phase: Phase,
+}
+
+/// Runs the decentralized protocol in the simulator.
+///
+/// # Panics
+///
+/// Panics if `cfg` fails validation against `topology` (callers go through
+/// [`crate::trainer::SimExperiment`], which validates first).
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    cfg: &HopConfig,
+    topology: &Topology,
+    cluster: &ClusterSpec,
+    slowdown: &SlowdownModel,
+    model: &dyn Model,
+    dataset: &InMemoryDataset,
+    hyper: &Hyper,
+    max_iters: u64,
+    seed: u64,
+    eval: EvalConfig,
+) -> TrainingReport {
+    cfg.validate(topology).expect("config validated by caller");
+    assert_eq!(
+        cluster.len(),
+        topology.len(),
+        "cluster and topology sizes must match"
+    );
+    Engine::new(
+        cfg, topology, cluster, slowdown, model, dataset, hyper, max_iters, seed, eval,
+    )
+    .run()
+}
+
+struct Engine<'a> {
+    cfg: &'a HopConfig,
+    topology: &'a Topology,
+    slowdown: &'a SlowdownModel,
+    model: &'a dyn Model,
+    dataset: &'a InMemoryDataset,
+    max_iters: u64,
+    seed: u64,
+    net: Network,
+    events: EventQueue<Ev>,
+    workers: Vec<WorkerSt>,
+    trace: Trace,
+    recorder: Recorder,
+    param_bytes: u64,
+    max_ig: Option<u64>,
+    skipped_sends: u64,
+}
+
+impl<'a> Engine<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cfg: &'a HopConfig,
+        topology: &'a Topology,
+        cluster: &ClusterSpec,
+        slowdown: &'a SlowdownModel,
+        model: &'a dyn Model,
+        dataset: &'a InMemoryDataset,
+        hyper: &Hyper,
+        max_iters: u64,
+        seed: u64,
+        eval: EvalConfig,
+    ) -> Self {
+        let n = topology.len();
+        let mut init_rng = hop_util::Xoshiro256::seed_from_u64(seed);
+        let init_params = model.init_params(&mut init_rng);
+        let window = rotation_window(cfg, topology);
+        let max_ig = cfg.max_ig();
+        let workers = (0..n)
+            .map(|w| {
+                let mut tokens_from = HashMap::new();
+                if let Some(ig) = max_ig {
+                    for o in topology.external_out_neighbors(w) {
+                        tokens_from.insert(o, ig);
+                    }
+                }
+                WorkerSt {
+                    iter: 0,
+                    params: init_params.clone(),
+                    compute_params: init_params.clone(),
+                    opt: Sgd::new(
+                        hyper.lr,
+                        hyper.momentum,
+                        hyper.weight_decay,
+                        init_params.len(),
+                    ),
+                    sampler: BatchSampler::for_worker(
+                        dataset.len(),
+                        hyper.batch_size,
+                        seed,
+                        w,
+                    ),
+                    grad: vec![0.0; init_params.len()],
+                    delta: vec![0.0; init_params.len()],
+                    queue: RotatingQueues::new(window),
+                    newest_from: HashMap::new(),
+                    tokens_from,
+                    acks_received: 0,
+                    phase: Phase::Computing,
+                }
+            })
+            .collect();
+        Self {
+            cfg,
+            topology,
+            slowdown,
+            model,
+            dataset,
+            max_iters,
+            seed,
+            net: Network::new(cluster.clone()),
+            events: EventQueue::new(),
+            workers,
+            trace: Trace::new(n),
+            recorder: Recorder::new(n, eval, dataset),
+            param_bytes: init_params.len() as u64 * 4,
+            max_ig,
+            skipped_sends: 0,
+        }
+    }
+
+    fn run(mut self) -> TrainingReport {
+        let n = self.topology.len();
+        for w in 0..n {
+            self.enter_iteration(w, 0, 0.0, 0);
+        }
+        // Generous safety valve against runaway event storms.
+        let mut budget = (self.max_iters + 2) * (n as u64) * 64 + 10_000;
+        while let Some((now, ev)) = self.events.pop() {
+            budget -= 1;
+            if budget == 0 {
+                break;
+            }
+            match ev {
+                Ev::ComputeDone { w, iter } => self.on_compute_done(w, iter, now),
+                Ev::Update {
+                    to,
+                    from,
+                    iter,
+                    params,
+                } => self.on_update(to, from, iter, params, now),
+                Ev::Tokens { to, from, count } => self.on_tokens(to, from, count, now),
+                Ev::Ack { to } => self.on_ack(to, now),
+            }
+            if self.workers.iter().all(|w| w.phase == Phase::Finished) {
+                break;
+            }
+        }
+        let deadlocked = self.workers.iter().any(|w| w.phase != Phase::Finished);
+        let wall_time = self.events.now();
+        TrainingReport {
+            trace: self.trace,
+            train_loss_time: self.recorder.train_time,
+            train_loss_steps: self.recorder.train_steps,
+            eval_time: self.recorder.eval_time,
+            eval_steps: self.recorder.eval_steps,
+            final_params: self.workers.iter().map(|w| w.params.clone()).collect(),
+            wall_time,
+            stale_discarded: self
+                .workers
+                .iter()
+                .map(|w| w.queue.stale_discarded())
+                .sum(),
+            bytes_sent: self.net.bytes_sent(),
+            deadlocked,
+        }
+    }
+
+    /// Advances `w` into `new_iter`, inserting `token_steps` tokens for
+    /// in-neighbors, issuing sends (parallel order) and scheduling compute.
+    fn enter_iteration(&mut self, w: usize, new_iter: u64, now: f64, token_steps: u64) {
+        self.workers[w].iter = new_iter;
+        self.trace.record(w, new_iter, now);
+        if self.max_ig.is_some() && token_steps > 0 {
+            self.insert_tokens(w, token_steps, now);
+        }
+        if self.recorder.crossed_boundary(new_iter) {
+            let params: Vec<&[f32]> = self.workers.iter().map(|s| s.params.as_slice()).collect();
+            self.recorder
+                .evaluate(self.model, self.dataset, &params, now, new_iter);
+        }
+        if new_iter >= self.max_iters {
+            self.finish_worker(w, now);
+            return;
+        }
+        let state = &mut self.workers[w];
+        state.compute_params.copy_from_slice(&state.params);
+        state.phase = Phase::Computing;
+        if self.cfg.order == ComputeOrder::Parallel {
+            self.do_send(w, new_iter, now);
+        }
+        let duration = self.compute_duration(w, new_iter);
+        self.events.push(
+            now + duration,
+            Ev::ComputeDone {
+                w,
+                iter: new_iter,
+            },
+        );
+    }
+
+    fn compute_duration(&self, w: usize, iter: u64) -> f64 {
+        self.net.spec().base_compute(w) * self.slowdown.factor(self.seed, w, iter)
+    }
+
+    /// Grants `count` tokens to every external in-neighbor (they consume
+    /// from `TokenQ(w -> j)`); visibility is delayed by a control message.
+    fn insert_tokens(&mut self, w: usize, count: u64, now: f64) {
+        for j in self.topology.external_in_neighbors(w) {
+            let at = self.net.control(now, w, j);
+            self.events.push(at, Ev::Tokens { to: j, from: w, count });
+        }
+    }
+
+    /// The Send of iteration `iter`: self-loop delivery is immediate;
+    /// external sends go over the network (with the §6.2(b) inquiry
+    /// optimization when enabled).
+    fn do_send(&mut self, w: usize, iter: u64, now: f64) {
+        let params = Arc::new(self.workers[w].params.clone());
+        self.deliver_update(w, w, iter, Arc::clone(&params), now);
+        let inquiry = self.cfg.effective_send_inquiry();
+        for o in self.topology.external_out_neighbors(w) {
+            if inquiry && self.workers[o].iter > iter {
+                // The receiver has already passed this iteration; the
+                // update would be dropped as stale on arrival (§6.2b).
+                self.skipped_sends += 1;
+                continue;
+            }
+            let arrival = self.net.transfer(now, w, o, self.param_bytes);
+            self.events.push(
+                arrival,
+                Ev::Update {
+                    to: o,
+                    from: w,
+                    iter,
+                    params: Arc::clone(&params),
+                },
+            );
+        }
+    }
+
+    fn deliver_update(&mut self, to: usize, from: usize, iter: u64, params: Arc<Vec<f32>>, now: f64) {
+        let state = &mut self.workers[to];
+        if self.cfg.staleness.is_some() {
+            let newer = state
+                .newest_from
+                .get(&from)
+                .is_none_or(|&(have, _)| iter > have);
+            if newer {
+                state.newest_from.insert(from, (iter, params));
+            }
+        } else {
+            state
+                .queue
+                .enqueue(params, Tag { iter, w_id: from })
+                .expect("unbounded rotating queues");
+        }
+        match state.phase {
+            Phase::WaitUpdates => self.try_recv(to, now),
+            Phase::JumpRecv { target } => self.try_jump_recv(to, target, now),
+            _ => {}
+        }
+    }
+
+    fn on_update(&mut self, to: usize, from: usize, iter: u64, params: Arc<Vec<f32>>, now: f64) {
+        self.deliver_update(to, from, iter, params, now);
+    }
+
+    fn on_tokens(&mut self, to: usize, from: usize, count: u64, now: f64) {
+        *self.workers[to].tokens_from.entry(from).or_insert(0) += count;
+        if self.workers[to].phase == Phase::WaitTokens {
+            self.attempt_advance(to, now);
+        }
+    }
+
+    fn on_ack(&mut self, to: usize, now: f64) {
+        self.workers[to].acks_received += 1;
+        if self.workers[to].phase == Phase::WaitAck
+            && self.workers[to].acks_received
+                >= self.topology.external_out_neighbors(to).len()
+        {
+            self.serial_send_then_recv(to, now);
+        }
+    }
+
+    fn on_compute_done(&mut self, w: usize, iter: u64, now: f64) {
+        debug_assert_eq!(self.workers[w].iter, iter, "stale compute event");
+        // Do the real gradient math at the virtual completion time.
+        let state = &mut self.workers[w];
+        let batch = state.sampler.next_batch(self.dataset);
+        let loss = self
+            .model
+            .loss_grad(&state.compute_params, &batch, &mut state.grad);
+        self.recorder.train_loss(w, iter, now, loss);
+        match self.cfg.order {
+            ComputeOrder::Parallel => {
+                // Fig. 2(b): the update is applied later, onto the reduced
+                // parameters.
+                let WorkerSt {
+                    opt,
+                    compute_params,
+                    grad,
+                    delta,
+                    ..
+                } = state;
+                opt.delta(compute_params, grad, delta);
+                self.try_recv(w, now);
+            }
+            ComputeOrder::Serial => {
+                // Fig. 2(a): apply to the same parameters, then send.
+                let WorkerSt {
+                    opt, params, grad, ..
+                } = state;
+                opt.step(params, grad);
+                let needs_ack = self.cfg.sync == SyncMode::NotifyAck
+                    && iter > 0
+                    && self.workers[w].acks_received
+                        < self.topology.external_out_neighbors(w).len();
+                if needs_ack {
+                    self.workers[w].phase = Phase::WaitAck;
+                } else {
+                    self.serial_send_then_recv(w, now);
+                }
+            }
+        }
+    }
+
+    fn serial_send_then_recv(&mut self, w: usize, now: f64) {
+        let iter = self.workers[w].iter;
+        self.workers[w].acks_received = 0;
+        self.do_send(w, iter, now);
+        self.try_recv(w, now);
+    }
+
+    /// The Recv + Reduce + Apply of the current iteration. Blocks (phase
+    /// `WaitUpdates`) until the mode's condition is met.
+    fn try_recv(&mut self, w: usize, now: f64) {
+        let k = self.workers[w].iter;
+        let in_deg = self.topology.in_degree(w);
+        if let Some(s) = self.cfg.staleness {
+            // Fig. 9: newest satisfactory update per in-neighbor.
+            let neighbors = self.topology.in_neighbors(w).to_vec();
+            let satisfied = neighbors.iter().all(|j| {
+                self.workers[w]
+                    .newest_from
+                    .get(j)
+                    .is_some_and(|&(iter, _)| semantics::staleness_satisfied(iter, k, s))
+            });
+            if !satisfied {
+                self.workers[w].phase = Phase::WaitUpdates;
+                return;
+            }
+            let collected: Vec<(u64, Arc<Vec<f32>>)> = neighbors
+                .iter()
+                .map(|j| self.workers[w].newest_from[j].clone())
+                .collect();
+            let views: Vec<(u64, &[f32])> = collected
+                .iter()
+                .map(|(iter, p)| (*iter, p.as_slice()))
+                .collect();
+            let state = &mut self.workers[w];
+            semantics::reduce_staleness_with(self.cfg.staleness_weighting, &views, k, s, &mut state.params);
+            if self.cfg.order == ComputeOrder::Parallel {
+                let WorkerSt { params, delta, .. } = state;
+                semantics::apply_parallel(params, delta);
+            }
+        } else {
+            let quota = semantics::backup_quota(in_deg, self.cfg.n_backup);
+            if self.workers[w].queue.size(k) < quota {
+                self.workers[w].phase = Phase::WaitUpdates;
+                return;
+            }
+            // Fig. 8: the needed updates plus any extras already here.
+            let entries = self.workers[w].queue.dequeue_up_to(in_deg, k);
+            let views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
+            let state = &mut self.workers[w];
+            semantics::reduce_mean(&views, &mut state.params);
+            if self.cfg.order == ComputeOrder::Parallel {
+                let WorkerSt { params, delta, .. } = state;
+                semantics::apply_parallel(params, delta);
+            }
+        }
+        // NOTIFY-ACK: confirm consumption to every external in-neighbor.
+        if self.cfg.sync == SyncMode::NotifyAck {
+            for j in self.topology.external_in_neighbors(w) {
+                let at = self.net.control(now, w, j);
+                self.events.push(at, Ev::Ack { to: j });
+            }
+        }
+        self.attempt_advance(w, now);
+    }
+
+    /// Token acquisition, the §5 skip decision, and the actual advance.
+    fn attempt_advance(&mut self, w: usize, now: f64) {
+        let k = self.workers[w].iter;
+        let Some(max_ig) = self.max_ig else {
+            self.enter_iteration(w, k + 1, now, 1);
+            return;
+        };
+        let outs = self.topology.external_out_neighbors(w);
+        if outs.is_empty() {
+            self.enter_iteration(w, k + 1, now, 1);
+            return;
+        }
+        let counts: Vec<u64> = outs
+            .iter()
+            .map(|o| *self.workers[w].tokens_from.get(o).expect("token entry"))
+            .collect();
+        if let Some(skip) = &self.cfg.skip {
+            // Never jump past the end of training: finished neighbors
+            // flood their token queues, which would otherwise inflate the
+            // jump distance beyond any iteration they ever sent updates
+            // for.
+            let jump = semantics::jump_decision(&counts, max_ig, skip)
+                .map(|j| j.min(self.max_iters - k))
+                .filter(|&j| j >= 2);
+            if let Some(jump) = jump {
+                // Obtain `jump` tokens from every out-going neighbor and
+                // grant the same number to in-neighbors right away so they
+                // are never starved while we renew parameters.
+                for o in &outs {
+                    let c = self.workers[w].tokens_from.get_mut(o).expect("token entry");
+                    *c -= jump;
+                }
+                self.insert_tokens(w, jump, now);
+                let target = k + jump;
+                self.try_jump_recv(w, target, now);
+                return;
+            }
+        }
+        if counts.iter().all(|&c| c >= 1) {
+            for o in &outs {
+                *self.workers[w].tokens_from.get_mut(o).expect("token entry") -= 1;
+            }
+            self.enter_iteration(w, k + 1, now, 1);
+        } else {
+            self.workers[w].phase = Phase::WaitTokens;
+        }
+    }
+
+    /// §5: before jumping to `target`, renew parameters with
+    /// `Recv(target - 1)` + Reduce so the straggler's future updates are
+    /// not hopelessly stale.
+    fn try_jump_recv(&mut self, w: usize, target: u64, now: f64) {
+        let renew_iter = target - 1;
+        if let Some(s) = self.cfg.staleness {
+            let externals = self.topology.external_in_neighbors(w);
+            let satisfied = externals.iter().all(|j| {
+                self.workers[w]
+                    .newest_from
+                    .get(j)
+                    .is_some_and(|&(iter, _)| semantics::staleness_satisfied(iter, renew_iter, s))
+            });
+            if !satisfied {
+                self.workers[w].phase = Phase::JumpRecv { target };
+                return;
+            }
+            let mut collected: Vec<(u64, Arc<Vec<f32>>)> = externals
+                .iter()
+                .map(|j| self.workers[w].newest_from[j].clone())
+                .collect();
+            // Own (stale) parameters participate with clamped weight.
+            collected.push((
+                self.workers[w].iter,
+                Arc::new(self.workers[w].params.clone()),
+            ));
+            let views: Vec<(u64, &[f32])> = collected
+                .iter()
+                .map(|(iter, p)| (*iter, p.as_slice()))
+                .collect();
+            semantics::reduce_staleness_with(
+                self.cfg.staleness_weighting,
+                &views,
+                renew_iter,
+                s,
+                &mut self.workers[w].params,
+            );
+        } else {
+            // Backup mode: collect the quota of iteration `target-1`
+            // updates from external in-neighbors (self never sent one).
+            let ext = self.topology.external_in_neighbors(w).len();
+            let quota = semantics::backup_quota(ext + 1, self.cfg.n_backup).saturating_sub(1).max(1);
+            if self.workers[w].queue.size(renew_iter) < quota {
+                self.workers[w].phase = Phase::JumpRecv { target };
+                return;
+            }
+            let entries = self.workers[w].queue.dequeue_up_to(ext, renew_iter);
+            let own = self.workers[w].params.clone();
+            let mut views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
+            views.push(&own);
+            semantics::reduce_mean(&views, &mut self.workers[w].params);
+        }
+        // Momentum history refers to a trajectory this worker abandoned.
+        self.workers[w].opt.reset_velocity();
+        self.enter_iteration(w, target, now, 0);
+    }
+
+    /// Terminal bookkeeping: release neighbors that might still need our
+    /// tokens.
+    fn finish_worker(&mut self, w: usize, now: f64) {
+        self.workers[w].phase = Phase::Finished;
+        if self.max_ig.is_some() {
+            self.insert_tokens(w, self.max_iters + 1, now);
+        }
+    }
+
+    #[cfg(test)]
+    fn skipped_send_count(&self) -> u64 {
+        self.skipped_sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SkipConfig;
+    use hop_data::webspam::SyntheticWebspam;
+    use hop_model::svm::Svm;
+    use hop_sim::LinkModel;
+
+    fn quick_setup() -> (Topology, ClusterSpec, InMemoryDataset, Svm, Hyper) {
+        let topo = Topology::ring(4);
+        let cluster = ClusterSpec::uniform(4, 2, 0.01, LinkModel::ethernet_1gbps());
+        let dataset = SyntheticWebspam::generate(256, 7);
+        let model = Svm::log_loss(hop_data::Dataset::feature_dim(&dataset));
+        let hyper = Hyper {
+            lr: 0.5,
+            momentum: 0.9,
+            weight_decay: 1e-7,
+            batch_size: 16,
+        };
+        (topo, cluster, dataset, model, hyper)
+    }
+
+    fn run_cfg(cfg: HopConfig, iters: u64, slow: SlowdownModel) -> TrainingReport {
+        let (topo, cluster, dataset, model, hyper) = quick_setup();
+        run(
+            &cfg,
+            &topo,
+            &cluster,
+            &slow,
+            &model,
+            &dataset,
+            &hyper,
+            iters,
+            11,
+            EvalConfig {
+                every: 10,
+                examples: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn standard_completes_and_learns() {
+        let report = run_cfg(HopConfig::standard(), 60, SlowdownModel::None);
+        assert!(!report.deadlocked);
+        let eval = &report.eval_time;
+        assert!(eval.len() >= 2);
+        let first = eval.points()[0].1;
+        let last = eval.last().expect("non-empty").1;
+        assert!(last < first, "loss {first} -> {last}");
+        // Every worker reaches the final iteration.
+        for w in 0..4 {
+            assert_eq!(report.trace.durations(w).len(), 60);
+        }
+    }
+
+    #[test]
+    fn standard_gap_respects_theorem_1() {
+        let report = run_cfg(
+            HopConfig::standard(),
+            40,
+            SlowdownModel::paper_random(4),
+        );
+        let sp = hop_graph::ShortestPaths::new(&Topology::ring(4));
+        let gaps = report.trace.max_pairwise_gap();
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                let bound = hop_graph::bounds::standard(sp.dist(j, i));
+                assert!(
+                    bound.admits(gaps[i][j]),
+                    "gap({i},{j}) = {} exceeds {bound}",
+                    gaps[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn token_queues_tighten_the_gap() {
+        let slow = SlowdownModel::paper_straggler(4, 0, 8.0);
+        let report = run_cfg(HopConfig::standard_with_tokens(2), 40, slow);
+        assert!(!report.deadlocked);
+        let gaps = report.trace.max_pairwise_gap();
+        let sp = hop_graph::ShortestPaths::new(&Topology::ring(4));
+        for i in 0..4 {
+            for j in 0..4 {
+                if i == j {
+                    continue;
+                }
+                let bound = hop_graph::bounds::BaseSetting::Standard.pair_bound_with_tokens(
+                    2,
+                    sp.dist(j, i),
+                    sp.dist(i, j),
+                );
+                assert!(
+                    bound.admits(gaps[i][j]),
+                    "gap({i},{j}) = {} exceeds token bound {bound}",
+                    gaps[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn notify_ack_gap_is_tighter_than_standard() {
+        let slow = SlowdownModel::paper_straggler(4, 0, 6.0);
+        let report = run_cfg(HopConfig::notify_ack(), 30, slow);
+        assert!(!report.deadlocked);
+        let gaps = report.trace.max_pairwise_gap();
+        // §3.3: adjacent gap bounded by 2 under NOTIFY-ACK.
+        let topo = Topology::ring(4);
+        for i in 0..4 {
+            for j in topo.external_in_neighbors(i) {
+                assert!(
+                    gaps[i][j] <= 2,
+                    "notify-ack adjacent gap {} too large",
+                    gaps[i][j]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backup_workers_tolerate_random_slowdown() {
+        // §7.3.3: backup workers target *random* heterogeneity; under a
+        // deterministic straggler the token limit still gates everyone.
+        let slow = SlowdownModel::paper_random(4);
+        let standard = run_cfg(HopConfig::standard_with_tokens(5), 60, slow.clone());
+        let backup = run_cfg(HopConfig::backup(1, 5), 60, slow);
+        assert!(!backup.deadlocked);
+        assert!(
+            backup.wall_time < standard.wall_time,
+            "backup {} vs standard {}",
+            backup.wall_time,
+            standard.wall_time
+        );
+    }
+
+    #[test]
+    fn backup_alone_cannot_beat_deterministic_straggler() {
+        // The §7.3.3 caveat itself: with a permanent 6x straggler, backup
+        // workers without skipping still crawl at the straggler's pace.
+        let slow = SlowdownModel::paper_straggler(4, 0, 6.0);
+        let standard = run_cfg(HopConfig::standard_with_tokens(5), 40, slow.clone());
+        let backup = run_cfg(HopConfig::backup(1, 5), 40, slow);
+        assert!(!backup.deadlocked);
+        assert!(backup.wall_time > standard.wall_time * 0.8);
+    }
+
+    #[test]
+    fn staleness_tolerates_random_slowdown() {
+        let slow = SlowdownModel::paper_random(4);
+        let standard = run_cfg(HopConfig::standard_with_tokens(6), 60, slow.clone());
+        let stale = run_cfg(HopConfig::staleness(5, 6), 60, slow);
+        assert!(!stale.deadlocked);
+        assert!(stale.wall_time <= standard.wall_time * 1.01);
+    }
+
+    #[test]
+    fn skip_iterations_rescues_deterministic_straggler() {
+        let slow = SlowdownModel::paper_straggler(4, 0, 4.0);
+        let no_skip = run_cfg(HopConfig::backup(1, 5), 60, slow.clone());
+        let with_skip = run_cfg(
+            HopConfig::backup(1, 5).with_skip(SkipConfig {
+                max_jump: 10,
+                trigger_behind: 2,
+            }),
+            60,
+            slow,
+        );
+        assert!(!with_skip.deadlocked);
+        // The straggler skipped: it entered fewer distinct iterations.
+        let straggler_iters = with_skip.trace.durations(0).len();
+        assert!(
+            straggler_iters < 60,
+            "straggler ran all {straggler_iters} iterations despite skipping"
+        );
+        // Everyone else still finished, faster than without skipping.
+        assert!(with_skip.wall_time < no_skip.wall_time);
+    }
+
+    #[test]
+    fn serial_and_parallel_both_converge() {
+        for order in [ComputeOrder::Serial, ComputeOrder::Parallel] {
+            let cfg = HopConfig {
+                order,
+                ..HopConfig::standard()
+            };
+            let report = run_cfg(cfg, 50, SlowdownModel::None);
+            let first = report.eval_time.points()[0].1;
+            let last = report.eval_time.last().expect("eval").1;
+            assert!(last < first, "{order:?}: {first} -> {last}");
+        }
+    }
+
+    #[test]
+    fn homogeneous_workers_stay_in_lockstep_gap() {
+        let report = run_cfg(HopConfig::standard(), 30, SlowdownModel::None);
+        // With identical compute times on a symmetric graph the gap never
+        // exceeds 1 (neighbors) / 2 (diameter).
+        assert!(report.trace.max_gap() <= 2, "gap {}", report.trace.max_gap());
+    }
+
+    #[test]
+    fn send_inquiry_suppresses_stale_sends() {
+        let (topo, cluster, dataset, model, hyper) = quick_setup();
+        let slow = SlowdownModel::paper_straggler(4, 0, 6.0);
+        let mut cfg = HopConfig::backup(1, 5);
+        cfg.send_inquiry = Some(true);
+        let mut engine = Engine::new(
+            &cfg,
+            &topo,
+            &cluster,
+            &slow,
+            &model,
+            &dataset,
+            &hyper,
+            40,
+            3,
+            EvalConfig { every: 0, examples: 16 },
+        );
+        for w in 0..4 {
+            engine.enter_iteration(w, 0, 0.0, 0);
+        }
+        while let Some((now, ev)) = engine.events.pop() {
+            match ev {
+                Ev::ComputeDone { w, iter } => engine.on_compute_done(w, iter, now),
+                Ev::Update { to, from, iter, params } => {
+                    engine.on_update(to, from, iter, params, now)
+                }
+                Ev::Tokens { to, from, count } => engine.on_tokens(to, from, count, now),
+                Ev::Ack { to } => engine.on_ack(to, now),
+            }
+            if engine.workers.iter().all(|w| w.phase == Phase::Finished) {
+                break;
+            }
+        }
+        assert!(
+            engine.skipped_send_count() > 0,
+            "straggler should have skipped at least one stale send"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_cfg(HopConfig::standard(), 25, SlowdownModel::paper_random(4));
+        let b = run_cfg(HopConfig::standard(), 25, SlowdownModel::paper_random(4));
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(a.final_params, b.final_params);
+        assert_eq!(a.trace.records(), b.trace.records());
+    }
+}

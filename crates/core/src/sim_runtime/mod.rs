@@ -1,0 +1,13 @@
+//! Discrete-event runtimes for every protocol.
+//!
+//! Each submodule drives [`hop_sim`]'s event queue and network model with
+//! the corresponding protocol's state machine, doing the *actual* gradient
+//! math at virtual-time events so a run yields both timing (Figs. 12–21)
+//! and loss curves, deterministically.
+
+pub mod adpsgd;
+pub mod decentralized;
+pub mod ps;
+pub mod ring;
+
+pub mod recorder;

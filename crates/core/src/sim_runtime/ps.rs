@@ -1,0 +1,360 @@
+//! Simulated parameter-server baselines (§2.1): BSP, SSP and fully
+//! asynchronous coordination.
+//!
+//! The server lives on its own machine (as in §7.3.2, which adds one
+//! machine for the PS). All worker↔server traffic shares the server's
+//! NICs, reproducing the communication hotspot that decentralized training
+//! eliminates.
+
+use crate::config::{PsConfig, PsMode};
+use crate::report::TrainingReport;
+use crate::trainer::Hyper;
+use hop_data::{BatchSampler, Dataset, InMemoryDataset};
+use hop_model::{Model, Sgd};
+use hop_sim::{ClusterSpec, EventQueue, Network, SlowdownModel, Trace};
+use std::sync::Arc;
+
+use super::recorder::{EvalConfig, Recorder};
+
+/// Runs a parameter-server experiment. `cluster` describes the workers
+/// only; the server node is appended on its own machine.
+#[allow(clippy::too_many_arguments)]
+pub fn run(
+    cfg: &PsConfig,
+    cluster: &ClusterSpec,
+    slowdown: &SlowdownModel,
+    model: &dyn Model,
+    dataset: &InMemoryDataset,
+    hyper: &Hyper,
+    max_iters: u64,
+    seed: u64,
+    eval: EvalConfig,
+) -> TrainingReport {
+    match cfg.mode {
+        PsMode::Bsp => run_bsp(cluster, slowdown, model, dataset, hyper, max_iters, seed, eval),
+        PsMode::Ssp(s) => run_async(
+            Some(s),
+            cluster,
+            slowdown,
+            model,
+            dataset,
+            hyper,
+            max_iters,
+            seed,
+            eval,
+        ),
+        PsMode::Async => run_async(
+            None,
+            cluster,
+            slowdown,
+            model,
+            dataset,
+            hyper,
+            max_iters,
+            seed,
+            eval,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_bsp(
+    cluster: &ClusterSpec,
+    slowdown: &SlowdownModel,
+    model: &dyn Model,
+    dataset: &InMemoryDataset,
+    hyper: &Hyper,
+    max_iters: u64,
+    seed: u64,
+    eval: EvalConfig,
+) -> TrainingReport {
+    let n = cluster.len();
+    let mut spec = cluster.clone();
+    let server = spec.push_server_node(1e-3);
+    let mut net = Network::new(spec);
+    let mut init_rng = hop_util::Xoshiro256::seed_from_u64(seed);
+    let mut params = model.init_params(&mut init_rng);
+    let param_bytes = params.len() as u64 * 4;
+    let mut opt = Sgd::new(hyper.lr, hyper.momentum, hyper.weight_decay, params.len());
+    let mut samplers: Vec<BatchSampler> = (0..n)
+        .map(|w| BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w))
+        .collect();
+    let mut recorder = Recorder::new(n, eval, dataset);
+    let mut trace = Trace::new(n);
+    let mut grad = vec![0.0f32; params.len()];
+    let mut mean_grad = vec![0.0f32; params.len()];
+    let mut t = 0.0f64;
+    for k in 0..max_iters {
+        // Broadcast (serialized through the server's egress NIC).
+        let arrivals: Vec<f64> = (0..n)
+            .map(|w| net.transfer(t, server, w, param_bytes))
+            .collect();
+        for (w, &a) in arrivals.iter().enumerate() {
+            trace.record(w, k, a);
+        }
+        // Compute + push gradients; server ingress serializes the pushes.
+        mean_grad.fill(0.0);
+        let mut round_end = t;
+        for w in 0..n {
+            let done = arrivals[w] + cluster.base_compute(w) * slowdown.factor(seed, w, k);
+            let batch = samplers[w].next_batch(dataset);
+            let loss = model.loss_grad(&params, &batch, &mut grad);
+            recorder.train_loss(w, k, done, loss);
+            hop_tensor::ops::axpy(1.0 / n as f32, &grad, &mut mean_grad);
+            let grad_arrival = net.transfer(done, w, server, param_bytes);
+            round_end = round_end.max(grad_arrival);
+        }
+        t = round_end + 1e-3; // server apply cost
+        opt.step(&mut params, &mean_grad);
+        if recorder.eval_due(k + 1) {
+            let view: Vec<&[f32]> = vec![&params];
+            recorder.evaluate(model, dataset, &view, t, k + 1);
+        }
+    }
+    TrainingReport {
+        trace,
+        train_loss_time: recorder.train_time,
+        train_loss_steps: recorder.train_steps,
+        eval_time: recorder.eval_time,
+        eval_steps: recorder.eval_steps,
+        final_params: vec![params],
+        wall_time: t,
+        stale_discarded: 0,
+        bytes_sent: net.bytes_sent(),
+        deadlocked: false,
+    }
+}
+
+enum Ev {
+    /// Fresh parameters reached the worker; it starts computing.
+    ParamsArrive { w: usize, params: Arc<Vec<f32>> },
+    /// A worker's gradient reached the server.
+    GradArrive {
+        w: usize,
+        grad: Vec<f32>,
+        compute_done: f64,
+        loss: f32,
+    },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_async(
+    staleness: Option<u64>,
+    cluster: &ClusterSpec,
+    slowdown: &SlowdownModel,
+    model: &dyn Model,
+    dataset: &InMemoryDataset,
+    hyper: &Hyper,
+    max_iters: u64,
+    seed: u64,
+    eval: EvalConfig,
+) -> TrainingReport {
+    let n = cluster.len();
+    let mut spec = cluster.clone();
+    let server = spec.push_server_node(1e-3);
+    let mut net = Network::new(spec);
+    let mut init_rng = hop_util::Xoshiro256::seed_from_u64(seed);
+    let mut params = model.init_params(&mut init_rng);
+    let param_bytes = params.len() as u64 * 4;
+    let mut opt = Sgd::new(hyper.lr, hyper.momentum, hyper.weight_decay, params.len());
+    let mut samplers: Vec<BatchSampler> = (0..n)
+        .map(|w| BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w))
+        .collect();
+    let mut recorder = Recorder::new(n, eval, dataset);
+    let mut trace = Trace::new(n);
+    let mut events: EventQueue<Ev> = EventQueue::new();
+    let mut iters = vec![0u64; n];
+    let mut blocked: Vec<bool> = vec![false; n];
+    let mut done = vec![false; n];
+    // Initial broadcast.
+    let snapshot = Arc::new(params.clone());
+    for w in 0..n {
+        let a = net.transfer(0.0, server, w, param_bytes);
+        events.push(
+            a,
+            Ev::ParamsArrive {
+                w,
+                params: Arc::clone(&snapshot),
+            },
+        );
+    }
+    while let Some((now, ev)) = events.pop() {
+        match ev {
+            Ev::ParamsArrive { w, params: snap } => {
+                let k = iters[w];
+                trace.record(w, k, now);
+                let compute_done =
+                    now + cluster.base_compute(w) * slowdown.factor(seed, w, k);
+                let batch = samplers[w].next_batch(dataset);
+                let mut grad = vec![0.0f32; snap.len()];
+                let loss = model.loss_grad(&snap, &batch, &mut grad);
+                let arrival = net.transfer(compute_done, w, server, param_bytes);
+                events.push(
+                    arrival,
+                    Ev::GradArrive {
+                        w,
+                        grad,
+                        compute_done,
+                        loss,
+                    },
+                );
+            }
+            Ev::GradArrive {
+                w,
+                grad,
+                compute_done,
+                loss,
+            } => {
+                // The gradient was computed on (possibly stale) pulled
+                // parameters but is applied to the current ones (§2.1's
+                // asynchronous coordination).
+                opt.step(&mut params, &grad);
+                recorder.train_loss(w, iters[w], compute_done, loss);
+                iters[w] += 1;
+                if w == 0 && recorder.eval_due(iters[0]) {
+                    let view: Vec<&[f32]> = vec![&params];
+                    recorder.evaluate(model, dataset, &view, now, iters[0]);
+                }
+                if iters[w] >= max_iters {
+                    done[w] = true;
+                } else {
+                    blocked[w] = true;
+                }
+                // Unblock every worker whose staleness constraint now holds.
+                let min_iter = iters
+                    .iter()
+                    .zip(&done)
+                    .filter(|&(_, &d)| !d)
+                    .map(|(&i, _)| i)
+                    .min()
+                    .unwrap_or(max_iters);
+                for v in 0..n {
+                    if !blocked[v] || done[v] {
+                        continue;
+                    }
+                    let ok = match staleness {
+                        Some(s) => iters[v] <= min_iter + s,
+                        None => true,
+                    };
+                    if ok {
+                        blocked[v] = false;
+                        let snap = Arc::new(params.clone());
+                        let a = net.transfer(now, server, v, param_bytes);
+                        events.push(a, Ev::ParamsArrive { w: v, params: snap });
+                    }
+                }
+            }
+        }
+        if done.iter().all(|&d| d) {
+            break;
+        }
+    }
+    let deadlocked = !done.iter().all(|&d| d);
+    TrainingReport {
+        trace,
+        train_loss_time: recorder.train_time,
+        train_loss_steps: recorder.train_steps,
+        eval_time: recorder.eval_time,
+        eval_steps: recorder.eval_steps,
+        final_params: vec![params],
+        wall_time: events.now(),
+        stale_discarded: 0,
+        bytes_sent: net.bytes_sent(),
+        deadlocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hop_data::webspam::SyntheticWebspam;
+    use hop_model::svm::Svm;
+    use hop_sim::LinkModel;
+
+    fn setup() -> (ClusterSpec, InMemoryDataset, Svm, Hyper) {
+        let cluster = ClusterSpec::uniform(4, 2, 0.01, LinkModel::ethernet_1gbps());
+        let dataset = SyntheticWebspam::generate(256, 7);
+        let model = Svm::log_loss(hop_data::Dataset::feature_dim(&dataset));
+        let hyper = Hyper {
+            lr: 0.5,
+            momentum: 0.9,
+            weight_decay: 1e-7,
+            batch_size: 16,
+        };
+        (cluster, dataset, model, hyper)
+    }
+
+    fn run_mode(mode: PsMode, slow: SlowdownModel, iters: u64) -> TrainingReport {
+        let (cluster, dataset, model, hyper) = setup();
+        run(
+            &PsConfig { mode },
+            &cluster,
+            &slow,
+            &model,
+            &dataset,
+            &hyper,
+            iters,
+            5,
+            EvalConfig {
+                every: 10,
+                examples: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn bsp_learns() {
+        let r = run_mode(PsMode::Bsp, SlowdownModel::None, 60);
+        assert!(!r.deadlocked);
+        let first = r.eval_time.points()[0].1;
+        let last = r.eval_time.last().unwrap().1;
+        assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn bsp_rounds_are_lockstep() {
+        let r = run_mode(PsMode::Bsp, SlowdownModel::None, 20);
+        assert!(r.trace.max_gap() <= 1);
+        for w in 0..4 {
+            assert_eq!(r.trace.durations(w).len(), 19);
+        }
+    }
+
+    #[test]
+    fn bsp_straggler_slows_every_round() {
+        let fast = run_mode(PsMode::Bsp, SlowdownModel::None, 30);
+        let slow = run_mode(
+            PsMode::Bsp,
+            SlowdownModel::paper_straggler(4, 0, 6.0),
+            30,
+        );
+        // With one 6x straggler every BSP round waits for it.
+        assert!(slow.wall_time > fast.wall_time * 3.0);
+    }
+
+    #[test]
+    fn async_outpaces_bsp_under_straggler() {
+        let slowdown = SlowdownModel::paper_straggler(4, 0, 6.0);
+        let bsp = run_mode(PsMode::Bsp, slowdown.clone(), 30);
+        let asy = run_mode(PsMode::Async, slowdown, 30);
+        assert!(!asy.deadlocked);
+        assert!(asy.wall_time < bsp.wall_time);
+    }
+
+    #[test]
+    fn ssp_bounds_the_gap() {
+        let slowdown = SlowdownModel::paper_straggler(4, 0, 6.0);
+        let ssp = run_mode(PsMode::Ssp(3), slowdown, 40);
+        assert!(!ssp.deadlocked);
+        // SSP's global bound: fastest - slowest <= s + 1 at entry times.
+        assert!(ssp.trace.max_gap() <= 4, "gap {}", ssp.trace.max_gap());
+    }
+
+    #[test]
+    fn ssp_learns() {
+        let r = run_mode(PsMode::Ssp(2), SlowdownModel::paper_random(4), 60);
+        let first = r.eval_time.points()[0].1;
+        let last = r.eval_time.last().unwrap().1;
+        assert!(last < first);
+    }
+}

@@ -1,0 +1,252 @@
+//! The high-level experiment API used by examples, tests and benchmarks.
+
+use crate::config::{ConfigError, Protocol};
+use crate::report::TrainingReport;
+use crate::sim_runtime::recorder::EvalConfig;
+use crate::sim_runtime::{adpsgd, decentralized, ps, ring};
+use hop_data::InMemoryDataset;
+use hop_graph::Topology;
+use hop_model::Model;
+use hop_sim::{ClusterSpec, SlowdownModel};
+
+/// Optimizer hyperparameters (§7.2's setup, scaled to the synthetic
+/// workloads).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hyper {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum (the paper uses 0.9).
+    pub momentum: f32,
+    /// L2 weight decay (1e-4 for the CNN, 1e-7 for the SVM in the paper).
+    pub weight_decay: f32,
+    /// Minibatch size per worker.
+    pub batch_size: usize,
+}
+
+impl Hyper {
+    /// Hyperparameters for the CNN workload (paper: lr 0.1, momentum 0.9,
+    /// weight decay 1e-4, batch 128 — lr and batch scaled to the tiny CNN
+    /// and synthetic data).
+    pub fn cnn() -> Self {
+        Self {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            batch_size: 32,
+        }
+    }
+
+    /// Hyperparameters for the SVM workload (paper: lr 10 on webspam
+    /// features, momentum 0.9, weight decay 1e-7 — lr scaled to the
+    /// synthetic features).
+    pub fn svm() -> Self {
+        Self {
+            lr: 0.5,
+            momentum: 0.9,
+            weight_decay: 1e-7,
+            batch_size: 32,
+        }
+    }
+}
+
+/// A fully specified simulated training experiment.
+///
+/// # Examples
+///
+/// ```
+/// use hop_core::config::{HopConfig, Protocol};
+/// use hop_core::trainer::{Hyper, SimExperiment};
+/// use hop_data::webspam::SyntheticWebspam;
+/// use hop_graph::Topology;
+/// use hop_model::svm::Svm;
+/// use hop_sim::{ClusterSpec, LinkModel, SlowdownModel};
+///
+/// let dataset = SyntheticWebspam::generate(256, 0);
+/// let model = Svm::log_loss(hop_data::Dataset::feature_dim(&dataset));
+/// let experiment = SimExperiment {
+///     topology: Topology::ring(4),
+///     cluster: ClusterSpec::uniform(4, 2, 0.01, LinkModel::ethernet_1gbps()),
+///     slowdown: SlowdownModel::None,
+///     protocol: Protocol::Hop(HopConfig::standard()),
+///     hyper: Hyper::svm(),
+///     max_iters: 20,
+///     seed: 42,
+///     eval_every: 10,
+///     eval_examples: 64,
+/// };
+/// let report = experiment.run(&model, &dataset)?;
+/// assert!(!report.deadlocked);
+/// # Ok::<(), hop_core::config::ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimExperiment {
+    /// Communication graph (decentralized protocols; for PS/all-reduce only
+    /// its size is used).
+    pub topology: Topology,
+    /// Machine placement and link parameters (workers only; baselines that
+    /// need a server append their own node).
+    pub cluster: ClusterSpec,
+    /// Heterogeneity model.
+    pub slowdown: SlowdownModel,
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Optimizer hyperparameters.
+    pub hyper: Hyper,
+    /// Iterations per worker.
+    pub max_iters: u64,
+    /// Master seed: fixes data order, initialization and slowdowns.
+    pub seed: u64,
+    /// Evaluate the averaged parameters every this many iterations
+    /// (0 disables).
+    pub eval_every: u64,
+    /// Examples in the fixed evaluation batch.
+    pub eval_examples: usize,
+}
+
+impl SimExperiment {
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the protocol configuration is invalid
+    /// for the topology (see [`crate::config::HopConfig::validate`]), or
+    /// [`ConfigError::NotBipartite`] for AD-PSGD with `require_bipartite`
+    /// on a non-bipartite graph.
+    pub fn run(
+        &self,
+        model: &dyn Model,
+        dataset: &InMemoryDataset,
+    ) -> Result<TrainingReport, ConfigError> {
+        let eval = EvalConfig {
+            every: self.eval_every,
+            examples: self.eval_examples,
+        };
+        match &self.protocol {
+            Protocol::Hop(cfg) => {
+                cfg.validate(&self.topology)?;
+                Ok(decentralized::run(
+                    cfg,
+                    &self.topology,
+                    &self.cluster,
+                    &self.slowdown,
+                    model,
+                    dataset,
+                    &self.hyper,
+                    self.max_iters,
+                    self.seed,
+                    eval,
+                ))
+            }
+            Protocol::Ps(cfg) => Ok(ps::run(
+                cfg,
+                &self.cluster,
+                &self.slowdown,
+                model,
+                dataset,
+                &self.hyper,
+                self.max_iters,
+                self.seed,
+                eval,
+            )),
+            Protocol::RingAllReduce => Ok(ring::run(
+                &self.cluster,
+                &self.slowdown,
+                model,
+                dataset,
+                &self.hyper,
+                self.max_iters,
+                self.seed,
+                eval,
+            )),
+            Protocol::AdPsgd(cfg) => {
+                if cfg.require_bipartite && !self.topology.is_bipartite() {
+                    return Err(ConfigError::NotBipartite);
+                }
+                Ok(adpsgd::run(
+                    cfg,
+                    &self.topology,
+                    &self.cluster,
+                    &self.slowdown,
+                    model,
+                    dataset,
+                    &self.hyper,
+                    self.max_iters,
+                    self.seed,
+                    eval,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AdPsgdConfig, HopConfig, PsConfig, PsMode};
+    use hop_data::webspam::SyntheticWebspam;
+    use hop_model::svm::Svm;
+    use hop_sim::LinkModel;
+
+    fn experiment(protocol: Protocol) -> (SimExperiment, Svm, InMemoryDataset) {
+        let dataset = SyntheticWebspam::generate(128, 1);
+        let model = Svm::log_loss(hop_data::Dataset::feature_dim(&dataset));
+        (
+            SimExperiment {
+                topology: Topology::ring(4),
+                cluster: ClusterSpec::uniform(4, 2, 0.01, LinkModel::ethernet_1gbps()),
+                slowdown: SlowdownModel::None,
+                protocol,
+                hyper: Hyper::svm(),
+                max_iters: 15,
+                seed: 2,
+                eval_every: 5,
+                eval_examples: 32,
+            },
+            model,
+            dataset,
+        )
+    }
+
+    #[test]
+    fn all_protocols_run() {
+        for protocol in [
+            Protocol::Hop(HopConfig::standard()),
+            Protocol::Hop(HopConfig::standard_with_tokens(4)),
+            Protocol::Hop(HopConfig::notify_ack()),
+            Protocol::Ps(PsConfig { mode: PsMode::Bsp }),
+            Protocol::Ps(PsConfig {
+                mode: PsMode::Ssp(3),
+            }),
+            Protocol::RingAllReduce,
+            Protocol::AdPsgd(AdPsgdConfig::default()),
+        ] {
+            let (exp, model, dataset) = experiment(protocol.clone());
+            let report = exp.run(&model, &dataset).expect("runs");
+            assert!(!report.deadlocked, "{protocol:?} deadlocked");
+            assert!(report.wall_time > 0.0);
+        }
+    }
+
+    #[test]
+    fn invalid_config_surfaces_error() {
+        let (exp, model, dataset) = experiment(Protocol::Hop(HopConfig::backup(5, 4)));
+        assert!(exp.run(&model, &dataset).is_err());
+    }
+
+    #[test]
+    fn adpsgd_rejects_odd_ring() {
+        let (mut exp, model, dataset) = experiment(Protocol::AdPsgd(AdPsgdConfig::default()));
+        exp.topology = Topology::ring(5);
+        exp.cluster = ClusterSpec::uniform(5, 2, 0.01, LinkModel::ethernet_1gbps());
+        assert_eq!(
+            exp.run(&model, &dataset).unwrap_err(),
+            ConfigError::NotBipartite
+        );
+    }
+
+    #[test]
+    fn hyper_presets() {
+        assert!(Hyper::cnn().weight_decay > Hyper::svm().weight_decay);
+        assert_eq!(Hyper::cnn().momentum, 0.9);
+    }
+}

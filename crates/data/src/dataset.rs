@@ -1,0 +1,267 @@
+//! Dataset abstractions shared by dense (image) and sparse (webspam) data.
+
+/// Feature vector of one example: dense or sparse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Features {
+    /// Dense feature vector.
+    Dense(Vec<f32>),
+    /// Sparse features as sorted `(index, value)` pairs.
+    Sparse(Vec<(u32, f32)>),
+}
+
+impl Features {
+    /// Dot product with a dense weight slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a feature index exceeds `weights.len()` or, for dense
+    /// features, the lengths mismatch.
+    pub fn dot(&self, weights: &[f32]) -> f32 {
+        match self {
+            Features::Dense(x) => {
+                assert_eq!(x.len(), weights.len(), "dense feature dim mismatch");
+                x.iter().zip(weights).map(|(a, b)| a * b).sum()
+            }
+            Features::Sparse(pairs) => pairs
+                .iter()
+                .map(|&(i, v)| v * weights[i as usize])
+                .sum(),
+        }
+    }
+
+    /// Accumulates `alpha * x` into a dense gradient slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on index/length mismatch.
+    pub fn axpy_into(&self, alpha: f32, out: &mut [f32]) {
+        match self {
+            Features::Dense(x) => {
+                assert_eq!(x.len(), out.len(), "dense feature dim mismatch");
+                for (o, v) in out.iter_mut().zip(x) {
+                    *o += alpha * v;
+                }
+            }
+            Features::Sparse(pairs) => {
+                for &(i, v) in pairs {
+                    out[i as usize] += alpha * v;
+                }
+            }
+        }
+    }
+
+    /// Number of stored components (dense length or sparse nnz).
+    pub fn nnz(&self) -> usize {
+        match self {
+            Features::Dense(x) => x.len(),
+            Features::Sparse(pairs) => pairs.len(),
+        }
+    }
+
+    /// Dense view; `None` for sparse features.
+    pub fn as_dense(&self) -> Option<&[f32]> {
+        match self {
+            Features::Dense(x) => Some(x),
+            Features::Sparse(_) => None,
+        }
+    }
+}
+
+/// One labeled example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Example {
+    /// Input features.
+    pub features: Features,
+    /// Class label: `0..n_classes` for multiclass, `0` or `1` for binary.
+    pub label: u32,
+}
+
+/// A borrowed minibatch.
+#[derive(Debug, Clone)]
+pub struct Batch<'a> {
+    /// Examples in the batch.
+    pub examples: Vec<&'a Example>,
+}
+
+impl Batch<'_> {
+    /// Batch size.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+/// A labeled dataset.
+pub trait Dataset {
+    /// Number of examples.
+    fn len(&self) -> usize;
+
+    /// Whether the dataset has no examples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the (dense view of the) feature space.
+    fn feature_dim(&self) -> usize;
+
+    /// Number of classes.
+    fn n_classes(&self) -> usize;
+
+    /// Example accessor.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `index >= len()`.
+    fn example(&self, index: usize) -> &Example;
+
+    /// Collects a batch by indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    fn batch(&self, indices: &[usize]) -> Batch<'_> {
+        Batch {
+            examples: indices.iter().map(|&i| self.example(i)).collect(),
+        }
+    }
+}
+
+/// An owned in-memory dataset, the concrete type behind both generators.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InMemoryDataset {
+    examples: Vec<Example>,
+    feature_dim: usize,
+    n_classes: usize,
+}
+
+impl InMemoryDataset {
+    /// Wraps examples with explicit dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `examples` is empty, a label is out of range, or a dense
+    /// example has the wrong dimension.
+    pub fn new(examples: Vec<Example>, feature_dim: usize, n_classes: usize) -> Self {
+        assert!(!examples.is_empty(), "dataset must be non-empty");
+        for (i, ex) in examples.iter().enumerate() {
+            assert!(
+                (ex.label as usize) < n_classes,
+                "label {} of example {i} out of range {n_classes}",
+                ex.label
+            );
+            if let Features::Dense(x) = &ex.features {
+                assert_eq!(x.len(), feature_dim, "example {i} has wrong dimension");
+            }
+        }
+        Self {
+            examples,
+            feature_dim,
+            n_classes,
+        }
+    }
+
+    /// Iterator over examples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Example> {
+        self.examples.iter()
+    }
+}
+
+impl Dataset for InMemoryDataset {
+    fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    fn example(&self, index: usize) -> &Example {
+        &self.examples[index]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> InMemoryDataset {
+        InMemoryDataset::new(
+            vec![
+                Example {
+                    features: Features::Dense(vec![1.0, 0.0]),
+                    label: 0,
+                },
+                Example {
+                    features: Features::Dense(vec![0.0, 1.0]),
+                    label: 1,
+                },
+            ],
+            2,
+            2,
+        )
+    }
+
+    #[test]
+    fn dense_dot_and_axpy() {
+        let f = Features::Dense(vec![1.0, 2.0]);
+        assert_eq!(f.dot(&[3.0, 4.0]), 11.0);
+        let mut g = vec![0.0, 0.0];
+        f.axpy_into(2.0, &mut g);
+        assert_eq!(g, vec![2.0, 4.0]);
+        assert_eq!(f.nnz(), 2);
+        assert!(f.as_dense().is_some());
+    }
+
+    #[test]
+    fn sparse_dot_and_axpy() {
+        let f = Features::Sparse(vec![(1, 2.0), (3, 1.0)]);
+        assert_eq!(f.dot(&[9.0, 3.0, 9.0, 5.0]), 11.0);
+        let mut g = vec![0.0; 4];
+        f.axpy_into(1.0, &mut g);
+        assert_eq!(g, vec![0.0, 2.0, 0.0, 1.0]);
+        assert_eq!(f.nnz(), 2);
+        assert!(f.as_dense().is_none());
+    }
+
+    #[test]
+    fn batch_by_indices() {
+        let d = tiny();
+        let b = d.batch(&[1, 0, 1]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.examples[0].label, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn label_validation() {
+        InMemoryDataset::new(
+            vec![Example {
+                features: Features::Dense(vec![0.0]),
+                label: 5,
+            }],
+            1,
+            2,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn dim_validation() {
+        InMemoryDataset::new(
+            vec![Example {
+                features: Features::Dense(vec![0.0]),
+                label: 0,
+            }],
+            3,
+            2,
+        );
+    }
+}

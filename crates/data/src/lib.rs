@@ -1,0 +1,34 @@
+//! Synthetic datasets standing in for the paper's workloads.
+//!
+//! The paper trains VGG11 on CIFAR-10 and an SVM on the webspam dataset.
+//! Neither dataset can be downloaded here, so this crate provides seeded
+//! synthetic equivalents that exercise the same code paths (see DESIGN.md
+//! §2 for the substitution argument):
+//!
+//! * [`images::SyntheticImages`] — a 10-class dense image dataset
+//!   (3×8×8 channels) generated from per-class templates plus Gaussian
+//!   noise; the "CIFAR-10" stand-in for the CNN task.
+//! * [`webspam::SyntheticWebspam`] — a sparse binary classification
+//!   dataset from a random ground-truth hyperplane with label noise; the
+//!   "webspam" stand-in for the SVM task.
+//! * [`batch::BatchSampler`] — deterministic minibatch sampling, one
+//!   independent stream per worker.
+//!
+//! # Examples
+//!
+//! ```
+//! use hop_data::images::SyntheticImages;
+//! use hop_data::Dataset;
+//!
+//! let data = SyntheticImages::generate(256, 42);
+//! assert_eq!(data.len(), 256);
+//! assert_eq!(data.feature_dim(), 3 * 8 * 8);
+//! ```
+
+pub mod batch;
+pub mod dataset;
+pub mod images;
+pub mod webspam;
+
+pub use batch::BatchSampler;
+pub use dataset::{Batch, Dataset, Example, Features, InMemoryDataset};

@@ -1,0 +1,575 @@
+//! Directed communication topologies with self-loops.
+//!
+//! Following §3.1 of the paper, every node has a self-loop (`(i, i) ∈ E`):
+//! a worker's own update is always available locally. An edge `(i, j)`
+//! means worker `i` sends its parameters to worker `j` each iteration.
+
+use hop_util::Xoshiro256;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A directed graph over workers `0..n` with mandatory self-loops.
+///
+/// Neighbor lists are kept sorted for determinism. `in_neighbors`/
+/// `out_neighbors` include the node itself (the paper's `Nin`/`Nout`);
+/// the `external_*` variants exclude it, which is what actually crosses
+/// the network.
+///
+/// # Examples
+///
+/// ```
+/// use hop_graph::topology::Topology;
+/// let t = Topology::ring(4);
+/// assert_eq!(t.len(), 4);
+/// assert_eq!(t.in_neighbors(0), &[0, 1, 3]);
+/// assert_eq!(t.external_in_neighbors(0), &[1, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    /// Sorted in-neighbor lists, including self.
+    in_nbrs: Vec<Vec<usize>>,
+    /// Sorted out-neighbor lists, including self.
+    out_nbrs: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Builds a topology from directed edges (self-loops added implicitly).
+    ///
+    /// Duplicate edges are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or any endpoint is out of range.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        assert!(n > 0, "topology must have at least one node");
+        let mut in_sets: Vec<BTreeSet<usize>> = (0..n).map(|i| BTreeSet::from([i])).collect();
+        let mut out_sets: Vec<BTreeSet<usize>> = (0..n).map(|i| BTreeSet::from([i])).collect();
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for n={n}");
+            out_sets[u].insert(v);
+            in_sets[v].insert(u);
+        }
+        Self {
+            n,
+            in_nbrs: in_sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+            out_nbrs: out_sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+        }
+    }
+
+    /// Builds from *undirected* edges: each pair becomes two directed edges.
+    pub fn from_undirected_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut directed = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            directed.push((u, v));
+            directed.push((v, u));
+        }
+        Self::from_edges(n, &directed)
+    }
+
+    /// Bidirectional ring: node `i` connects to `i±1 (mod n)` (Fig. 11a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 2, "ring needs at least 2 nodes");
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// Ring-based graph (Fig. 11b): ring plus a chord from every node to the
+    /// most distant node (`i + n/2 mod n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `n` is odd (the "most distant node" is ambiguous).
+    pub fn ring_based(n: usize) -> Self {
+        assert!(n >= 4 && n % 2 == 0, "ring-based graph needs even n >= 4");
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        for i in 0..n / 2 {
+            edges.push((i, i + n / 2));
+        }
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// Double-ring graph (Fig. 11c): two ring-based graphs of `n/2` nodes
+    /// connected node-to-node.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 8` and `n/2` is even.
+    pub fn double_ring(n: usize) -> Self {
+        assert!(
+            n >= 8 && n % 2 == 0 && (n / 2) % 2 == 0,
+            "double-ring needs n >= 8 with n/2 even"
+        );
+        let half = n / 2;
+        let mut edges = Vec::new();
+        for ring_start in [0, half] {
+            for i in 0..half {
+                edges.push((ring_start + i, ring_start + (i + 1) % half));
+            }
+            for i in 0..half / 2 {
+                edges.push((ring_start + i, ring_start + i + half / 2));
+            }
+        }
+        for i in 0..half {
+            edges.push((i, i + half));
+        }
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// Complete graph: the communication pattern of All-Reduce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn complete(n: usize) -> Self {
+        assert!(n > 0, "complete graph needs at least one node");
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                edges.push((i, j));
+            }
+        }
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// Star graph with node 0 as the hub (the PS communication pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn star(n: usize) -> Self {
+        assert!(n >= 2, "star needs at least 2 nodes");
+        let edges: Vec<(usize, usize)> = (1..n).map(|i| (0, i)).collect();
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// Path (line) graph `0 - 1 - ... - n-1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn line(n: usize) -> Self {
+        assert!(n >= 2, "line needs at least 2 nodes");
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// Placement-aware hierarchical graph (Fig. 21 settings 2/3): an
+    /// all-reduce (complete) graph within each machine, and a ring between
+    /// machines. `machine_sizes[m]` is the number of workers on machine `m`;
+    /// workers are numbered consecutively by machine.
+    ///
+    /// `bridges_per_machine` controls how many workers of each machine join
+    /// the inter-machine ring: `1` reproduces our "setting 2" (a single
+    /// representative per machine), `usize::MAX` (or any value >= machine
+    /// size) reproduces "setting 3" (every worker is bridged round-robin to
+    /// the next machine).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 machines or any machine is empty.
+    pub fn hierarchical(machine_sizes: &[usize], bridges_per_machine: usize) -> Self {
+        assert!(machine_sizes.len() >= 2, "need at least 2 machines");
+        assert!(
+            machine_sizes.iter().all(|&s| s > 0),
+            "machines must be non-empty"
+        );
+        assert!(bridges_per_machine >= 1, "need at least one bridge");
+        let n: usize = machine_sizes.iter().sum();
+        let mut starts = Vec::with_capacity(machine_sizes.len());
+        let mut acc = 0;
+        for &s in machine_sizes {
+            starts.push(acc);
+            acc += s;
+        }
+        let mut edges = Vec::new();
+        // All-reduce within each machine.
+        for (m, &size) in machine_sizes.iter().enumerate() {
+            let s = starts[m];
+            for a in 0..size {
+                for b in (a + 1)..size {
+                    edges.push((s + a, s + b));
+                }
+            }
+        }
+        // Ring between machines: bridge worker k of machine m connects to
+        // bridge worker k of machine m+1 (wrapping in both dimensions).
+        let n_machines = machine_sizes.len();
+        for m in 0..n_machines {
+            let next = (m + 1) % n_machines;
+            let k_here = bridges_per_machine.min(machine_sizes[m]);
+            for k in 0..k_here {
+                let from = starts[m] + k;
+                let to = starts[next] + (k % machine_sizes[next]);
+                if from != to {
+                    edges.push((from, to));
+                }
+            }
+        }
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// 2-D torus (wrap-around grid) of `rows x cols` workers: each node
+    /// connects to its four grid neighbors. A common datacenter-friendly
+    /// topology with degree 4 and diameter `(rows + cols) / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is < 3 (smaller wraps create duplicate
+    /// edges).
+    pub fn torus(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 3 && cols >= 3, "torus needs dimensions >= 3");
+        let idx = |r: usize, c: usize| r * cols + c;
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                edges.push((idx(r, c), idx(r, (c + 1) % cols)));
+                edges.push((idx(r, c), idx((r + 1) % rows, c)));
+            }
+        }
+        Self::from_undirected_edges(rows * cols, &edges)
+    }
+
+    /// `d`-dimensional hypercube over `2^d` workers: nodes differing in
+    /// one bit are connected. Degree `d`, diameter `d` — a dense,
+    /// fast-mixing topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= dim <= 16`.
+    pub fn hypercube(dim: u32) -> Self {
+        assert!((1..=16).contains(&dim), "hypercube dimension out of range");
+        let n = 1usize << dim;
+        let mut edges = Vec::new();
+        for v in 0..n {
+            for bit in 0..dim {
+                let u = v ^ (1 << bit);
+                if v < u {
+                    edges.push((v, u));
+                }
+            }
+        }
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// Random connected undirected graph: a random spanning tree plus
+    /// `extra_edges` random chords. Used by property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn random_connected(n: usize, extra_edges: usize, rng: &mut Xoshiro256) -> Self {
+        assert!(n > 0, "graph needs at least one node");
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        let mut edges = Vec::new();
+        for i in 1..n {
+            let parent = order[rng.index(i)];
+            edges.push((order[i], parent));
+        }
+        let mut added = 0;
+        let mut guard = 0;
+        while added < extra_edges && guard < extra_edges * 20 + 100 {
+            guard += 1;
+            if n < 2 {
+                break;
+            }
+            let u = rng.index(n);
+            let v = rng.index(n);
+            if u != v && !edges.contains(&(u, v)) && !edges.contains(&(v, u)) {
+                edges.push((u, v));
+                added += 1;
+            }
+        }
+        Self::from_undirected_edges(n, &edges)
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the topology is empty (never true: constructors require n>0).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-neighbors of `i`, including `i` itself (the paper's `Nin(i)`).
+    pub fn in_neighbors(&self, i: usize) -> &[usize] {
+        &self.in_nbrs[i]
+    }
+
+    /// Out-neighbors of `i`, including `i` itself (the paper's `Nout(i)`).
+    pub fn out_neighbors(&self, i: usize) -> &[usize] {
+        &self.out_nbrs[i]
+    }
+
+    /// In-neighbors excluding the self-loop: senders whose updates arrive
+    /// over the network.
+    pub fn external_in_neighbors(&self, i: usize) -> Vec<usize> {
+        self.in_nbrs[i].iter().copied().filter(|&j| j != i).collect()
+    }
+
+    /// Out-neighbors excluding the self-loop: receivers of network sends.
+    pub fn external_out_neighbors(&self, i: usize) -> Vec<usize> {
+        self.out_nbrs[i].iter().copied().filter(|&j| j != i).collect()
+    }
+
+    /// `|Nin(i)|`, including the self-loop.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.in_nbrs[i].len()
+    }
+
+    /// `|Nout(i)|`, including the self-loop.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.out_nbrs[i].len()
+    }
+
+    /// Whether the directed edge `(u, v)` exists (self-loops always do).
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.out_nbrs[u].binary_search(&v).is_ok()
+    }
+
+    /// All directed edges excluding self-loops, sorted.
+    pub fn external_edges(&self) -> Vec<(usize, usize)> {
+        let mut edges = Vec::new();
+        for u in 0..self.n {
+            for &v in &self.out_nbrs[u] {
+                if u != v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Whether every ordered pair of nodes is connected by a directed path.
+    pub fn is_strongly_connected(&self) -> bool {
+        let reach = |nbrs: &Vec<Vec<usize>>| {
+            let mut seen = vec![false; self.n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            while let Some(u) = stack.pop() {
+                for &v in &nbrs[u] {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            seen.into_iter().all(|s| s)
+        };
+        reach(&self.out_nbrs) && reach(&self.in_nbrs)
+    }
+
+    /// Whether the *external* graph (ignoring self-loops, treating edges as
+    /// undirected) is bipartite. AD-PSGD's deadlock-free schedule requires
+    /// this (§5).
+    pub fn is_bipartite(&self) -> bool {
+        let mut color = vec![-1i8; self.n];
+        for start in 0..self.n {
+            if color[start] != -1 {
+                continue;
+            }
+            color[start] = 0;
+            let mut queue = std::collections::VecDeque::from([start]);
+            while let Some(u) = queue.pop_front() {
+                let nbrs: Vec<usize> = self
+                    .out_nbrs[u]
+                    .iter()
+                    .chain(self.in_nbrs[u].iter())
+                    .copied()
+                    .filter(|&v| v != u)
+                    .collect();
+                for v in nbrs {
+                    if color[v] == -1 {
+                        color[v] = 1 - color[u];
+                        queue.push_back(v);
+                    } else if color[v] == color[u] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Topology(n={}, external_edges={})",
+            self.n,
+            self.external_edges().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_structure() {
+        let t = Topology::ring(6);
+        for i in 0..6 {
+            assert_eq!(t.in_degree(i), 3); // self + 2 ring neighbors
+            assert!(t.has_edge(i, (i + 1) % 6));
+            assert!(t.has_edge((i + 1) % 6, i));
+            assert!(t.has_edge(i, i)); // self loop
+        }
+        assert!(t.is_strongly_connected());
+    }
+
+    #[test]
+    fn ring_based_adds_chords() {
+        let t = Topology::ring_based(8);
+        for i in 0..8 {
+            assert_eq!(t.in_degree(i), 4); // self + 2 ring + 1 chord
+            assert!(t.has_edge(i, (i + 4) % 8));
+        }
+    }
+
+    #[test]
+    fn double_ring_structure() {
+        let t = Topology::double_ring(16);
+        assert_eq!(t.len(), 16);
+        // Each node: self + 2 ring + 1 chord (within its 8-ring) + 1 bridge.
+        for i in 0..16 {
+            assert_eq!(t.in_degree(i), 5, "node {i}");
+        }
+        // Bridge edges connect i <-> i+8.
+        for i in 0..8 {
+            assert!(t.has_edge(i, i + 8));
+            assert!(t.has_edge(i + 8, i));
+        }
+        assert!(t.is_strongly_connected());
+    }
+
+    #[test]
+    fn complete_graph_degrees() {
+        let t = Topology::complete(5);
+        for i in 0..5 {
+            assert_eq!(t.in_degree(i), 5);
+            assert_eq!(t.external_in_neighbors(i).len(), 4);
+        }
+    }
+
+    #[test]
+    fn star_center_and_leaves() {
+        let t = Topology::star(5);
+        assert_eq!(t.in_degree(0), 5);
+        for i in 1..5 {
+            assert_eq!(t.in_degree(i), 2);
+        }
+    }
+
+    #[test]
+    fn hierarchical_single_bridge() {
+        // 8 workers on machines of 3/3/2 as in Fig. 21.
+        let t = Topology::hierarchical(&[3, 3, 2], 1);
+        assert_eq!(t.len(), 8);
+        assert!(t.is_strongly_connected());
+        // Within machine 0 (nodes 0..3) all-reduce:
+        assert!(t.has_edge(0, 1) && t.has_edge(1, 2) && t.has_edge(0, 2));
+        // Bridges: 0<->3, 3<->6, 6<->0.
+        assert!(t.has_edge(0, 3) && t.has_edge(3, 6) && t.has_edge(6, 0));
+        // Non-bridge node 1 has no inter-machine edge.
+        assert!(!t.has_edge(1, 3) && !t.has_edge(1, 6));
+    }
+
+    #[test]
+    fn hierarchical_full_bridge() {
+        let t = Topology::hierarchical(&[3, 3, 2], usize::MAX);
+        assert!(t.is_strongly_connected());
+        // Every worker of machine 0 bridges to machine 1.
+        assert!(t.has_edge(0, 3) && t.has_edge(1, 4) && t.has_edge(2, 5));
+        // Machine 2 has 2 workers; worker 2 of machine 1 wraps to worker 0.
+        assert!(t.has_edge(5, 6));
+    }
+
+    #[test]
+    fn torus_structure() {
+        let t = Topology::torus(3, 4);
+        assert_eq!(t.len(), 12);
+        for v in 0..12 {
+            assert_eq!(t.in_degree(v), 5, "node {v}: self + 4 grid neighbors");
+        }
+        assert!(t.is_strongly_connected());
+        // Wrap edges exist.
+        assert!(t.has_edge(0, 3)); // row 0: col 0 <-> col 3
+        assert!(t.has_edge(0, 8)); // col 0: row 0 <-> row 2
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let t = Topology::hypercube(3);
+        assert_eq!(t.len(), 8);
+        for v in 0..8 {
+            assert_eq!(t.in_degree(v), 4, "self + 3 bit-flip neighbors");
+        }
+        assert!(t.is_strongly_connected());
+        assert!(t.is_bipartite()); // hypercubes are bipartite by parity
+        assert!(t.has_edge(0b000, 0b100));
+        assert!(!t.has_edge(0b000, 0b110));
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        for n in [1usize, 2, 5, 9, 16] {
+            let t = Topology::random_connected(n, 3, &mut rng);
+            assert!(t.is_strongly_connected(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn even_ring_is_bipartite_odd_is_not() {
+        assert!(Topology::ring(8).is_bipartite());
+        assert!(!Topology::ring(5).is_bipartite());
+        assert!(!Topology::complete(3).is_bipartite());
+    }
+
+    #[test]
+    fn neighbor_lists_include_self_and_are_sorted() {
+        let t = Topology::ring_based(8);
+        for i in 0..8 {
+            let nbrs = t.in_neighbors(i);
+            assert!(nbrs.contains(&i));
+            let mut sorted = nbrs.to_vec();
+            sorted.sort_unstable();
+            assert_eq!(sorted, nbrs);
+        }
+    }
+
+    #[test]
+    fn from_edges_dedups() {
+        let t = Topology::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
+        assert_eq!(t.out_neighbors(0), &[0, 1]);
+        assert_eq!(t.external_edges(), vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_validates_range() {
+        Topology::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn line_is_not_strongly_connected_when_directed_only() {
+        let t = Topology::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(!t.is_strongly_connected());
+    }
+
+    #[test]
+    fn display_mentions_size() {
+        let t = Topology::ring(4);
+        let s = format!("{t}");
+        assert!(s.contains("n=4"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Metrics, time series and report rendering for experiments.
+//!
+//! * [`series::TimeSeries`] — (time, value) curves with resampling and
+//!   time-to-threshold queries, used for loss-vs-time/steps figures.
+//! * [`table::Table`] — plain-text table rendering and CSV export for the
+//!   benchmark harnesses.
+
+pub mod series;
+pub mod table;
+
+pub use series::TimeSeries;
+pub use table::Table;

@@ -1,0 +1,211 @@
+//! Time series for loss-vs-time and loss-vs-steps curves.
+
+/// A monotone-time series of `(time, value)` points.
+///
+/// # Examples
+///
+/// ```
+/// use hop_metrics::TimeSeries;
+/// let mut s = TimeSeries::new();
+/// s.push(0.0, 1.0);
+/// s.push(1.0, 0.5);
+/// s.push(2.0, 0.2);
+/// assert_eq!(s.time_to_reach(0.5), Some(1.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    points: Vec<(f64, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a series from `(time, value)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if times are not non-decreasing.
+    pub fn from_points(points: Vec<(f64, f64)>) -> Self {
+        for w in points.windows(2) {
+            assert!(w[0].0 <= w[1].0, "times must be non-decreasing");
+        }
+        Self { points }
+    }
+
+    /// Appends a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last recorded time.
+    pub fn push(&mut self, time: f64, value: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            assert!(time >= last, "time went backwards: {time} < {last}");
+        }
+        self.points.push((time, value));
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Last point, if any.
+    pub fn last(&self) -> Option<(f64, f64)> {
+        self.points.last().copied()
+    }
+
+    /// First time at which the value drops to `threshold` or below
+    /// (loss curves decrease; this is "time to reach loss X").
+    pub fn time_to_reach(&self, threshold: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|&&(_, v)| v <= threshold)
+            .map(|&(t, _)| t)
+    }
+
+    /// Minimum value seen.
+    pub fn min_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN values"))
+    }
+
+    /// Value at the given time by step interpolation (last point at or
+    /// before `time`); `None` before the first point.
+    pub fn value_at(&self, time: f64) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|&&(t, _)| t <= time)
+            .last()
+            .map(|&(_, v)| v)
+    }
+
+    /// Resamples onto `n` evenly spaced times across the series' span —
+    /// used to print compact figure rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty or `n == 0`.
+    pub fn resample(&self, n: usize) -> Vec<(f64, f64)> {
+        assert!(!self.points.is_empty(), "cannot resample an empty series");
+        assert!(n > 0, "need at least one sample");
+        let t0 = self.points[0].0;
+        let t1 = self.points.last().expect("non-empty").0;
+        (0..n)
+            .map(|k| {
+                let t = if n == 1 {
+                    t1
+                } else {
+                    t0 + (t1 - t0) * k as f64 / (n - 1) as f64
+                };
+                (t, self.value_at(t).expect("t >= t0"))
+            })
+            .collect()
+    }
+
+    /// Exponentially smoothed copy (for noisy loss curves).
+    pub fn smoothed(&self, alpha: f64) -> TimeSeries {
+        let mut ewma = hop_util::stats::Ewma::new(alpha);
+        TimeSeries {
+            points: self
+                .points
+                .iter()
+                .map(|&(t, v)| (t, ewma.update(v)))
+                .collect(),
+        }
+    }
+}
+
+/// Speedup of `ours` over `baseline` in time-to-threshold; `None` if either
+/// curve never reaches the threshold.
+pub fn speedup_at(baseline: &TimeSeries, ours: &TimeSeries, threshold: f64) -> Option<f64> {
+    let tb = baseline.time_to_reach(threshold)?;
+    let to = ours.time_to_reach(threshold)?;
+    if to <= 0.0 {
+        return None;
+    }
+    Some(tb / to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn falling() -> TimeSeries {
+        TimeSeries::from_points(vec![(0.0, 2.0), (1.0, 1.0), (3.0, 0.4), (4.0, 0.1)])
+    }
+
+    #[test]
+    fn time_to_reach_interpolates_by_points() {
+        let s = falling();
+        assert_eq!(s.time_to_reach(1.0), Some(1.0));
+        assert_eq!(s.time_to_reach(0.5), Some(3.0));
+        assert_eq!(s.time_to_reach(0.01), None);
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let s = falling();
+        assert_eq!(s.value_at(0.5), Some(2.0));
+        assert_eq!(s.value_at(3.5), Some(0.4));
+        assert_eq!(s.value_at(-1.0), None);
+    }
+
+    #[test]
+    fn resample_spans_series() {
+        let s = falling();
+        let r = s.resample(5);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r[0], (0.0, 2.0));
+        assert_eq!(r[4], (4.0, 0.1));
+    }
+
+    #[test]
+    fn speedup_ratio() {
+        let slow = TimeSeries::from_points(vec![(0.0, 1.0), (10.0, 0.1)]);
+        let fast = TimeSeries::from_points(vec![(0.0, 1.0), (5.0, 0.1)]);
+        assert_eq!(speedup_at(&slow, &fast, 0.1), Some(2.0));
+        assert_eq!(speedup_at(&slow, &fast, 0.01), None);
+    }
+
+    #[test]
+    fn smoothing_reduces_oscillation() {
+        let noisy = TimeSeries::from_points(vec![(0.0, 1.0), (1.0, 3.0), (2.0, 1.0), (3.0, 3.0)]);
+        let smooth = noisy.smoothed(0.5);
+        let spread = |s: &TimeSeries| {
+            let vs: Vec<f64> = s.points().iter().map(|&(_, v)| v).collect();
+            vs.iter().cloned().fold(f64::MIN, f64::max) - vs.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(spread(&smooth) < spread(&noisy));
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn push_validates_monotonic_time() {
+        let mut s = TimeSeries::new();
+        s.push(1.0, 0.0);
+        s.push(0.5, 0.0);
+    }
+
+    #[test]
+    fn min_value_and_last() {
+        let s = falling();
+        assert_eq!(s.min_value(), Some(0.1));
+        assert_eq!(s.last(), Some((4.0, 0.1)));
+        assert_eq!(s.len(), 4);
+    }
+}

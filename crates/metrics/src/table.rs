@@ -1,0 +1,200 @@
+//! Plain-text table rendering and CSV export for benchmark output.
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use hop_metrics::Table;
+/// let mut t = Table::new(vec!["protocol", "speedup"]);
+/// t.add_row(vec!["standard".to_string(), "1.00".to_string()]);
+/// t.add_row(vec!["backup".to_string(), "1.81".to_string()]);
+/// let rendered = t.render();
+/// assert!(rendered.contains("backup"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            row.len(),
+            self.headers.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Convenience: appends a row of `Display` values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn add_display_row(&mut self, row: &[&dyn fmt::Display]) {
+        self.add_row(row.iter().map(|d| d.to_string()).collect());
+    }
+
+    /// Renders with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let format_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<w$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&format_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&format_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes as CSV (RFC-4180-style quoting for cells containing
+    /// commas, quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(
+                &row.iter()
+                    .map(|c| escape(c))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Formats an `f64` with 4 significant digits, for table cells.
+pub fn fmt_sig(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_string();
+    }
+    let magnitude = value.abs().log10().floor() as i32;
+    let decimals = (3 - magnitude).clamp(0, 10) as usize;
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["a", "long_header"]);
+        t.add_row(vec!["xxxxx".into(), "1".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    "));
+        assert!(lines[1].chars().all(|c| c == '-'));
+    }
+
+    #[test]
+    fn csv_escapes_commas_and_quotes() {
+        let mut t = Table::new(vec!["x"]);
+        t.add_row(vec!["a,b".into()]);
+        t.add_row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn display_row_formats_values() {
+        let mut t = Table::new(vec!["n", "gap"]);
+        t.add_display_row(&[&16usize, &0.5f64]);
+        assert!(t.render().contains("16"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn validates_row_width() {
+        let mut t = Table::new(vec!["only"]);
+        t.add_row(vec!["a".into(), "b".into()]);
+    }
+
+    #[test]
+    fn fmt_sig_reasonable() {
+        assert_eq!(fmt_sig(0.0), "0");
+        assert_eq!(fmt_sig(1234.6), "1235");
+        assert_eq!(fmt_sig(0.012345), "0.01235");
+        assert_eq!(fmt_sig(1.5), "1.500");
+    }
+}

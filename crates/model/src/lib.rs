@@ -1,0 +1,56 @@
+//! Models and optimizer for the Hop reproduction.
+//!
+//! The paper evaluates two tasks: a CNN (VGG11 on CIFAR-10) and an SVM
+//! with log loss (webspam). This crate implements laptop-scale versions of
+//! both, plus an MLP used in tests, all operating on a *flat* `f32`
+//! parameter vector — the representation exchanged between workers by the
+//! decentralized protocols:
+//!
+//! * [`svm::Svm`] — linear model with log loss (as §7.2 specifies) or
+//!   hinge loss, supporting sparse features.
+//! * [`mlp::Mlp`] — fully connected ReLU network with softmax
+//!   cross-entropy.
+//! * [`cnn::TinyCnn`] — conv3×3 → ReLU → 2×2 avg-pool → FC softmax; the
+//!   "CNN" workload.
+//! * [`optimizer::Sgd`] — SGD with momentum and weight decay (momentum
+//!   0.9, as the paper's hyperparameter setup).
+//!
+//! All gradients are verified against finite differences in the test
+//! suites.
+//!
+//! # Examples
+//!
+//! ```
+//! use hop_data::{BatchSampler, Dataset};
+//! use hop_data::webspam::SyntheticWebspam;
+//! use hop_model::{Model, svm::Svm, optimizer::Sgd};
+//! use hop_util::Xoshiro256;
+//!
+//! let data = SyntheticWebspam::generate(512, 0);
+//! let model = Svm::log_loss(data.feature_dim());
+//! let mut rng = Xoshiro256::seed_from_u64(1);
+//! let mut params = model.init_params(&mut rng);
+//! let mut grad = vec![0.0; params.len()];
+//! let mut opt = Sgd::new(0.5, 0.9, 1e-7, params.len());
+//! let mut sampler = BatchSampler::new(data.len(), 32, 2);
+//!
+//! let batch = sampler.next_batch(&data);
+//! let first = model.loss_grad(&params, &batch, &mut grad);
+//! for _ in 0..50 {
+//!     let b = sampler.next_batch(&data);
+//!     model.loss_grad(&params, &b, &mut grad);
+//!     opt.step(&mut params, &grad);
+//! }
+//! let last = model.loss(&params, &sampler.next_batch(&data));
+//! assert!(last < first);
+//! ```
+
+pub mod cnn;
+pub mod loss;
+pub mod mlp;
+pub mod model;
+pub mod optimizer;
+pub mod svm;
+
+pub use model::Model;
+pub use optimizer::Sgd;

@@ -1,0 +1,180 @@
+//! SGD with momentum and weight decay.
+//!
+//! §7.2's hyperparameters: momentum 0.9, weight decay 1e-4 (CNN) or 1e-7
+//! (SVM), no learning-rate decay. Each decentralized worker owns one
+//! optimizer instance (momentum state is local and is *not* exchanged
+//! between workers, matching the paper's prototype).
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+///
+/// Update rule per step:
+/// `v = momentum * v + grad + weight_decay * params`;
+/// `params -= lr * v`.
+///
+/// # Examples
+///
+/// ```
+/// use hop_model::Sgd;
+/// let mut opt = Sgd::new(0.1, 0.0, 0.0, 2);
+/// let mut params = vec![1.0f32, -1.0];
+/// opt.step(&mut params, &[1.0, -1.0]);
+/// assert_eq!(params, vec![0.9, -0.9]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<f32>,
+}
+
+impl Sgd {
+    /// Creates an optimizer for a parameter vector of length `param_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`, `momentum` is outside `[0, 1)`, or
+    /// `weight_decay < 0`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32, param_len: usize) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        Self {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: vec![0.0; param_len],
+        }
+    }
+
+    /// Learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Sets the learning rate (for manual schedules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn set_lr(&mut self, lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+
+    /// Applies one update in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` or `grad` length differs from the optimizer's.
+    pub fn step(&mut self, params: &mut [f32], grad: &[f32]) {
+        assert_eq!(params.len(), self.velocity.len(), "params length mismatch");
+        assert_eq!(grad.len(), self.velocity.len(), "grad length mismatch");
+        for ((v, p), g) in self.velocity.iter_mut().zip(params.iter_mut()).zip(grad) {
+            *v = self.momentum * *v + g + self.weight_decay * *p;
+            *p -= self.lr * *v;
+        }
+    }
+
+    /// Computes the raw update `delta = -lr * v_next` *without* mutating
+    /// `params`, writing it into `delta`. Used by protocols that apply
+    /// gradients to a *different* parameter vector than the one they were
+    /// computed on (the parallel computation graph of Fig. 2b).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn delta(&mut self, params: &[f32], grad: &[f32], delta: &mut [f32]) {
+        assert_eq!(params.len(), self.velocity.len(), "params length mismatch");
+        assert_eq!(grad.len(), self.velocity.len(), "grad length mismatch");
+        assert_eq!(delta.len(), self.velocity.len(), "delta length mismatch");
+        for (((v, &p), &g), d) in self
+            .velocity
+            .iter_mut()
+            .zip(params.iter())
+            .zip(grad)
+            .zip(delta.iter_mut())
+        {
+            *v = self.momentum * *v + g + self.weight_decay * p;
+            *d = -self.lr * *v;
+        }
+    }
+
+    /// Resets momentum state (used after a worker skips iterations and
+    /// re-syncs its parameters, §5).
+    pub fn reset_velocity(&mut self) {
+        self.velocity.fill(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut opt = Sgd::new(0.5, 0.0, 0.0, 1);
+        let mut p = vec![2.0f32];
+        opt.step(&mut p, &[1.0]);
+        assert_eq!(p, vec![1.5]);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut opt = Sgd::new(1.0, 0.5, 0.0, 1);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]); // v=1, p=-1
+        opt.step(&mut p, &[1.0]); // v=1.5, p=-2.5
+        assert_eq!(p, vec![-2.5]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut opt = Sgd::new(0.1, 0.0, 0.5, 1);
+        let mut p = vec![1.0f32];
+        opt.step(&mut p, &[0.0]);
+        assert!((p[0] - 0.95).abs() < 1e-7);
+    }
+
+    #[test]
+    fn delta_matches_step() {
+        let mut a = Sgd::new(0.2, 0.9, 0.01, 3);
+        let mut b = a.clone();
+        let mut p1 = vec![1.0f32, -2.0, 0.5];
+        let p2 = p1.clone();
+        let g = vec![0.3, -0.1, 0.0];
+        a.step(&mut p1, &g);
+        let mut d = vec![0.0; 3];
+        b.delta(&p2, &g, &mut d);
+        for i in 0..3 {
+            assert!((p2[i] + d[i] - p1[i]).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn reset_velocity_clears_history() {
+        let mut opt = Sgd::new(1.0, 0.9, 0.0, 1);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]);
+        opt.reset_velocity();
+        let mut q = vec![0.0f32];
+        opt.step(&mut q, &[1.0]);
+        assert_eq!(q, vec![-1.0]); // as if fresh
+    }
+
+    #[test]
+    fn set_lr_changes_future_steps() {
+        let mut opt = Sgd::new(1.0, 0.0, 0.0, 1);
+        opt.set_lr(0.1);
+        assert_eq!(opt.lr(), 0.1);
+        let mut p = vec![0.0f32];
+        opt.step(&mut p, &[1.0]);
+        assert!((p[0] + 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum")]
+    fn validates_momentum() {
+        Sgd::new(0.1, 1.0, 0.0, 1);
+    }
+}

@@ -1,0 +1,309 @@
+//! Thread-safe blocking queue variants for the real multi-threaded runtime.
+//!
+//! These wrap the logical queues with a `parking_lot` mutex + condvar so
+//! that a worker thread's `Recv` genuinely blocks until enough matching
+//! updates arrive (the paper's blocking `dequeue`), and token acquisition
+//! blocks until the out-going neighbor releases tokens. All blocking
+//! operations take a timeout so tests can detect deadlocks (e.g. the
+//! AD-PSGD non-bipartite deadlock of §5) instead of hanging.
+
+use crate::tagged::{Tag, TagFilter, TaggedEntry, TaggedQueue};
+use parking_lot::{Condvar, Mutex};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error returned when a blocking operation times out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutError;
+
+impl fmt::Display for WaitTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blocking queue operation timed out")
+    }
+}
+
+impl std::error::Error for WaitTimeoutError {}
+
+/// A shareable blocking tagged queue.
+///
+/// Cloning shares the underlying queue (like the paper's per-worker update
+/// queue being written by many senders).
+///
+/// # Examples
+///
+/// ```
+/// use hop_queue::blocking::SharedTaggedQueue;
+/// use hop_queue::{Tag, tagged::TagFilter};
+/// use std::time::Duration;
+///
+/// let q = SharedTaggedQueue::new();
+/// let sender = q.clone();
+/// std::thread::spawn(move || {
+///     sender.enqueue(7u32, Tag { iter: 0, w_id: 1 });
+/// });
+/// let got = q.dequeue(1, TagFilter::iter(0), Duration::from_secs(5)).unwrap();
+/// assert_eq!(got[0].value, 7);
+/// ```
+#[derive(Debug)]
+pub struct SharedTaggedQueue<T> {
+    inner: Arc<(Mutex<TaggedQueue<T>>, Condvar)>,
+}
+
+impl<T> Clone for SharedTaggedQueue<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Default for SharedTaggedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SharedTaggedQueue<T> {
+    /// Creates an empty unbounded shared queue.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new((Mutex::new(TaggedQueue::unbounded()), Condvar::new())),
+        }
+    }
+
+    /// Enqueues an update and wakes all waiters.
+    pub fn enqueue(&self, value: T, tag: Tag) {
+        let (lock, cvar) = &*self.inner;
+        let mut q = lock.lock();
+        q.enqueue(value, tag).expect("unbounded queue never overflows");
+        cvar.notify_all();
+    }
+
+    /// Blocking `dequeue(m, filter)`: waits until `m` matching entries are
+    /// present, removes and returns them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaitTimeoutError`] if the deadline expires first; nothing
+    /// is removed in that case.
+    pub fn dequeue(
+        &self,
+        m: usize,
+        filter: TagFilter,
+        timeout: Duration,
+    ) -> Result<Vec<TaggedEntry<T>>, WaitTimeoutError> {
+        let (lock, cvar) = &*self.inner;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = lock.lock();
+        loop {
+            if let Some(entries) = q.try_dequeue(m, filter) {
+                return Ok(entries);
+            }
+            if cvar.wait_until(&mut q, deadline).timed_out() {
+                return Err(WaitTimeoutError);
+            }
+        }
+    }
+
+    /// Removes up to `m` matching entries without blocking (possibly zero).
+    pub fn dequeue_up_to(&self, m: usize, filter: TagFilter) -> Vec<TaggedEntry<T>> {
+        let (lock, _) = &*self.inner;
+        lock.lock().dequeue_up_to(m, filter)
+    }
+
+    /// Non-blocking size query.
+    pub fn size(&self, filter: TagFilter) -> usize {
+        let (lock, _) = &*self.inner;
+        lock.lock().size(filter)
+    }
+
+    /// Total entries present.
+    pub fn len(&self) -> usize {
+        let (lock, _) = &*self.inner;
+        lock.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards entries older than `min_iter`, returning the count.
+    pub fn discard_older_than(&self, min_iter: u64) -> usize {
+        let (lock, _) = &*self.inner;
+        lock.lock().discard_older_than(min_iter)
+    }
+}
+
+/// A shareable blocking token queue (§4.2) for the threaded runtime.
+#[derive(Debug)]
+pub struct SharedTokenQueue {
+    inner: Arc<(Mutex<u64>, Condvar)>,
+    max_ig: u64,
+}
+
+impl Clone for SharedTokenQueue {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+            max_ig: self.max_ig,
+        }
+    }
+}
+
+impl SharedTokenQueue {
+    /// Creates a queue pre-loaded with `max_ig` tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_ig == 0`.
+    pub fn new(max_ig: u64) -> Self {
+        assert!(max_ig > 0, "max_ig must be positive");
+        Self {
+            inner: Arc::new((Mutex::new(max_ig), Condvar::new())),
+            max_ig,
+        }
+    }
+
+    /// The configured maximum iteration gap.
+    pub fn max_ig(&self) -> u64 {
+        self.max_ig
+    }
+
+    /// Tokens currently available.
+    pub fn available(&self) -> u64 {
+        *self.inner.0.lock()
+    }
+
+    /// Inserts `k` tokens and wakes waiters.
+    pub fn insert(&self, k: u64) {
+        let (lock, cvar) = &*self.inner;
+        *lock.lock() += k;
+        cvar.notify_all();
+    }
+
+    /// Blocks until `k` tokens can be removed, then removes them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WaitTimeoutError`] on deadline expiry (nothing removed).
+    pub fn remove(&self, k: u64, timeout: Duration) -> Result<(), WaitTimeoutError> {
+        let (lock, cvar) = &*self.inner;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut avail = lock.lock();
+        loop {
+            if *avail >= k {
+                *avail -= k;
+                return Ok(());
+            }
+            if cvar.wait_until(&mut avail, deadline).timed_out() {
+                return Err(WaitTimeoutError);
+            }
+        }
+    }
+
+    /// Non-blocking removal; returns whether it succeeded.
+    pub fn try_remove(&self, k: u64) -> bool {
+        let (lock, _) = &*self.inner;
+        let mut avail = lock.lock();
+        if *avail >= k {
+            *avail -= k;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn tag(iter: u64, w_id: usize) -> Tag {
+        Tag { iter, w_id }
+    }
+
+    #[test]
+    fn dequeue_blocks_until_enough() {
+        let q: SharedTaggedQueue<u32> = SharedTaggedQueue::new();
+        let producer = q.clone();
+        let handle = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            producer.enqueue(1, tag(0, 0));
+            thread::sleep(Duration::from_millis(20));
+            producer.enqueue(2, tag(0, 1));
+        });
+        let got = q
+            .dequeue(2, TagFilter::iter(0), Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(got.len(), 2);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn dequeue_times_out_cleanly() {
+        let q: SharedTaggedQueue<u32> = SharedTaggedQueue::new();
+        q.enqueue(1, tag(0, 0));
+        let err = q
+            .dequeue(2, TagFilter::iter(0), Duration::from_millis(30))
+            .unwrap_err();
+        assert_eq!(err, WaitTimeoutError);
+        // Timed-out dequeue removed nothing.
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn many_producers_one_consumer() {
+        let q: SharedTaggedQueue<usize> = SharedTaggedQueue::new();
+        let mut handles = Vec::new();
+        for w in 0..8 {
+            let p = q.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..10 {
+                    p.enqueue(w * 100 + i, tag(i as u64, w));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..10u64 {
+            let got = q
+                .dequeue(8, TagFilter::iter(i), Duration::from_secs(5))
+                .unwrap();
+            assert_eq!(got.len(), 8);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn token_queue_blocks_and_resumes() {
+        let t = SharedTokenQueue::new(1);
+        assert!(t.try_remove(1));
+        assert!(!t.try_remove(1));
+        let waiter = t.clone();
+        let handle = thread::spawn(move || waiter.remove(1, Duration::from_secs(5)));
+        thread::sleep(Duration::from_millis(20));
+        t.insert(1);
+        handle.join().unwrap().unwrap();
+        assert_eq!(t.available(), 0);
+    }
+
+    #[test]
+    fn token_timeout_removes_nothing() {
+        let t = SharedTokenQueue::new(2);
+        assert!(t.remove(5, Duration::from_millis(30)).is_err());
+        assert_eq!(t.available(), 2);
+    }
+
+    #[test]
+    fn discard_older_than_shared() {
+        let q: SharedTaggedQueue<u32> = SharedTaggedQueue::new();
+        q.enqueue(1, tag(0, 0));
+        q.enqueue(2, tag(5, 0));
+        assert_eq!(q.discard_older_than(3), 1);
+        assert_eq!(q.size(TagFilter::any()), 1);
+    }
+}

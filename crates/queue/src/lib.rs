@@ -1,0 +1,25 @@
+//! Queue-based synchronization primitives (the paper's §4 and §6.1).
+//!
+//! This crate implements the coordination substrate that replaces
+//! NOTIFY-ACK in Hop:
+//!
+//! * [`tagged::TaggedQueue`] — a FIFO queue whose entries carry
+//!   `(iter, w_id)` tags with the `enqueue` / `dequeue(m, tags)` / `size`
+//!   operations defined in §4.1. This is the *logical* (non-blocking)
+//!   variant used by the discrete-event runtime.
+//! * [`rotating::RotatingQueues`] — the memory-bounded implementation of
+//!   §6.1: `max_ig + 1` sub-queues indexed by `iter mod (max_ig + 1)`,
+//!   reused like rotating registers, with stale-update discarding.
+//! * [`token::TokenQueue`] — the token queues of §4.2 that bound the
+//!   iteration gap between adjacent workers.
+//! * [`blocking`] — thread-safe blocking variants (`parking_lot` mutex +
+//!   condvar) used by the real multi-threaded runtime.
+
+pub mod blocking;
+pub mod rotating;
+pub mod tagged;
+pub mod token;
+
+pub use rotating::RotatingQueues;
+pub use tagged::{Tag, TaggedEntry, TaggedQueue};
+pub use token::TokenQueue;

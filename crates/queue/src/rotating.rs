@@ -1,0 +1,276 @@
+//! Rotating per-iteration queues (§6.1).
+//!
+//! A single update queue would have to be scanned for matching tags,
+//! putting unmatched newer entries back repeatedly. The paper's
+//! implementation instead keeps `max_ig + 1` queues and routes an update
+//! of iteration `k` to queue `k mod (max_ig + 1)`: by Theorem 1 (with
+//! token queues bounding the gap to `max_ig`), at most `max_ig + 1`
+//! *distinct current-or-newer* iterations can be in flight, so within one
+//! sub-queue an entry is either for the requested iteration or stale (only
+//! possible with backup workers) — never newer. Stale entries are
+//! discarded on dequeue (§6.2a).
+
+use crate::tagged::{QueueFullError, Tag, TagFilter, TaggedEntry, TaggedQueue};
+
+/// The rotating multi-queue of §6.1.
+///
+/// # Examples
+///
+/// ```
+/// use hop_queue::{RotatingQueues, Tag};
+///
+/// let mut q = RotatingQueues::new(2); // max_ig = 2 → 3 sub-queues
+/// q.enqueue("u0", Tag { iter: 0, w_id: 1 }).unwrap();
+/// q.enqueue("u3", Tag { iter: 3, w_id: 1 }).unwrap(); // same sub-queue as iter 0
+/// // Requesting iteration 3 discards the stale iteration-0 entry.
+/// let got = q.try_dequeue(1, 3).unwrap();
+/// assert_eq!(got[0].value, "u3");
+/// assert_eq!(q.stale_discarded(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RotatingQueues<T> {
+    queues: Vec<TaggedQueue<T>>,
+    stale_discarded: u64,
+}
+
+impl<T> RotatingQueues<T> {
+    /// Creates `max_ig + 1` unbounded sub-queues.
+    pub fn new(max_ig: u64) -> Self {
+        let n = max_ig as usize + 1;
+        Self {
+            queues: (0..n).map(|_| TaggedQueue::unbounded()).collect(),
+            stale_discarded: 0,
+        }
+    }
+
+    /// Creates `max_ig + 1` sub-queues each bounded to `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn bounded(max_ig: u64, capacity: usize) -> Self {
+        let n = max_ig as usize + 1;
+        Self {
+            queues: (0..n).map(|_| TaggedQueue::bounded(capacity)).collect(),
+            stale_discarded: 0,
+        }
+    }
+
+    /// Number of sub-queues (`max_ig + 1`).
+    pub fn n_queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Total entries across sub-queues.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(TaggedQueue::len).sum()
+    }
+
+    /// Whether all sub-queues are empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(TaggedQueue::is_empty)
+    }
+
+    /// Updates of iterations older than the requested one found and
+    /// dropped during dequeues so far.
+    pub fn stale_discarded(&self) -> u64 {
+        self.stale_discarded
+    }
+
+    fn index(&self, iter: u64) -> usize {
+        (iter % self.queues.len() as u64) as usize
+    }
+
+    /// Routes an update to sub-queue `iter mod n_queues`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFullError`] if that sub-queue is bounded and full.
+    pub fn enqueue(&mut self, value: T, tag: Tag) -> Result<(), QueueFullError> {
+        let idx = self.index(tag.iter);
+        self.queues[idx].enqueue(value, tag)
+    }
+
+    /// Drops entries older than `iter` from the sub-queue for `iter`,
+    /// counting them as stale.
+    fn purge_stale(&mut self, iter: u64) {
+        let idx = self.index(iter);
+        self.stale_discarded += self.queues[idx].discard_older_than(iter) as u64;
+    }
+
+    /// Number of entries currently available for iteration `iter`
+    /// (after discarding stale entries sharing its sub-queue).
+    pub fn size(&mut self, iter: u64) -> usize {
+        self.purge_stale(iter);
+        let idx = self.index(iter);
+        self.queues[idx].size(TagFilter::iter(iter))
+    }
+
+    /// Number of entries from sender `w_id` for iteration `iter`.
+    pub fn size_from(&mut self, iter: u64, w_id: usize) -> usize {
+        self.purge_stale(iter);
+        let idx = self.index(iter);
+        self.queues[idx].size(TagFilter::exact(iter, w_id))
+    }
+
+    /// Non-blocking dequeue of exactly `m` updates for iteration `iter`;
+    /// removes nothing if fewer are available. Stale entries sharing the
+    /// sub-queue are discarded first (§6.2a).
+    pub fn try_dequeue(&mut self, m: usize, iter: u64) -> Option<Vec<TaggedEntry<T>>> {
+        self.purge_stale(iter);
+        let idx = self.index(iter);
+        self.queues[idx].try_dequeue(m, TagFilter::iter(iter))
+    }
+
+    /// Dequeues up to `m` updates for iteration `iter` (the "additional
+    /// updates" collection of Fig. 8 line 5).
+    pub fn dequeue_up_to(&mut self, m: usize, iter: u64) -> Vec<TaggedEntry<T>> {
+        self.purge_stale(iter);
+        let idx = self.index(iter);
+        self.queues[idx].dequeue_up_to(m, TagFilter::iter(iter))
+    }
+
+    /// Drains every update from sender `w_id` across *all* sub-queues, in
+    /// increasing iteration order. Used by the bounded-staleness Recv
+    /// (Fig. 9), which scans per-sender and keeps the newest.
+    pub fn drain_from_worker(&mut self, w_id: usize) -> Vec<TaggedEntry<T>> {
+        let mut all = Vec::new();
+        for q in &mut self.queues {
+            all.extend(q.drain_matching(TagFilter::from_worker(w_id)));
+        }
+        all.sort_by_key(|e| e.tag.iter);
+        all
+    }
+
+    /// Discards entries older than `min_iter` in all sub-queues (the
+    /// periodic cleanup of §4.3), returning the number dropped.
+    pub fn discard_older_than(&mut self, min_iter: u64) -> usize {
+        let dropped: usize = self
+            .queues
+            .iter_mut()
+            .map(|q| q.discard_older_than(min_iter))
+            .sum();
+        self.stale_discarded += dropped as u64;
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tag(iter: u64, w_id: usize) -> Tag {
+        Tag { iter, w_id }
+    }
+
+    #[test]
+    fn routes_by_modulo() {
+        let mut q = RotatingQueues::new(2);
+        assert_eq!(q.n_queues(), 3);
+        q.enqueue(0, tag(0, 0)).unwrap();
+        q.enqueue(1, tag(1, 0)).unwrap();
+        q.enqueue(2, tag(2, 0)).unwrap();
+        q.enqueue(3, tag(3, 0)).unwrap(); // shares sub-queue with iter 0
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.size(1), 1);
+        assert_eq!(q.size(2), 1);
+    }
+
+    #[test]
+    fn dequeue_exact_count() {
+        let mut q = RotatingQueues::new(1);
+        q.enqueue("a", tag(4, 0)).unwrap();
+        q.enqueue("b", tag(4, 1)).unwrap();
+        assert!(q.try_dequeue(3, 4).is_none());
+        let got = q.try_dequeue(2, 4).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_discarded_not_returned() {
+        let mut q = RotatingQueues::new(2);
+        // Backup-worker case: an old unused update of iter 0 lingers, then
+        // iter 3 updates land in the same sub-queue.
+        q.enqueue("old", tag(0, 0)).unwrap();
+        q.enqueue("new", tag(3, 1)).unwrap();
+        let got = q.try_dequeue(1, 3).unwrap();
+        assert_eq!(got[0].value, "new");
+        assert_eq!(q.stale_discarded(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn size_from_counts_per_sender() {
+        let mut q = RotatingQueues::new(3);
+        q.enqueue(0, tag(2, 5)).unwrap();
+        q.enqueue(1, tag(2, 5)).unwrap();
+        q.enqueue(2, tag(2, 6)).unwrap();
+        assert_eq!(q.size_from(2, 5), 2);
+        assert_eq!(q.size_from(2, 6), 1);
+        assert_eq!(q.size_from(2, 7), 0);
+    }
+
+    #[test]
+    fn drain_from_worker_is_sorted_by_iter() {
+        let mut q = RotatingQueues::new(4);
+        q.enqueue("i3", tag(3, 1)).unwrap();
+        q.enqueue("i1", tag(1, 1)).unwrap();
+        q.enqueue("i2", tag(2, 2)).unwrap();
+        let got = q.drain_from_worker(1);
+        let iters: Vec<u64> = got.iter().map(|e| e.tag.iter).collect();
+        assert_eq!(iters, vec![1, 3]);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn global_cleanup_counts_stale() {
+        let mut q = RotatingQueues::new(4);
+        for i in 0..5u64 {
+            q.enqueue(i, tag(i, 0)).unwrap();
+        }
+        let dropped = q.discard_older_than(4);
+        assert_eq!(dropped, 4);
+        assert_eq!(q.stale_discarded(), 4);
+    }
+
+    #[test]
+    fn bounded_subqueues_reject_overflow() {
+        let mut q = RotatingQueues::bounded(1, 1);
+        q.enqueue(0, tag(0, 0)).unwrap();
+        // Same sub-queue (iter 2 mod 2 == 0) and it is full.
+        assert!(q.enqueue(1, tag(2, 0)).is_err());
+        // Different sub-queue still accepts.
+        q.enqueue(2, tag(1, 0)).unwrap();
+    }
+
+    proptest! {
+        /// Equivalence with a single tagged queue when no stale updates
+        /// exist: standard training only sees current-or-newer updates, and
+        /// dequeuing iteration-by-iteration yields the same multiset.
+        #[test]
+        fn equivalent_to_flat_queue_without_staleness(
+            updates in proptest::collection::vec((0u64..6, 0usize..4), 0..50),
+            max_ig in 5u64..8,
+        ) {
+            // max_ig >= max iter span, so no aliasing/staleness occurs.
+            let mut rot = RotatingQueues::new(max_ig);
+            let mut flat = TaggedQueue::unbounded();
+            for (k, &(iter, w_id)) in updates.iter().enumerate() {
+                rot.enqueue(k, tag(iter, w_id)).unwrap();
+                flat.enqueue(k, tag(iter, w_id)).unwrap();
+            }
+            for iter in 0..6u64 {
+                let a = rot.dequeue_up_to(usize::MAX, iter);
+                let b = flat.drain_matching(TagFilter::iter(iter));
+                let mut av: Vec<usize> = a.iter().map(|e| e.value).collect();
+                let mut bv: Vec<usize> = b.iter().map(|e| e.value).collect();
+                av.sort_unstable();
+                bv.sort_unstable();
+                prop_assert_eq!(av, bv);
+            }
+            prop_assert_eq!(rot.stale_discarded(), 0);
+        }
+    }
+}

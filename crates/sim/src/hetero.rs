@@ -1,0 +1,156 @@
+//! Heterogeneity models (§2.3, §7.3).
+//!
+//! Random slowdown reproduces the paper's process — "randomly slowing down
+//! every worker by 6 times at a probability of 1/n in each iteration" —
+//! and deterministic slowdown pins a fixed multiplier on chosen workers
+//! (the 4× straggler of §7.3.5). Sampling is a pure function of
+//! `(seed, worker, iteration)`, so the same experiment produces identical
+//! slowdowns no matter how simulator events interleave.
+
+use hop_util::rng::splitmix64;
+
+/// Per-iteration compute-time multiplier model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlowdownModel {
+    /// Homogeneous cluster: factor 1 always.
+    None,
+    /// Each worker is slowed by `factor` with probability `prob`,
+    /// independently per iteration (the paper uses `factor = 6`,
+    /// `prob = 1/n`).
+    Random {
+        /// Slowdown multiplier applied when the event fires.
+        factor: f64,
+        /// Per-(worker, iteration) probability of the event.
+        prob: f64,
+    },
+    /// Fixed per-worker multipliers (1.0 = full speed). Workers beyond the
+    /// vector's length run at full speed.
+    Deterministic(Vec<f64>),
+    /// Product of two models (e.g. a deterministic straggler in a randomly
+    /// noisy cluster).
+    Compose(Box<SlowdownModel>, Box<SlowdownModel>),
+}
+
+impl SlowdownModel {
+    /// The paper's random heterogeneity: 6× slowdown with probability
+    /// `1/n` per worker per iteration.
+    pub fn paper_random(n_workers: usize) -> Self {
+        SlowdownModel::Random {
+            factor: 6.0,
+            prob: 1.0 / n_workers as f64,
+        }
+    }
+
+    /// The paper's deterministic straggler: worker `straggler` runs
+    /// `factor`× slower.
+    pub fn paper_straggler(n_workers: usize, straggler: usize, factor: f64) -> Self {
+        let mut factors = vec![1.0; n_workers];
+        assert!(straggler < n_workers, "straggler index out of range");
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        factors[straggler] = factor;
+        SlowdownModel::Deterministic(factors)
+    }
+
+    /// The compute-time multiplier for `worker` at `iteration` under
+    /// `seed`. Always >= 1 for the built-in constructors.
+    pub fn factor(&self, seed: u64, worker: usize, iteration: u64) -> f64 {
+        match self {
+            SlowdownModel::None => 1.0,
+            SlowdownModel::Random { factor, prob } => {
+                // Hash (seed, worker, iteration) into a uniform in [0,1).
+                let mut state = seed ^ 0xA5A5_5A5A_DEAD_BEEF;
+                let _ = splitmix64(&mut state);
+                state ^= (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let _ = splitmix64(&mut state);
+                state ^= iteration.wrapping_mul(0xD1B5_4A32_D192_ED03);
+                let draw = splitmix64(&mut state);
+                let u = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                if u < *prob {
+                    *factor
+                } else {
+                    1.0
+                }
+            }
+            SlowdownModel::Deterministic(factors) => {
+                factors.get(worker).copied().unwrap_or(1.0)
+            }
+            SlowdownModel::Compose(a, b) => {
+                a.factor(seed, worker, iteration) * b.factor(seed, worker, iteration)
+            }
+        }
+    }
+}
+
+impl Default for SlowdownModel {
+    fn default() -> Self {
+        SlowdownModel::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_unit() {
+        assert_eq!(SlowdownModel::None.factor(1, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn random_hits_at_expected_rate() {
+        let m = SlowdownModel::paper_random(16);
+        let mut hits = 0;
+        let trials = 64_000;
+        for w in 0..16 {
+            for k in 0..(trials / 16) {
+                if m.factor(7, w, k as u64) > 1.0 {
+                    hits += 1;
+                }
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 1.0 / 16.0).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn random_is_deterministic_in_all_args() {
+        let m = SlowdownModel::Random {
+            factor: 6.0,
+            prob: 0.5,
+        };
+        for w in 0..4 {
+            for k in 0..50 {
+                assert_eq!(m.factor(3, w, k), m.factor(3, w, k));
+            }
+        }
+        // Different seeds give different patterns.
+        let pattern =
+            |seed: u64| (0..64).map(|k| m.factor(seed, 0, k) > 1.0).collect::<Vec<_>>();
+        assert_ne!(pattern(1), pattern(2));
+    }
+
+    #[test]
+    fn deterministic_straggler() {
+        let m = SlowdownModel::paper_straggler(8, 3, 4.0);
+        assert_eq!(m.factor(0, 3, 10), 4.0);
+        assert_eq!(m.factor(0, 2, 10), 1.0);
+        // Out-of-range workers default to full speed.
+        assert_eq!(m.factor(0, 100, 0), 1.0);
+    }
+
+    #[test]
+    fn compose_multiplies() {
+        let m = SlowdownModel::Compose(
+            Box::new(SlowdownModel::paper_straggler(4, 0, 4.0)),
+            Box::new(SlowdownModel::Deterministic(vec![2.0, 1.0, 1.0, 1.0])),
+        );
+        assert_eq!(m.factor(0, 0, 5), 8.0);
+        assert_eq!(m.factor(0, 1, 5), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "straggler index")]
+    fn validates_straggler_index() {
+        SlowdownModel::paper_straggler(4, 9, 2.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! Minimal dense tensor and linear-algebra kernels for the Hop reproduction.
+//!
+//! The models in `hop-model` (SVM, MLP, tiny CNN) and the spectral analysis
+//! in `hop-graph` only need a small set of dense operations: GEMM/GEMV on
+//! row-major `f32` buffers, elementwise vector arithmetic, and a simple
+//! shape-carrying [`Tensor`]. Everything is implemented here from scratch;
+//! no BLAS or external linear-algebra crate is used.
+//!
+//! # Examples
+//!
+//! ```
+//! use hop_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.data(), a.data());
+//! ```
+
+pub mod ops;
+pub mod tensor;
+
+pub use tensor::Tensor;

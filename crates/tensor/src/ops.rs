@@ -1,0 +1,320 @@
+//! Flat-slice numeric kernels.
+//!
+//! These free functions operate on `&[f32]`/`&mut [f32]` so that model code
+//! can apply them directly to slices of a worker's flat parameter vector
+//! without copying into tensor objects.
+
+/// `y += alpha * x` (AXPY).
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `y = alpha * x + beta * y`.
+///
+/// # Panics
+///
+/// Panics if `x` and `y` have different lengths.
+pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpby length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi = alpha * xi + beta * *yi;
+    }
+}
+
+/// Dot product.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// Scales a slice in place: `x *= alpha`.
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// Fills a slice with a constant.
+pub fn fill(value: f32, x: &mut [f32]) {
+    for xi in x {
+        *xi = value;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f32]) -> f32 {
+    dot(x, x).sqrt()
+}
+
+/// Elementwise mean of several equally sized slices into `out`.
+///
+/// This is the Reduce of Fig. 4 line 15: `temp = sum(x_recv) / n`.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or any input length differs from `out`.
+pub fn mean_into(inputs: &[&[f32]], out: &mut [f32]) {
+    assert!(!inputs.is_empty(), "mean of zero slices");
+    fill(0.0, out);
+    for input in inputs {
+        axpy(1.0, input, out);
+    }
+    scale(1.0 / inputs.len() as f32, out);
+}
+
+/// Weighted elementwise average: `out = sum(w_i * x_i) / sum(w_i)`.
+///
+/// This is the bounded-staleness Reduce of Eq. (2) in the paper.
+///
+/// # Panics
+///
+/// Panics if inputs/weights lengths mismatch, the weight sum is not
+/// positive, or any input length differs from `out`.
+pub fn weighted_mean_into(inputs: &[&[f32]], weights: &[f32], out: &mut [f32]) {
+    assert_eq!(inputs.len(), weights.len(), "inputs/weights mismatch");
+    assert!(!inputs.is_empty(), "weighted mean of zero slices");
+    let wsum: f32 = weights.iter().sum();
+    assert!(wsum > 0.0, "weight sum must be positive, got {wsum}");
+    fill(0.0, out);
+    for (input, &w) in inputs.iter().zip(weights) {
+        axpy(w, input, out);
+    }
+    scale(1.0 / wsum, out);
+}
+
+/// Row-major GEMV: `y = A x` where `A` is `m x n`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gemv(a: &[f32], m: usize, n: usize, x: &[f32], y: &mut [f32]) {
+    assert_eq!(a.len(), m * n, "gemv matrix size mismatch");
+    assert_eq!(x.len(), n, "gemv x size mismatch");
+    assert_eq!(y.len(), m, "gemv y size mismatch");
+    for (i, yi) in y.iter_mut().enumerate() {
+        *yi = dot(&a[i * n..(i + 1) * n], x);
+    }
+}
+
+/// Row-major transposed GEMV: `y = A^T x` where `A` is `m x n`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gemv_t(a: &[f32], m: usize, n: usize, x: &[f32], y: &mut [f32]) {
+    assert_eq!(a.len(), m * n, "gemv_t matrix size mismatch");
+    assert_eq!(x.len(), m, "gemv_t x size mismatch");
+    assert_eq!(y.len(), n, "gemv_t y size mismatch");
+    fill(0.0, y);
+    for i in 0..m {
+        let row = &a[i * n..(i + 1) * n];
+        axpy(x[i], row, y);
+    }
+}
+
+/// Row-major GEMM: `C = A B` where `A` is `m x k`, `B` is `k x n`.
+///
+/// Uses the ikj loop order for cache friendliness; adequate for the small
+/// models in this workspace.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "gemm A size mismatch");
+    assert_eq!(b.len(), k * n, "gemm B size mismatch");
+    assert_eq!(c.len(), m * n, "gemm C size mismatch");
+    fill(0.0, c);
+    for i in 0..m {
+        for p in 0..k {
+            let aip = a[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            axpy(aip, b_row, c_row);
+        }
+    }
+}
+
+/// In-place ReLU.
+pub fn relu(x: &mut [f32]) {
+    for xi in x {
+        if *xi < 0.0 {
+            *xi = 0.0;
+        }
+    }
+}
+
+/// Backward of ReLU: zeroes `grad` wherever the forward input was negative.
+///
+/// # Panics
+///
+/// Panics if lengths mismatch.
+pub fn relu_backward(forward_input: &[f32], grad: &mut [f32]) {
+    assert_eq!(forward_input.len(), grad.len(), "relu_backward mismatch");
+    for (g, &x) in grad.iter_mut().zip(forward_input) {
+        if x <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Numerically stable in-place softmax over a single row.
+pub fn softmax(x: &mut [f32]) {
+    let max = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for xi in x.iter_mut() {
+        *xi = (*xi - max).exp();
+        sum += *xi;
+    }
+    for xi in x.iter_mut() {
+        *xi /= sum;
+    }
+}
+
+/// Index of the maximum element (first occurrence).
+///
+/// # Panics
+///
+/// Panics if `x` is empty.
+pub fn argmax(x: &[f32]) -> usize {
+    assert!(!x.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &v) in x.iter().enumerate() {
+        if v > x[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axpy_works() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+    }
+
+    #[test]
+    fn axpby_works() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpby(2.0, &x, 0.5, &mut y);
+        assert_eq!(y, [7.0, 14.0]);
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[3.0, 4.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn mean_into_averages() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 6.0];
+        let mut out = [0.0; 2];
+        mean_into(&[&a, &b], &mut out);
+        assert_eq!(out, [2.0, 4.0]);
+    }
+
+    #[test]
+    fn weighted_mean_matches_eq2_shape() {
+        // Two updates with weights 3 and 1: out = (3a + b)/4.
+        let a = [4.0, 0.0];
+        let b = [0.0, 4.0];
+        let mut out = [0.0; 2];
+        weighted_mean_into(&[&a, &b], &[3.0, 1.0], &mut out);
+        assert_eq!(out, [3.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weight sum must be positive")]
+    fn weighted_mean_rejects_zero_weights() {
+        let a = [1.0];
+        let mut out = [0.0];
+        weighted_mean_into(&[&a[..]], &[0.0], &mut out);
+    }
+
+    #[test]
+    fn gemv_identity() {
+        let a = [1.0, 0.0, 0.0, 1.0];
+        let x = [5.0, 7.0];
+        let mut y = [0.0; 2];
+        gemv(&a, 2, 2, &x, &mut y);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn gemv_t_matches_manual() {
+        // A = [[1,2],[3,4]] (2x2), x = [1,1] => A^T x = [4, 6]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let x = [1.0, 1.0];
+        let mut y = [0.0; 2];
+        gemv_t(&a, 2, 2, &x, &mut y);
+        assert_eq!(y, [4.0, 6.0]);
+    }
+
+    #[test]
+    fn gemm_small() {
+        // A = [[1,2],[3,4]], B = [[5,6],[7,8]] => C = [[19,22],[43,50]]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut c = [0.0; 4];
+        gemm(&a, &b, &mut c, 2, 2, 2);
+        assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn gemm_rectangular() {
+        // A (1x3) * B (3x2)
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 0.0, 1.0, 1.0, 1.0];
+        let mut c = [0.0; 2];
+        gemm(&a, &b, &mut c, 1, 3, 2);
+        assert_eq!(c, [4.0, 5.0]);
+    }
+
+    #[test]
+    fn relu_and_backward() {
+        let input = [-1.0, 0.0, 2.0];
+        let mut x = input;
+        relu(&mut x);
+        assert_eq!(x, [0.0, 0.0, 2.0]);
+        let mut g = [1.0, 1.0, 1.0];
+        relu_backward(&input, &mut g);
+        assert_eq!(g, [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut x = [1000.0, 1001.0, 1002.0];
+        softmax(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(x[2] > x[1] && x[1] > x[0]);
+    }
+
+    #[test]
+    fn argmax_first_max() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! A small shape-carrying dense tensor.
+
+use crate::ops;
+
+/// Dense row-major `f32` tensor with an explicit shape.
+///
+/// Used by `hop-model` for layer activations and by tests; the hot training
+/// paths operate directly on flat slices via [`crate::ops`].
+///
+/// # Examples
+///
+/// ```
+/// use hop_tensor::Tensor;
+/// let t = Tensor::zeros(vec![2, 3]);
+/// assert_eq!(t.len(), 6);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let len = shape.iter().product();
+        Self {
+            shape,
+            data: vec![value; len],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(vec![n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps existing data with a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product of `shape` does not equal `data.len()`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Self {
+        let len: usize = shape.iter().product();
+        assert_eq!(len, data.len(), "shape/data mismatch");
+        Self { shape, data }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reshapes in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new shape has a different element count.
+    pub fn reshape(&mut self, shape: Vec<usize>) {
+        let len: usize = shape.iter().product();
+        assert_eq!(len, self.data.len(), "reshape element count mismatch");
+        self.shape = shape;
+    }
+
+    /// Element access for 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D or indices are out of bounds.
+    pub fn at(&self, row: usize, col: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at() requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        assert!(row < m && col < n, "index ({row},{col}) out of {m}x{n}");
+        self.data[row * n + col]
+    }
+
+    /// Matrix product of two 2-D tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tensor is not 2-D or the inner dimensions mismatch.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+        let mut out = Tensor::zeros(vec![m, n]);
+        ops::gemm(&self.data, &other.data, &mut out.data, m, k, n);
+        out
+    }
+
+    /// Transpose of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not 2-D.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "transpose requires a 2-D tensor");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = Tensor::zeros(vec![n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum with another tensor of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape, "add shape mismatch");
+        let mut out = self.clone();
+        ops::axpy(1.0, &other.data, &mut out.data);
+        out
+    }
+
+    /// Frobenius / Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        ops::norm2(&self.data)
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Tensor::zeros(vec![0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(vec![3, 4]);
+        assert_eq!(t.len(), 12);
+        assert!(t.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn eye_is_identity_under_matmul() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let i = Tensor::eye(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.transpose(), a);
+        assert_eq!(t.at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn add_elementwise() {
+        let a = Tensor::full(vec![2], 1.0);
+        let b = Tensor::full(vec![2], 2.0);
+        assert_eq!(a.add(&b).data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut a = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        a.reshape(vec![2, 2]);
+        assert_eq!(a.at(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape/data mismatch")]
+    fn from_vec_validates() {
+        Tensor::from_vec(vec![2, 2], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_validates() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        let _ = a.matmul(&b);
+    }
+}

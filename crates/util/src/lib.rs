@@ -1,0 +1,24 @@
+//! Shared utilities for the Hop reproduction: a deterministic PRNG and
+//! small statistics helpers.
+//!
+//! Every stochastic choice in the workspace (synthetic data generation,
+//! minibatch sampling, random slowdowns, randomized topologies) draws from
+//! [`rng::Xoshiro256`], a self-contained xoshiro256++ implementation, so
+//! that all experiments are bit-for-bit reproducible across platforms and
+//! do not depend on external crates.
+//!
+//! # Examples
+//!
+//! ```
+//! use hop_util::rng::Xoshiro256;
+//!
+//! let mut rng = Xoshiro256::seed_from_u64(42);
+//! let x = rng.next_f64();
+//! assert!((0.0..1.0).contains(&x));
+//! ```
+
+pub mod rng;
+pub mod stats;
+
+pub use rng::Xoshiro256;
+pub use stats::Summary;

@@ -1,0 +1,25 @@
+//! # Hop: Heterogeneity-Aware Decentralized Training (Rust reproduction)
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! overview, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md`
+//! for the paper-vs-measured results.
+//!
+//! # Examples
+//!
+//! ```
+//! use hop::graph::{Topology, WeightMatrix};
+//!
+//! let topo = Topology::ring_based(16);
+//! let w = WeightMatrix::uniform(&topo);
+//! assert!(w.is_doubly_stochastic(1e-9));
+//! ```
+
+pub use hop_core as core;
+pub use hop_data as data;
+pub use hop_graph as graph;
+pub use hop_metrics as metrics;
+pub use hop_model as model;
+pub use hop_queue as queue;
+pub use hop_sim as sim;
+pub use hop_tensor as tensor;
+pub use hop_util as util;

@@ -1,0 +1,113 @@
+//! Failure injection: message reordering via network jitter.
+//!
+//! §6.1 explicitly does not assume the network preserves message order
+//! ("This may happen because we do not assume network preserves the
+//! message order"). These tests inject heavy per-message jitter — enough
+//! to reorder updates across iterations — and check that every protocol
+//! mode still terminates, still converges, and still respects the
+//! iteration-gap bounds.
+
+use hop::core::{HopConfig, Hyper, Protocol, SimExperiment};
+use hop::data::webspam::SyntheticWebspam;
+use hop::data::Dataset;
+use hop::graph::bounds;
+use hop::graph::{ShortestPaths, Topology};
+use hop::model::svm::Svm;
+use hop::sim::{ClusterSpec, LinkModel, SlowdownModel};
+
+fn jittery_experiment(cfg: HopConfig, jitter: f64) -> SimExperiment {
+    let n = 6;
+    SimExperiment {
+        topology: Topology::ring(n),
+        cluster: ClusterSpec::uniform(
+            n,
+            2,
+            0.01,
+            LinkModel::ethernet_1gbps().with_jitter(jitter),
+        ),
+        slowdown: SlowdownModel::paper_random(n),
+        protocol: Protocol::Hop(cfg),
+        hyper: Hyper::svm(),
+        max_iters: 60,
+        seed: 99,
+        eval_every: 15,
+        eval_examples: 128,
+    }
+}
+
+#[test]
+fn all_modes_survive_heavy_reordering() {
+    // Jitter of 3x the compute time guarantees frequent cross-iteration
+    // reordering of update arrivals.
+    let dataset = SyntheticWebspam::generate(512, 4);
+    let model = Svm::log_loss(dataset.feature_dim());
+    for cfg in [
+        HopConfig::standard(),
+        HopConfig::standard_with_tokens(4),
+        HopConfig::notify_ack(),
+        HopConfig::backup(1, 4),
+        HopConfig::staleness(3, 4),
+    ] {
+        let report = jittery_experiment(cfg.clone(), 0.03)
+            .run(&model, &dataset)
+            .expect("valid");
+        assert!(!report.deadlocked, "{cfg:?} deadlocked under jitter");
+        let first = report.eval_time.points()[0].1;
+        let last = report.eval_time.last().expect("eval").1;
+        assert!(
+            last < first,
+            "{cfg:?} failed to learn under jitter: {first} -> {last}"
+        );
+    }
+}
+
+#[test]
+fn theorem_1_holds_under_reordering() {
+    let dataset = SyntheticWebspam::generate(512, 4);
+    let model = Svm::log_loss(dataset.feature_dim());
+    let report = jittery_experiment(HopConfig::standard(), 0.05)
+        .run(&model, &dataset)
+        .expect("valid");
+    let topo = Topology::ring(6);
+    let sp = ShortestPaths::new(&topo);
+    let gaps = report.trace.max_pairwise_gap();
+    for i in 0..6 {
+        for j in 0..6 {
+            if i != j {
+                assert!(
+                    bounds::standard(sp.dist(j, i)).admits(gaps[i][j]),
+                    "gap({i},{j}) = {} violates Theorem 1 under reordering",
+                    gaps[i][j]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn jittered_runs_remain_deterministic() {
+    let dataset = SyntheticWebspam::generate(512, 4);
+    let model = Svm::log_loss(dataset.feature_dim());
+    let exp = jittery_experiment(HopConfig::backup(1, 4), 0.04);
+    let a = exp.run(&model, &dataset).expect("valid");
+    let b = exp.run(&model, &dataset).expect("valid");
+    assert_eq!(a.final_params, b.final_params);
+    assert_eq!(a.wall_time, b.wall_time);
+}
+
+#[test]
+fn rotating_queues_discard_reordered_stale_updates() {
+    // Under backup workers + jitter some updates arrive after their
+    // iteration was already satisfied; they must be counted as discarded
+    // stale updates rather than corrupt later reduces.
+    let dataset = SyntheticWebspam::generate(512, 4);
+    let model = Svm::log_loss(dataset.feature_dim());
+    let report = jittery_experiment(HopConfig::backup(1, 4), 0.05)
+        .run(&model, &dataset)
+        .expect("valid");
+    assert!(!report.deadlocked);
+    assert!(
+        report.stale_discarded > 0,
+        "expected stale discards under reordering + backup"
+    );
+}

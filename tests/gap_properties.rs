@@ -1,0 +1,177 @@
+//! Property-based tests of the iteration-gap theory (Theorems 1 and 2,
+//! Table 1) on randomized topologies, slowdowns and protocol settings.
+
+use hop::core::{HopConfig, Hyper, Protocol, SimExperiment};
+use hop::data::webspam::SyntheticWebspam;
+use hop::data::Dataset;
+use hop::graph::bounds::{self, BaseSetting};
+use hop::graph::{ShortestPaths, Topology};
+use hop::model::svm::Svm;
+use hop::sim::{ClusterSpec, LinkModel, SlowdownModel};
+use hop::util::Xoshiro256;
+use proptest::prelude::*;
+
+fn run_experiment(
+    topo: &Topology,
+    cfg: HopConfig,
+    slowdown: SlowdownModel,
+    seed: u64,
+) -> hop::core::TrainingReport {
+    let dataset = SyntheticWebspam::generate(256, 3);
+    let model = Svm::log_loss(dataset.feature_dim());
+    SimExperiment {
+        topology: topo.clone(),
+        cluster: ClusterSpec::uniform(topo.len(), 2, 0.01, LinkModel::ethernet_1gbps()),
+        slowdown,
+        protocol: Protocol::Hop(cfg),
+        hyper: Hyper::svm(),
+        max_iters: 40,
+        seed,
+        eval_every: 0,
+        eval_examples: 32,
+    }
+    .run(&model, &dataset)
+    .expect("valid config")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Theorem 1: standard decentralized training never exceeds
+    /// `Iter(i) - Iter(j) <= length(Path_{j->i})`, whatever the topology
+    /// and slowdown pattern.
+    #[test]
+    fn theorem_1_holds_on_random_topologies(seed in 0u64..200, n in 3usize..8, extra in 0usize..5) {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let topo = Topology::random_connected(n, extra, &mut rng);
+        let report = run_experiment(
+            &topo,
+            HopConfig::standard(),
+            SlowdownModel::paper_random(n),
+            seed,
+        );
+        prop_assert!(!report.deadlocked);
+        let sp = ShortestPaths::new(&topo);
+        let gaps = report.trace.max_pairwise_gap();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prop_assert!(
+                        bounds::standard(sp.dist(j, i)).admits(gaps[i][j]),
+                        "gap({i},{j}) = {} exceeds Theorem 1 on {topo}",
+                        gaps[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Theorem 2: token queues bound the gap by
+    /// `min(b0 * path(j->i), max_ig * path(i->j))` even with backup
+    /// workers (whose raw bound is infinite).
+    #[test]
+    fn theorem_2_holds_with_tokens_and_backup(seed in 0u64..200, max_ig in 1u64..5) {
+        let n = 6;
+        let topo = Topology::ring(n);
+        let report = run_experiment(
+            &topo,
+            HopConfig::backup(1, max_ig),
+            SlowdownModel::Compose(
+                Box::new(SlowdownModel::paper_random(n)),
+                Box::new(SlowdownModel::paper_straggler(n, (seed % n as u64) as usize, 4.0)),
+            ),
+            seed,
+        );
+        prop_assert!(!report.deadlocked);
+        let sp = ShortestPaths::new(&topo);
+        let gaps = report.trace.max_pairwise_gap();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let bound = BaseSetting::BackupWorkers.pair_bound_with_tokens(
+                        max_ig,
+                        sp.dist(j, i),
+                        sp.dist(i, j),
+                    );
+                    prop_assert!(
+                        bound.admits(gaps[i][j]),
+                        "gap({i},{j}) = {} exceeds {bound} (max_ig={max_ig})",
+                        gaps[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Staleness: adjacent workers never drift beyond `s + 1`.
+    #[test]
+    fn staleness_bounds_adjacent_gap(seed in 0u64..200, s in 1u64..5) {
+        let n = 6;
+        let topo = Topology::ring(n);
+        let report = run_experiment(
+            &topo,
+            HopConfig::staleness(s, s + 2),
+            SlowdownModel::paper_random(n),
+            seed,
+        );
+        prop_assert!(!report.deadlocked);
+        let gaps = report.trace.max_pairwise_gap();
+        for i in 0..n {
+            for j in topo.external_in_neighbors(i) {
+                prop_assert!(
+                    gaps[i][j] <= (s + 1) as i64,
+                    "adjacent staleness gap {} > s+1 = {}",
+                    gaps[i][j],
+                    s + 1
+                );
+            }
+        }
+    }
+
+    /// NOTIFY-ACK: the §3.3 bound `min(path(j->i), 2 * path(i->j))`.
+    #[test]
+    fn notify_ack_bound_holds(seed in 0u64..100) {
+        let n = 6;
+        let topo = Topology::ring(n);
+        let report = run_experiment(
+            &topo,
+            HopConfig::notify_ack(),
+            SlowdownModel::paper_random(n),
+            seed,
+        );
+        prop_assert!(!report.deadlocked);
+        let sp = ShortestPaths::new(&topo);
+        let gaps = report.trace.max_pairwise_gap();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prop_assert!(
+                        bounds::notify_ack(sp.dist(j, i), sp.dist(i, j)).admits(gaps[i][j])
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn token_gap_is_tight_for_an_extreme_straggler() {
+    // With one worker effectively frozen, the fast workers should get
+    // *close* to the token bound (not just under it). Standard mode won't
+    // do (Theorem 1 already caps adjacent gaps at 1); backup workers make
+    // the token bound the only active constraint.
+    let n = 4;
+    let topo = Topology::ring(n);
+    let report = run_experiment(
+        &topo,
+        HopConfig::backup(1, 3),
+        SlowdownModel::paper_straggler(n, 0, 50.0),
+        7,
+    );
+    let gaps = report.trace.max_pairwise_gap();
+    let neighbor_gap = gaps[1][0];
+    assert!(
+        (2..=3).contains(&neighbor_gap),
+        "expected near-bound gap, got {neighbor_gap}"
+    );
+}

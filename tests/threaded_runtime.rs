@@ -1,0 +1,105 @@
+//! Integration tests of the threaded runtime: the protocol on real OS
+//! threads with blocking queues, cross-checked against the simulator's
+//! semantics.
+
+use hop::core::threaded::ThreadedExperiment;
+use hop::core::{HopConfig, Hyper};
+use hop::data::webspam::SyntheticWebspam;
+use hop::data::Dataset;
+use hop::graph::Topology;
+use hop::model::svm::Svm;
+use hop::model::Model;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn experiment(config: HopConfig, topology: Topology) -> ThreadedExperiment {
+    ThreadedExperiment {
+        config,
+        topology,
+        max_iters: 60,
+        seed: 21,
+        hyper: Hyper::svm(),
+        compute_sleep: Duration::ZERO,
+        stall_timeout: Duration::from_secs(30),
+    }
+}
+
+#[test]
+fn threaded_standard_reaches_low_loss() {
+    let dataset = Arc::new(SyntheticWebspam::generate(1024, 5));
+    let model = Arc::new(Svm::log_loss(dataset.feature_dim()));
+    let report = experiment(HopConfig::standard_with_tokens(4), Topology::ring(6))
+        .run(model.clone(), dataset.clone())
+        .expect("runs");
+    let avg = report.averaged_params();
+    let eval: Vec<usize> = (0..256).collect();
+    let loss = model.loss(&avg, &dataset.batch(&eval));
+    assert!(loss < 0.5, "threaded averaged loss {loss}");
+}
+
+#[test]
+fn threaded_modes_match_simulator_quality() {
+    // Both runtimes implement the same semantics; their final losses land
+    // in the same ballpark for each mode on the same workload.
+    let dataset = Arc::new(SyntheticWebspam::generate(1024, 5));
+    let model = Arc::new(Svm::log_loss(dataset.feature_dim()));
+    let eval: Vec<usize> = (0..256).collect();
+    for cfg in [
+        HopConfig::standard_with_tokens(4),
+        HopConfig::backup(1, 4),
+        HopConfig::staleness(3, 4),
+    ] {
+        let threaded = experiment(cfg.clone(), Topology::ring(6))
+            .run(model.clone(), dataset.clone())
+            .expect("threaded runs");
+        let sim = hop::core::SimExperiment {
+            topology: Topology::ring(6),
+            cluster: hop::sim::ClusterSpec::uniform(
+                6,
+                2,
+                0.01,
+                hop::sim::LinkModel::ethernet_1gbps(),
+            ),
+            slowdown: hop::sim::SlowdownModel::None,
+            protocol: hop::core::Protocol::Hop(cfg.clone()),
+            hyper: Hyper::svm(),
+            max_iters: 60,
+            seed: 21,
+            eval_every: 0,
+            eval_examples: 128,
+        }
+        .run(model.as_ref(), dataset.as_ref())
+        .expect("sim runs");
+        let threaded_loss = model.loss(&threaded.averaged_params(), &dataset.batch(&eval));
+        let sim_loss = model.loss(&sim.averaged_params(), &dataset.batch(&eval));
+        assert!(
+            (threaded_loss - sim_loss).abs() < 0.15,
+            "{cfg:?}: threaded {threaded_loss} vs sim {sim_loss}"
+        );
+    }
+}
+
+#[test]
+fn threaded_handles_larger_rings() {
+    let dataset = Arc::new(SyntheticWebspam::generate(512, 5));
+    let model = Arc::new(Svm::log_loss(dataset.feature_dim()));
+    let mut exp = experiment(HopConfig::standard_with_tokens(3), Topology::ring_based(12));
+    exp.max_iters = 30;
+    let report = exp.run(model, dataset).expect("12 threads run");
+    assert_eq!(report.final_params.len(), 12);
+    for losses in &report.losses {
+        assert_eq!(losses.len(), 30);
+    }
+}
+
+#[test]
+fn threaded_with_simulated_compute_jitter() {
+    // Distinct per-thread sleeps exercise genuinely skewed interleavings.
+    let dataset = Arc::new(SyntheticWebspam::generate(256, 5));
+    let model = Arc::new(Svm::log_loss(dataset.feature_dim()));
+    let mut exp = experiment(HopConfig::backup(1, 3), Topology::ring(4));
+    exp.compute_sleep = Duration::from_micros(300);
+    exp.max_iters = 40;
+    let report = exp.run(model, dataset).expect("runs with jitter");
+    assert_eq!(report.final_params.len(), 4);
+}
