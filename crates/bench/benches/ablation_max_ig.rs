@@ -1,6 +1,6 @@
 //! Ablation: the token-queue bound `max_ig` (§4.2).
 //!
-//! DESIGN.md calls this trade-off out: a small `max_ig` keeps update
+//! The trade-off: a small `max_ig` keeps update
 //! queues tiny and the gap tight but couples workers to stragglers
 //! quickly; a large one buys slack at the cost of memory and staleness.
 //! Sweeps `max_ig` for the backup-worker setting under random slowdown

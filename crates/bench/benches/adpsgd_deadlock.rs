@@ -51,7 +51,11 @@ fn main() {
         ("ring(5)", Topology::ring(5), false),
     ];
     for (name, topo, bipartite) in &cases {
-        let schedule = if *bipartite { "one-side initiates" } else { "all initiate" };
+        let schedule = if *bipartite {
+            "one-side initiates"
+        } else {
+            "all initiate"
+        };
         let (d, t) = deadlock_rate(topo, *bipartite, 20);
         table.add_row(vec![
             name.to_string(),

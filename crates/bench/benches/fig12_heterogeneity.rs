@@ -37,11 +37,8 @@ fn main() {
         let mut hetero_times = Vec::new();
         for (name, topo) in &graphs {
             for hetero in [false, true] {
-                let mut exp = experiment(
-                    topo.clone(),
-                    Protocol::Hop(HopConfig::standard()),
-                    workload,
-                );
+                let mut exp =
+                    experiment(topo.clone(), Protocol::Hop(HopConfig::standard()), workload);
                 exp.max_iters = iters;
                 exp.slowdown = if hetero {
                     SlowdownModel::paper_random(n)

@@ -49,8 +49,12 @@ fn main() {
             let mut exp = experiment(Topology::ring_based(n), protocol, workload);
             // Scale wire payloads to a full-size model (VGG11-class for
             // the CNN task): the PS hotspot only exists when parameter
-            // traffic is non-trivial relative to compute (DESIGN.md §2).
-            let scale = if workload == Workload::Cnn { 2000.0 } else { 1000.0 };
+            // traffic is non-trivial relative to compute (see the README).
+            let scale = if workload == Workload::Cnn {
+                2000.0
+            } else {
+                1000.0
+            };
             exp.cluster = hop_sim::ClusterSpec::uniform(
                 n,
                 4,
@@ -72,7 +76,10 @@ fn main() {
         println!("\n[{}] threshold eval loss = {threshold}", workload.name());
         print!("{table}");
         if let (Some(dec), Some(ps)) = (times[0].1, times[2].1) {
-            println!("decentralized speedup over PS at threshold: {:.2}x", ps / dec);
+            println!(
+                "decentralized speedup over PS at threshold: {:.2}x",
+                ps / dec
+            );
         }
     }
 }

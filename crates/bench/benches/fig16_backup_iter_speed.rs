@@ -33,11 +33,7 @@ fn main() {
             ("standard+tokens", HopConfig::standard_with_tokens(5)),
             ("backup N_buw=1", HopConfig::backup(1, 5)),
         ] {
-            let mut exp = experiment(
-                Topology::ring_based(n),
-                Protocol::Hop(cfg),
-                workload,
-            );
+            let mut exp = experiment(Topology::ring_based(n), Protocol::Hop(cfg), workload);
             exp.max_iters = 120;
             exp.slowdown = slowdown.clone();
             exp.eval_every = 0;

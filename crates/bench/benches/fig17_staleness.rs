@@ -49,6 +49,9 @@ fn main() {
     print!("{table}");
     let standard = walls[0].1;
     for &(name, t) in &walls[1..] {
-        println!("{name}: wall-time speedup over standard = {:.2}x", standard / t);
+        println!(
+            "{name}: wall-time speedup over standard = {:.2}x",
+            standard / t
+        );
     }
 }

@@ -28,8 +28,14 @@ fn main() {
         let configs: [(&str, HopConfig); 4] = [
             ("standard+tokens", HopConfig::standard_with_tokens(5)),
             ("backup N_buw=1", HopConfig::backup(1, 5)),
-            ("backup + skip(2)", HopConfig::backup(1, 5).with_skip(skip(2))),
-            ("backup + skip(10)", HopConfig::backup(1, 5).with_skip(skip(10))),
+            (
+                "backup + skip(2)",
+                HopConfig::backup(1, 5).with_skip(skip(2)),
+            ),
+            (
+                "backup + skip(10)",
+                HopConfig::backup(1, 5).with_skip(skip(10)),
+            ),
         ];
         let mut table = Table::new(vec![
             "protocol",
@@ -58,7 +64,10 @@ fn main() {
         print!("{table}");
         let standard = walls[0].1;
         for &(name, t) in &walls[1..] {
-            println!("{name}: wall-time speedup over standard = {:.2}x", standard / t);
+            println!(
+                "{name}: wall-time speedup over standard = {:.2}x",
+                standard / t
+            );
         }
     }
 }

@@ -12,8 +12,14 @@ fn bench_tagged_queue(c: &mut Criterion) {
         b.iter(|| {
             let mut q = TaggedQueue::unbounded();
             for i in 0..64u64 {
-                q.enqueue(black_box(i), Tag { iter: i % 4, w_id: (i % 8) as usize })
-                    .unwrap();
+                q.enqueue(
+                    black_box(i),
+                    Tag {
+                        iter: i % 4,
+                        w_id: (i % 8) as usize,
+                    },
+                )
+                .unwrap();
             }
             for iter in 0..4 {
                 black_box(q.drain_matching(TagFilter::iter(iter)));
@@ -27,8 +33,14 @@ fn bench_rotating_queues(c: &mut Criterion) {
         b.iter(|| {
             let mut q = RotatingQueues::new(5);
             for i in 0..64u64 {
-                q.enqueue(black_box(i), Tag { iter: i % 6, w_id: (i % 8) as usize })
-                    .unwrap();
+                q.enqueue(
+                    black_box(i),
+                    Tag {
+                        iter: i % 6,
+                        w_id: (i % 8) as usize,
+                    },
+                )
+                .unwrap();
             }
             for iter in 0..6 {
                 black_box(q.dequeue_up_to(16, iter));
@@ -53,8 +65,11 @@ fn bench_token_queue(c: &mut Criterion) {
 fn bench_reduce(c: &mut Criterion) {
     let updates: Vec<Vec<f32>> = (0..5).map(|i| vec![i as f32; 4096]).collect();
     let views: Vec<&[f32]> = updates.iter().map(Vec::as_slice).collect();
-    let staleness_views: Vec<(u64, &[f32])> =
-        views.iter().enumerate().map(|(i, &v)| (i as u64 + 10, v)).collect();
+    let staleness_views: Vec<(u64, &[f32])> = views
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (i as u64 + 10, v))
+        .collect();
     let mut out = vec![0.0f32; 4096];
     c.bench_function("reduce_mean_5x4096", |b| {
         b.iter(|| hop_core::semantics::reduce_mean(black_box(&views), &mut out))

@@ -15,6 +15,9 @@ use hop_graph::{ShortestPaths, Topology};
 use hop_metrics::Table;
 use hop_sim::SlowdownModel;
 
+/// Closed-form bound for an ordered worker pair `(i, j)`.
+type PairBound = Box<dyn Fn(usize, usize) -> Bound>;
+
 fn worst_bound(
     topo: &Topology,
     sp: &ShortestPaths,
@@ -55,7 +58,7 @@ fn main() {
         "observed max gap",
         "holds",
     ]);
-    let cases: Vec<(&str, HopConfig, Box<dyn Fn(usize, usize) -> Bound>)> = vec![
+    let cases: Vec<(&str, HopConfig, PairBound)> = vec![
         (
             "standard decentralized",
             HopConfig::standard(),

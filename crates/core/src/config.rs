@@ -359,7 +359,9 @@ mod tests {
     #[test]
     fn standard_validates() {
         HopConfig::standard().validate(&ring()).unwrap();
-        HopConfig::standard_with_tokens(5).validate(&ring()).unwrap();
+        HopConfig::standard_with_tokens(5)
+            .validate(&ring())
+            .unwrap();
         HopConfig::notify_ack().validate(&ring()).unwrap();
     }
 

@@ -71,12 +71,7 @@ pub fn staleness_weight(update_iter: u64, k: u64, s: u64) -> f32 {
 }
 
 /// The weight of an update under the chosen [`StalenessWeighting`].
-pub fn staleness_weight_with(
-    scheme: StalenessWeighting,
-    update_iter: u64,
-    k: u64,
-    s: u64,
-) -> f32 {
+pub fn staleness_weight_with(scheme: StalenessWeighting, update_iter: u64, k: u64, s: u64) -> f32 {
     match scheme {
         StalenessWeighting::Linear => staleness_weight(update_iter, k, s),
         StalenessWeighting::Uniform => 1.0,

@@ -9,30 +9,31 @@
 //! side initiate averaging — which §5 criticizes as constraining topology
 //! choice. This module implements both behaviors so the deadlock is
 //! demonstrable and the bipartite schedule testable.
+//!
+//! Runs through the shared [`super::engine::SimEngine`]; wait-cycle
+//! detection aborts the pump, which surfaces as
+//! [`TrainingReport::deadlocked`].
 
 use crate::config::AdPsgdConfig;
 use crate::report::TrainingReport;
 use crate::trainer::Hyper;
-use hop_data::{BatchSampler, Dataset, InMemoryDataset};
+use hop_data::InMemoryDataset;
 use hop_graph::Topology;
-use hop_model::{Model, Sgd};
-use hop_sim::{ClusterSpec, EventQueue, Network, SlowdownModel, Trace};
-use hop_util::Xoshiro256;
+use hop_model::Model;
+use hop_sim::{ClusterSpec, SlowdownModel};
 use std::collections::VecDeque;
 
-use super::recorder::{EvalConfig, Recorder};
+use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
+use super::recorder::EvalConfig;
 
 enum Ev {
     ComputeDone { w: usize },
     AvgDone { active: usize, passive: usize },
 }
 
+/// Protocol-specific per-worker state; parameters, optimizer, sampler and
+/// RNG live in the engine's [`WorkerCommon`].
 struct WorkerSt {
-    params: Vec<f32>,
-    opt: Sgd,
-    sampler: BatchSampler,
-    rng: Xoshiro256,
-    iter: u64,
     /// Engaged in an averaging exchange (as either side).
     busy: bool,
     /// The neighbor this worker is queued on, if any.
@@ -41,7 +42,6 @@ struct WorkerSt {
     wait_queue: VecDeque<usize>,
     /// Gradient computed this iteration, applied after averaging.
     pending_grad: Option<Vec<f32>>,
-    done: bool,
     /// Whether this worker initiates averaging (bipartite: one side only).
     initiates: bool,
 }
@@ -70,153 +70,167 @@ pub fn run(
         !cfg.require_bipartite || bipartite_sides.is_some(),
         "AD-PSGD with require_bipartite needs a bipartite graph (checked by the trainer)"
     );
-    let mut init_rng = Xoshiro256::seed_from_u64(seed);
-    let init_params = model.init_params(&mut init_rng);
-    let param_bytes = init_params.len() as u64 * 4;
-    let mut workers: Vec<WorkerSt> = (0..n)
+    let engine = SimEngine::new(
+        cluster.clone(),
+        n,
+        slowdown,
+        model,
+        dataset,
+        hyper,
+        max_iters,
+        seed,
+        eval,
+    );
+    let workers = (0..n)
         .map(|w| WorkerSt {
-            params: init_params.clone(),
-            opt: Sgd::new(
-                hyper.lr,
-                hyper.momentum,
-                hyper.weight_decay,
-                init_params.len(),
-            ),
-            sampler: BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w),
-            rng: Xoshiro256::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37)),
-            iter: 0,
             busy: false,
             waiting_on: None,
             wait_queue: VecDeque::new(),
             pending_grad: None,
-            done: false,
             initiates: match (&bipartite_sides, cfg.require_bipartite) {
                 (Some(colors), true) => colors[w] == 0,
                 _ => true,
             },
         })
         .collect();
-    let mut net = Network::new(cluster.clone());
-    let mut events: EventQueue<Ev> = EventQueue::new();
-    let mut trace = Trace::new(n);
-    let mut recorder = Recorder::new(n, eval, dataset);
-    let mut grad_buf = vec![0.0f32; init_params.len()];
-    for w in 0..n {
-        trace.record(w, 0, 0.0);
-        let dur = cluster.base_compute(w) * slowdown.factor(seed, w, 0);
-        events.push(dur, Ev::ComputeDone { w });
+    let mut proto = AdPsgd {
+        topology,
+        workers,
+        grad_buf: vec![0.0f32; engine.init_params().len()],
+    };
+    engine.drive(&mut proto)
+}
+
+/// The AD-PSGD atomic pairwise-averaging state machine.
+struct AdPsgd<'a> {
+    topology: &'a Topology,
+    workers: Vec<WorkerSt>,
+    grad_buf: Vec<f32>,
+}
+
+impl AdPsgd<'_> {
+    fn start_averaging(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        active: usize,
+        passive: usize,
+        now: f64,
+    ) {
+        self.workers[active].busy = true;
+        self.workers[passive].busy = true;
+        self.workers[active].waiting_on = None;
+        // One round trip of parameters.
+        let there = eng.net.transfer(now, active, passive, eng.param_bytes);
+        let back = eng.net.transfer(there, passive, active, eng.param_bytes);
+        eng.events.push(back, Ev::AvgDone { active, passive });
     }
-    let mut deadlocked = false;
-    while let Some((now, ev)) = events.pop() {
+
+    fn finish_iteration(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
+        let grad = self.workers[w]
+            .pending_grad
+            .take()
+            .expect("gradient pending");
+        let WorkerCommon { opt, params, .. } = &mut eng.workers[w];
+        opt.step(params, &grad);
+        eng.workers[w].iter += 1;
+        let k = eng.workers[w].iter;
+        eng.trace.record(w, k, now);
+        if k >= eng.max_iters {
+            eng.finish_worker(w);
+            return;
+        }
+        let dur = eng.compute_duration(w, k);
+        eng.events.push(now + dur, Ev::ComputeDone { w });
+    }
+
+    fn has_wait_cycle(&self, start: usize) -> bool {
+        let mut cur = start;
+        let mut hops = 0;
+        while let Some(next) = self.workers[cur].waiting_on {
+            if next == start {
+                return true;
+            }
+            cur = next;
+            hops += 1;
+            if hops > self.workers.len() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl WorkerProtocol for AdPsgd<'_> {
+    type Event = Ev;
+
+    fn start(&mut self, eng: &mut SimEngine<'_, Ev>) {
+        for w in 0..eng.workers.len() {
+            eng.trace.record(w, 0, 0.0);
+            let dur = eng.compute_duration(w, 0);
+            eng.events.push(dur, Ev::ComputeDone { w });
+        }
+    }
+
+    fn on_event(&mut self, eng: &mut SimEngine<'_, Ev>, now: f64, ev: Ev) {
         match ev {
             Ev::ComputeDone { w } => {
-                let state = &mut workers[w];
-                let batch = state.sampler.next_batch(dataset);
-                let loss = model.loss_grad(&state.params, &batch, &mut grad_buf);
-                recorder.train_loss(w, state.iter, now, loss);
-                state.pending_grad = Some(grad_buf.clone());
-                if state.initiates {
-                    let neighbors = topology.external_out_neighbors(w);
-                    let partner = *workers[w].rng.choose(&neighbors);
-                    workers[w].busy = true;
-                    if workers[partner].busy {
-                        workers[partner].wait_queue.push_back(w);
-                        workers[w].waiting_on = Some(partner);
-                        if has_wait_cycle(&workers, w) {
-                            deadlocked = true;
-                            break;
+                eng.local_grad(w, now, &mut self.grad_buf);
+                self.workers[w].pending_grad = Some(self.grad_buf.clone());
+                if self.workers[w].initiates {
+                    let neighbors = self.topology.external_out_neighbors(w);
+                    let partner = *eng.workers[w].rng.choose(&neighbors);
+                    self.workers[w].busy = true;
+                    if self.workers[partner].busy {
+                        self.workers[partner].wait_queue.push_back(w);
+                        self.workers[w].waiting_on = Some(partner);
+                        if self.has_wait_cycle(w) {
+                            eng.abort();
                         }
                     } else {
-                        start_averaging(&mut workers, &mut net, &mut events, w, partner, now, param_bytes);
+                        self.start_averaging(eng, w, partner, now);
                     }
                 } else {
                     // Passive side: apply the gradient locally and continue;
                     // actives will average with it asynchronously.
-                    finish_iteration(
-                        &mut workers,
-                        &mut trace,
-                        &mut events,
-                        cluster,
-                        slowdown,
-                        seed,
-                        w,
-                        now,
-                        max_iters,
-                    );
+                    self.finish_iteration(eng, w, now);
                 }
             }
             Ev::AvgDone { active, passive } => {
                 // Atomic pairwise average: both sides take the mean.
-                for i in 0..workers[active].params.len() {
+                for i in 0..eng.workers[active].params.len() {
                     let mean =
-                        0.5 * (workers[active].params[i] + workers[passive].params[i]);
-                    workers[active].params[i] = mean;
-                    workers[passive].params[i] = mean;
+                        0.5 * (eng.workers[active].params[i] + eng.workers[passive].params[i]);
+                    eng.workers[active].params[i] = mean;
+                    eng.workers[passive].params[i] = mean;
                 }
-                workers[active].busy = false;
-                workers[passive].busy = false;
-                finish_iteration(
-                    &mut workers,
-                    &mut trace,
-                    &mut events,
-                    cluster,
-                    slowdown,
-                    seed,
-                    active,
-                    now,
-                    max_iters,
-                );
+                self.workers[active].busy = false;
+                self.workers[passive].busy = false;
+                self.finish_iteration(eng, active, now);
                 // Serve the next waiter of either side.
                 for side in [passive, active] {
-                    if workers[side].busy {
+                    if self.workers[side].busy {
                         continue;
                     }
-                    if let Some(req) = workers[side].wait_queue.pop_front() {
-                        workers[req].waiting_on = None;
-                        start_averaging(
-                            &mut workers,
-                            &mut net,
-                            &mut events,
-                            req,
-                            side,
-                            now,
-                            param_bytes,
-                        );
+                    if let Some(req) = self.workers[side].wait_queue.pop_front() {
+                        self.workers[req].waiting_on = None;
+                        self.start_averaging(eng, req, side, now);
                     }
                 }
             }
         }
-        if w_all_done(&workers) {
-            break;
-        }
     }
-    deadlocked = deadlocked || !w_all_done(&workers);
-    // Always record one final evaluation of the parameter averages so even
-    // eval-disabled runs report a terminal loss.
-    let views: Vec<&[f32]> = workers.iter().map(|s| s.params.as_slice()).collect();
-    recorder.evaluate(
-        model,
-        dataset,
-        &views,
-        events.now(),
-        workers.iter().map(|s| s.iter).min().unwrap_or(0),
-    );
-    TrainingReport {
-        trace,
-        train_loss_time: recorder.train_time,
-        train_loss_steps: recorder.train_steps,
-        eval_time: recorder.eval_time,
-        eval_steps: recorder.eval_steps,
-        final_params: workers.into_iter().map(|s| s.params).collect(),
-        wall_time: events.now(),
-        stale_discarded: 0,
-        bytes_sent: net.bytes_sent(),
-        deadlocked,
-    }
-}
 
-fn w_all_done(workers: &[WorkerSt]) -> bool {
-    workers.iter().all(|s| s.done)
+    fn on_finish(&mut self, eng: &mut SimEngine<'_, Ev>) {
+        // Always record one final evaluation of the parameter averages so
+        // even eval-disabled runs report a terminal loss.
+        let now = eng.events.now();
+        let min_iter = eng.workers.iter().map(|s| s.iter).min().unwrap_or(0);
+        eng.evaluate_worker_average(now, min_iter);
+    }
+
+    fn final_params(&mut self, eng: &SimEngine<'_, Ev>) -> Vec<Vec<f32>> {
+        eng.workers.iter().map(|s| s.params.clone()).collect()
+    }
 }
 
 fn two_color(topology: &Topology) -> Option<Vec<u8>> {
@@ -241,67 +255,6 @@ fn two_color(topology: &Topology) -> Option<Vec<u8>> {
         }
     }
     Some(color)
-}
-
-fn has_wait_cycle(workers: &[WorkerSt], start: usize) -> bool {
-    let mut cur = start;
-    let mut hops = 0;
-    while let Some(next) = workers[cur].waiting_on {
-        if next == start {
-            return true;
-        }
-        cur = next;
-        hops += 1;
-        if hops > workers.len() {
-            return true;
-        }
-    }
-    false
-}
-
-#[allow(clippy::too_many_arguments)]
-fn start_averaging(
-    workers: &mut [WorkerSt],
-    net: &mut Network,
-    events: &mut EventQueue<Ev>,
-    active: usize,
-    passive: usize,
-    now: f64,
-    param_bytes: u64,
-) {
-    workers[active].busy = true;
-    workers[passive].busy = true;
-    workers[active].waiting_on = None;
-    // One round trip of parameters.
-    let there = net.transfer(now, active, passive, param_bytes);
-    let back = net.transfer(there, passive, active, param_bytes);
-    events.push(back, Ev::AvgDone { active, passive });
-}
-
-#[allow(clippy::too_many_arguments)]
-fn finish_iteration(
-    workers: &mut [WorkerSt],
-    trace: &mut Trace,
-    events: &mut EventQueue<Ev>,
-    cluster: &ClusterSpec,
-    slowdown: &SlowdownModel,
-    seed: u64,
-    w: usize,
-    now: f64,
-    max_iters: u64,
-) {
-    let grad = workers[w].pending_grad.take().expect("gradient pending");
-    let WorkerSt { opt, params, .. } = &mut workers[w];
-    opt.step(params, &grad);
-    workers[w].iter += 1;
-    let k = workers[w].iter;
-    trace.record(w, k, now);
-    if k >= max_iters {
-        workers[w].done = true;
-        return;
-    }
-    let dur = cluster.base_compute(w) * slowdown.factor(seed, w, k);
-    events.push(now + dur, Ev::ComputeDone { w });
 }
 
 #[cfg(test)]
@@ -360,7 +313,9 @@ mod tests {
         // A triangle with every worker initiating: some seed deadlocks
         // quickly (the §5 argument for why AD-PSGD constrains topology).
         let topo = Topology::complete(3);
-        let deadlocks = (0..20).filter(|&s| run_on(&topo, false, s).deadlocked).count();
+        let deadlocks = (0..20)
+            .filter(|&s| run_on(&topo, false, s).deadlocked)
+            .count();
         assert!(
             deadlocks > 0,
             "expected at least one deadlock across seeds on a non-bipartite graph"

@@ -7,20 +7,25 @@
 //! synchronization provided by the rotating update queues of §6.1 and,
 //! when configured, the token queues of §4.2, backup workers (Fig. 8),
 //! bounded staleness (Fig. 9) and skipping iterations (§5).
+//!
+//! The event pump, per-worker common state and recording live in the
+//! shared [`super::engine::SimEngine`]; this module contributes only the
+//! protocol state machine as a [`WorkerProtocol`] implementation.
 
 use crate::config::{ComputeOrder, HopConfig, SyncMode};
 use crate::report::TrainingReport;
 use crate::semantics;
 use crate::trainer::Hyper;
-use hop_data::{BatchSampler, Dataset, InMemoryDataset};
+use hop_data::InMemoryDataset;
 use hop_graph::Topology;
-use hop_model::{Model, Sgd};
+use hop_model::Model;
 use hop_queue::{RotatingQueues, Tag};
-use hop_sim::{ClusterSpec, EventQueue, Network, SlowdownModel, Trace};
+use hop_sim::{ClusterSpec, SlowdownModel};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use super::recorder::{EvalConfig, Recorder};
+use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
+use super::recorder::EvalConfig;
 
 /// When token queues are disabled, rotating queues still need a modulus;
 /// this must exceed any reachable iteration gap. The runtime uses the
@@ -54,18 +59,31 @@ enum Phase {
 }
 
 enum Ev {
-    ComputeDone { w: usize, iter: u64 },
-    Update { to: usize, from: usize, iter: u64, params: Arc<Vec<f32>> },
-    Tokens { to: usize, from: usize, count: u64 },
-    Ack { to: usize },
+    ComputeDone {
+        w: usize,
+        iter: u64,
+    },
+    Update {
+        to: usize,
+        from: usize,
+        iter: u64,
+        params: Arc<Vec<f32>>,
+    },
+    Tokens {
+        to: usize,
+        from: usize,
+        count: u64,
+    },
+    Ack {
+        to: usize,
+    },
 }
 
+/// Protocol-specific per-worker state; common state (params, optimizer,
+/// sampler, iteration counter) lives in the engine's [`WorkerCommon`].
 struct WorkerSt {
-    iter: u64,
-    params: Vec<f32>,
+    /// Parameter snapshot gradients are computed on (parallel order).
     compute_params: Vec<f32>,
-    opt: Sgd,
-    sampler: BatchSampler,
     grad: Vec<f32>,
     delta: Vec<f32>,
     queue: RotatingQueues<Arc<Vec<f32>>>,
@@ -103,50 +121,36 @@ pub fn run(
         topology.len(),
         "cluster and topology sizes must match"
     );
-    Engine::new(
-        cfg, topology, cluster, slowdown, model, dataset, hyper, max_iters, seed, eval,
-    )
-    .run()
+    let engine = SimEngine::new(
+        cluster.clone(),
+        topology.len(),
+        slowdown,
+        model,
+        dataset,
+        hyper,
+        max_iters,
+        seed,
+        eval,
+    );
+    let mut proto = Decentralized::new(cfg, topology, &engine);
+    engine.drive(&mut proto)
 }
 
-struct Engine<'a> {
+/// The Hop/NOTIFY-ACK worker state machine.
+struct Decentralized<'a> {
     cfg: &'a HopConfig,
     topology: &'a Topology,
-    slowdown: &'a SlowdownModel,
-    model: &'a dyn Model,
-    dataset: &'a InMemoryDataset,
-    max_iters: u64,
-    seed: u64,
-    net: Network,
-    events: EventQueue<Ev>,
-    workers: Vec<WorkerSt>,
-    trace: Trace,
-    recorder: Recorder,
-    param_bytes: u64,
     max_ig: Option<u64>,
     skipped_sends: u64,
+    workers: Vec<WorkerSt>,
 }
 
-impl<'a> Engine<'a> {
-    #[allow(clippy::too_many_arguments)]
-    fn new(
-        cfg: &'a HopConfig,
-        topology: &'a Topology,
-        cluster: &ClusterSpec,
-        slowdown: &'a SlowdownModel,
-        model: &'a dyn Model,
-        dataset: &'a InMemoryDataset,
-        hyper: &Hyper,
-        max_iters: u64,
-        seed: u64,
-        eval: EvalConfig,
-    ) -> Self {
-        let n = topology.len();
-        let mut init_rng = hop_util::Xoshiro256::seed_from_u64(seed);
-        let init_params = model.init_params(&mut init_rng);
+impl<'a> Decentralized<'a> {
+    fn new(cfg: &'a HopConfig, topology: &'a Topology, eng: &SimEngine<'_, Ev>) -> Self {
         let window = rotation_window(cfg, topology);
         let max_ig = cfg.max_ig();
-        let workers = (0..n)
+        let dim = eng.init_params().len();
+        let workers = (0..topology.len())
             .map(|w| {
                 let mut tokens_from = HashMap::new();
                 if let Some(ig) = max_ig {
@@ -155,23 +159,9 @@ impl<'a> Engine<'a> {
                     }
                 }
                 WorkerSt {
-                    iter: 0,
-                    params: init_params.clone(),
-                    compute_params: init_params.clone(),
-                    opt: Sgd::new(
-                        hyper.lr,
-                        hyper.momentum,
-                        hyper.weight_decay,
-                        init_params.len(),
-                    ),
-                    sampler: BatchSampler::for_worker(
-                        dataset.len(),
-                        hyper.batch_size,
-                        seed,
-                        w,
-                    ),
-                    grad: vec![0.0; init_params.len()],
-                    delta: vec![0.0; init_params.len()],
+                    compute_params: eng.init_params().to_vec(),
+                    grad: vec![0.0; dim],
+                    delta: vec![0.0; dim],
                     queue: RotatingQueues::new(window),
                     newest_from: HashMap::new(),
                     tokens_from,
@@ -183,131 +173,78 @@ impl<'a> Engine<'a> {
         Self {
             cfg,
             topology,
-            slowdown,
-            model,
-            dataset,
-            max_iters,
-            seed,
-            net: Network::new(cluster.clone()),
-            events: EventQueue::new(),
-            workers,
-            trace: Trace::new(n),
-            recorder: Recorder::new(n, eval, dataset),
-            param_bytes: init_params.len() as u64 * 4,
             max_ig,
             skipped_sends: 0,
-        }
-    }
-
-    fn run(mut self) -> TrainingReport {
-        let n = self.topology.len();
-        for w in 0..n {
-            self.enter_iteration(w, 0, 0.0, 0);
-        }
-        // Generous safety valve against runaway event storms.
-        let mut budget = (self.max_iters + 2) * (n as u64) * 64 + 10_000;
-        while let Some((now, ev)) = self.events.pop() {
-            budget -= 1;
-            if budget == 0 {
-                break;
-            }
-            match ev {
-                Ev::ComputeDone { w, iter } => self.on_compute_done(w, iter, now),
-                Ev::Update {
-                    to,
-                    from,
-                    iter,
-                    params,
-                } => self.on_update(to, from, iter, params, now),
-                Ev::Tokens { to, from, count } => self.on_tokens(to, from, count, now),
-                Ev::Ack { to } => self.on_ack(to, now),
-            }
-            if self.workers.iter().all(|w| w.phase == Phase::Finished) {
-                break;
-            }
-        }
-        let deadlocked = self.workers.iter().any(|w| w.phase != Phase::Finished);
-        let wall_time = self.events.now();
-        TrainingReport {
-            trace: self.trace,
-            train_loss_time: self.recorder.train_time,
-            train_loss_steps: self.recorder.train_steps,
-            eval_time: self.recorder.eval_time,
-            eval_steps: self.recorder.eval_steps,
-            final_params: self.workers.iter().map(|w| w.params.clone()).collect(),
-            wall_time,
-            stale_discarded: self
-                .workers
-                .iter()
-                .map(|w| w.queue.stale_discarded())
-                .sum(),
-            bytes_sent: self.net.bytes_sent(),
-            deadlocked,
+            workers,
         }
     }
 
     /// Advances `w` into `new_iter`, inserting `token_steps` tokens for
     /// in-neighbors, issuing sends (parallel order) and scheduling compute.
-    fn enter_iteration(&mut self, w: usize, new_iter: u64, now: f64, token_steps: u64) {
-        self.workers[w].iter = new_iter;
-        self.trace.record(w, new_iter, now);
+    fn enter_iteration(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        w: usize,
+        new_iter: u64,
+        now: f64,
+        token_steps: u64,
+    ) {
+        eng.workers[w].iter = new_iter;
+        eng.trace.record(w, new_iter, now);
         if self.max_ig.is_some() && token_steps > 0 {
-            self.insert_tokens(w, token_steps, now);
+            self.insert_tokens(eng, w, token_steps, now);
         }
-        if self.recorder.crossed_boundary(new_iter) {
-            let params: Vec<&[f32]> = self.workers.iter().map(|s| s.params.as_slice()).collect();
-            self.recorder
-                .evaluate(self.model, self.dataset, &params, now, new_iter);
+        if eng.recorder.crossed_boundary(new_iter) {
+            eng.evaluate_worker_average(now, new_iter);
         }
-        if new_iter >= self.max_iters {
-            self.finish_worker(w, now);
+        if new_iter >= eng.max_iters {
+            self.finish_worker(eng, w, now);
             return;
         }
-        let state = &mut self.workers[w];
-        state.compute_params.copy_from_slice(&state.params);
-        state.phase = Phase::Computing;
+        self.workers[w]
+            .compute_params
+            .copy_from_slice(&eng.workers[w].params);
+        self.workers[w].phase = Phase::Computing;
         if self.cfg.order == ComputeOrder::Parallel {
-            self.do_send(w, new_iter, now);
+            self.do_send(eng, w, new_iter, now);
         }
-        let duration = self.compute_duration(w, new_iter);
-        self.events.push(
-            now + duration,
-            Ev::ComputeDone {
-                w,
-                iter: new_iter,
-            },
-        );
-    }
-
-    fn compute_duration(&self, w: usize, iter: u64) -> f64 {
-        self.net.spec().base_compute(w) * self.slowdown.factor(self.seed, w, iter)
+        let duration = eng.compute_duration(w, new_iter);
+        eng.events
+            .push(now + duration, Ev::ComputeDone { w, iter: new_iter });
     }
 
     /// Grants `count` tokens to every external in-neighbor (they consume
     /// from `TokenQ(w -> j)`); visibility is delayed by a control message.
-    fn insert_tokens(&mut self, w: usize, count: u64, now: f64) {
+    fn insert_tokens(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, count: u64, now: f64) {
         for j in self.topology.external_in_neighbors(w) {
-            let at = self.net.control(now, w, j);
-            self.events.push(at, Ev::Tokens { to: j, from: w, count });
+            let at = eng.net.control(now, w, j);
+            eng.events.push(
+                at,
+                Ev::Tokens {
+                    to: j,
+                    from: w,
+                    count,
+                },
+            );
         }
     }
 
     /// The Send of iteration `iter`: self-loop delivery is immediate;
     /// external sends go over the network (with the §6.2(b) inquiry
     /// optimization when enabled).
-    fn do_send(&mut self, w: usize, iter: u64, now: f64) {
-        let params = Arc::new(self.workers[w].params.clone());
-        self.deliver_update(w, w, iter, Arc::clone(&params), now);
+    fn do_send(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
+        let params = Arc::new(eng.workers[w].params.clone());
+        self.deliver_update(eng, w, w, iter, Arc::clone(&params), now);
         let inquiry = self.cfg.effective_send_inquiry();
         for o in self.topology.external_out_neighbors(w) {
-            if inquiry && self.workers[o].iter > iter {
+            if inquiry && eng.workers[o].iter > iter {
                 // The receiver has already passed this iteration; the
                 // update would be dropped as stale on arrival (§6.2b).
                 self.skipped_sends += 1;
                 continue;
             }
-            let arrival = self.net.transfer(now, w, o, self.param_bytes);
-            self.events.push(
+            let arrival = eng.net.transfer(now, w, o, eng.param_bytes);
+            eng.events.push(
                 arrival,
                 Ev::Update {
                     to: o,
@@ -319,7 +256,15 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn deliver_update(&mut self, to: usize, from: usize, iter: u64, params: Arc<Vec<f32>>, now: f64) {
+    fn deliver_update(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        to: usize,
+        from: usize,
+        iter: u64,
+        params: Arc<Vec<f32>>,
+        now: f64,
+    ) {
         let state = &mut self.workers[to];
         if self.cfg.staleness.is_some() {
             let newer = state
@@ -336,62 +281,58 @@ impl<'a> Engine<'a> {
                 .expect("unbounded rotating queues");
         }
         match state.phase {
-            Phase::WaitUpdates => self.try_recv(to, now),
-            Phase::JumpRecv { target } => self.try_jump_recv(to, target, now),
+            Phase::WaitUpdates => self.try_recv(eng, to, now),
+            Phase::JumpRecv { target } => self.try_jump_recv(eng, to, target, now),
             _ => {}
         }
     }
 
-    fn on_update(&mut self, to: usize, from: usize, iter: u64, params: Arc<Vec<f32>>, now: f64) {
-        self.deliver_update(to, from, iter, params, now);
-    }
-
-    fn on_tokens(&mut self, to: usize, from: usize, count: u64, now: f64) {
+    fn on_tokens(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        to: usize,
+        from: usize,
+        count: u64,
+        now: f64,
+    ) {
         *self.workers[to].tokens_from.entry(from).or_insert(0) += count;
         if self.workers[to].phase == Phase::WaitTokens {
-            self.attempt_advance(to, now);
+            self.attempt_advance(eng, to, now);
         }
     }
 
-    fn on_ack(&mut self, to: usize, now: f64) {
+    fn on_ack(&mut self, eng: &mut SimEngine<'_, Ev>, to: usize, now: f64) {
         self.workers[to].acks_received += 1;
         if self.workers[to].phase == Phase::WaitAck
-            && self.workers[to].acks_received
-                >= self.topology.external_out_neighbors(to).len()
+            && self.workers[to].acks_received >= self.topology.external_out_neighbors(to).len()
         {
-            self.serial_send_then_recv(to, now);
+            self.serial_send_then_recv(eng, to, now);
         }
     }
 
-    fn on_compute_done(&mut self, w: usize, iter: u64, now: f64) {
-        debug_assert_eq!(self.workers[w].iter, iter, "stale compute event");
+    fn on_compute_done(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
+        debug_assert_eq!(eng.workers[w].iter, iter, "stale compute event");
         // Do the real gradient math at the virtual completion time.
         let state = &mut self.workers[w];
-        let batch = state.sampler.next_batch(self.dataset);
-        let loss = self
-            .model
-            .loss_grad(&state.compute_params, &batch, &mut state.grad);
-        self.recorder.train_loss(w, iter, now, loss);
+        let loss = eng.sample_grad(w, &state.compute_params, &mut state.grad);
+        eng.recorder.train_loss(w, iter, now, loss);
         match self.cfg.order {
             ComputeOrder::Parallel => {
                 // Fig. 2(b): the update is applied later, onto the reduced
                 // parameters.
                 let WorkerSt {
-                    opt,
                     compute_params,
                     grad,
                     delta,
                     ..
                 } = state;
-                opt.delta(compute_params, grad, delta);
-                self.try_recv(w, now);
+                eng.workers[w].opt.delta(compute_params, grad, delta);
+                self.try_recv(eng, w, now);
             }
             ComputeOrder::Serial => {
                 // Fig. 2(a): apply to the same parameters, then send.
-                let WorkerSt {
-                    opt, params, grad, ..
-                } = state;
-                opt.step(params, grad);
+                let WorkerCommon { opt, params, .. } = &mut eng.workers[w];
+                opt.step(params, &state.grad);
                 let needs_ack = self.cfg.sync == SyncMode::NotifyAck
                     && iter > 0
                     && self.workers[w].acks_received
@@ -399,23 +340,23 @@ impl<'a> Engine<'a> {
                 if needs_ack {
                     self.workers[w].phase = Phase::WaitAck;
                 } else {
-                    self.serial_send_then_recv(w, now);
+                    self.serial_send_then_recv(eng, w, now);
                 }
             }
         }
     }
 
-    fn serial_send_then_recv(&mut self, w: usize, now: f64) {
-        let iter = self.workers[w].iter;
+    fn serial_send_then_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
+        let iter = eng.workers[w].iter;
         self.workers[w].acks_received = 0;
-        self.do_send(w, iter, now);
-        self.try_recv(w, now);
+        self.do_send(eng, w, iter, now);
+        self.try_recv(eng, w, now);
     }
 
     /// The Recv + Reduce + Apply of the current iteration. Blocks (phase
     /// `WaitUpdates`) until the mode's condition is met.
-    fn try_recv(&mut self, w: usize, now: f64) {
-        let k = self.workers[w].iter;
+    fn try_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
+        let k = eng.workers[w].iter;
         let in_deg = self.topology.in_degree(w);
         if let Some(s) = self.cfg.staleness {
             // Fig. 9: newest satisfactory update per in-neighbor.
@@ -439,10 +380,15 @@ impl<'a> Engine<'a> {
                 .map(|(iter, p)| (*iter, p.as_slice()))
                 .collect();
             let state = &mut self.workers[w];
-            semantics::reduce_staleness_with(self.cfg.staleness_weighting, &views, k, s, &mut state.params);
+            semantics::reduce_staleness_with(
+                self.cfg.staleness_weighting,
+                &views,
+                k,
+                s,
+                &mut eng.workers[w].params,
+            );
             if self.cfg.order == ComputeOrder::Parallel {
-                let WorkerSt { params, delta, .. } = state;
-                semantics::apply_parallel(params, delta);
+                semantics::apply_parallel(&mut eng.workers[w].params, &state.delta);
             }
         } else {
             let quota = semantics::backup_quota(in_deg, self.cfg.n_backup);
@@ -453,33 +399,31 @@ impl<'a> Engine<'a> {
             // Fig. 8: the needed updates plus any extras already here.
             let entries = self.workers[w].queue.dequeue_up_to(in_deg, k);
             let views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
-            let state = &mut self.workers[w];
-            semantics::reduce_mean(&views, &mut state.params);
+            semantics::reduce_mean(&views, &mut eng.workers[w].params);
             if self.cfg.order == ComputeOrder::Parallel {
-                let WorkerSt { params, delta, .. } = state;
-                semantics::apply_parallel(params, delta);
+                semantics::apply_parallel(&mut eng.workers[w].params, &self.workers[w].delta);
             }
         }
         // NOTIFY-ACK: confirm consumption to every external in-neighbor.
         if self.cfg.sync == SyncMode::NotifyAck {
             for j in self.topology.external_in_neighbors(w) {
-                let at = self.net.control(now, w, j);
-                self.events.push(at, Ev::Ack { to: j });
+                let at = eng.net.control(now, w, j);
+                eng.events.push(at, Ev::Ack { to: j });
             }
         }
-        self.attempt_advance(w, now);
+        self.attempt_advance(eng, w, now);
     }
 
     /// Token acquisition, the §5 skip decision, and the actual advance.
-    fn attempt_advance(&mut self, w: usize, now: f64) {
-        let k = self.workers[w].iter;
+    fn attempt_advance(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
+        let k = eng.workers[w].iter;
         let Some(max_ig) = self.max_ig else {
-            self.enter_iteration(w, k + 1, now, 1);
+            self.enter_iteration(eng, w, k + 1, now, 1);
             return;
         };
         let outs = self.topology.external_out_neighbors(w);
         if outs.is_empty() {
-            self.enter_iteration(w, k + 1, now, 1);
+            self.enter_iteration(eng, w, k + 1, now, 1);
             return;
         }
         let counts: Vec<u64> = outs
@@ -492,7 +436,7 @@ impl<'a> Engine<'a> {
             // jump distance beyond any iteration they ever sent updates
             // for.
             let jump = semantics::jump_decision(&counts, max_ig, skip)
-                .map(|j| j.min(self.max_iters - k))
+                .map(|j| j.min(eng.max_iters - k))
                 .filter(|&j| j >= 2);
             if let Some(jump) = jump {
                 // Obtain `jump` tokens from every out-going neighbor and
@@ -502,9 +446,9 @@ impl<'a> Engine<'a> {
                     let c = self.workers[w].tokens_from.get_mut(o).expect("token entry");
                     *c -= jump;
                 }
-                self.insert_tokens(w, jump, now);
+                self.insert_tokens(eng, w, jump, now);
                 let target = k + jump;
-                self.try_jump_recv(w, target, now);
+                self.try_jump_recv(eng, w, target, now);
                 return;
             }
         }
@@ -512,7 +456,7 @@ impl<'a> Engine<'a> {
             for o in &outs {
                 *self.workers[w].tokens_from.get_mut(o).expect("token entry") -= 1;
             }
-            self.enter_iteration(w, k + 1, now, 1);
+            self.enter_iteration(eng, w, k + 1, now, 1);
         } else {
             self.workers[w].phase = Phase::WaitTokens;
         }
@@ -521,7 +465,7 @@ impl<'a> Engine<'a> {
     /// §5: before jumping to `target`, renew parameters with
     /// `Recv(target - 1)` + Reduce so the straggler's future updates are
     /// not hopelessly stale.
-    fn try_jump_recv(&mut self, w: usize, target: u64, now: f64) {
+    fn try_jump_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, target: u64, now: f64) {
         let renew_iter = target - 1;
         if let Some(s) = self.cfg.staleness {
             let externals = self.topology.external_in_neighbors(w);
@@ -540,10 +484,7 @@ impl<'a> Engine<'a> {
                 .map(|j| self.workers[w].newest_from[j].clone())
                 .collect();
             // Own (stale) parameters participate with clamped weight.
-            collected.push((
-                self.workers[w].iter,
-                Arc::new(self.workers[w].params.clone()),
-            ));
+            collected.push((eng.workers[w].iter, Arc::new(eng.workers[w].params.clone())));
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
@@ -553,40 +494,76 @@ impl<'a> Engine<'a> {
                 &views,
                 renew_iter,
                 s,
-                &mut self.workers[w].params,
+                &mut eng.workers[w].params,
             );
         } else {
             // Backup mode: collect the quota of iteration `target-1`
             // updates from external in-neighbors (self never sent one).
             let ext = self.topology.external_in_neighbors(w).len();
-            let quota = semantics::backup_quota(ext + 1, self.cfg.n_backup).saturating_sub(1).max(1);
+            let quota = semantics::backup_quota(ext + 1, self.cfg.n_backup)
+                .saturating_sub(1)
+                .max(1);
             if self.workers[w].queue.size(renew_iter) < quota {
                 self.workers[w].phase = Phase::JumpRecv { target };
                 return;
             }
             let entries = self.workers[w].queue.dequeue_up_to(ext, renew_iter);
-            let own = self.workers[w].params.clone();
+            let own = eng.workers[w].params.clone();
             let mut views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
             views.push(&own);
-            semantics::reduce_mean(&views, &mut self.workers[w].params);
+            semantics::reduce_mean(&views, &mut eng.workers[w].params);
         }
         // Momentum history refers to a trajectory this worker abandoned.
-        self.workers[w].opt.reset_velocity();
-        self.enter_iteration(w, target, now, 0);
+        eng.workers[w].opt.reset_velocity();
+        self.enter_iteration(eng, w, target, now, 0);
     }
 
     /// Terminal bookkeeping: release neighbors that might still need our
     /// tokens.
-    fn finish_worker(&mut self, w: usize, now: f64) {
+    fn finish_worker(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
         self.workers[w].phase = Phase::Finished;
+        eng.finish_worker(w);
         if self.max_ig.is_some() {
-            self.insert_tokens(w, self.max_iters + 1, now);
+            let flood = eng.max_iters + 1;
+            self.insert_tokens(eng, w, flood, now);
         }
     }
 
     #[cfg(test)]
     fn skipped_send_count(&self) -> u64 {
         self.skipped_sends
+    }
+}
+
+impl WorkerProtocol for Decentralized<'_> {
+    type Event = Ev;
+
+    fn start(&mut self, eng: &mut SimEngine<'_, Ev>) {
+        for w in 0..self.workers.len() {
+            self.enter_iteration(eng, w, 0, 0.0, 0);
+        }
+    }
+
+    fn on_event(&mut self, eng: &mut SimEngine<'_, Ev>, now: f64, ev: Ev) {
+        match ev {
+            Ev::ComputeDone { w, iter } => self.on_compute_done(eng, w, iter, now),
+            Ev::Update {
+                to,
+                from,
+                iter,
+                params,
+            } => self.deliver_update(eng, to, from, iter, params, now),
+            Ev::Tokens { to, from, count } => self.on_tokens(eng, to, from, count, now),
+            Ev::Ack { to } => self.on_ack(eng, to, now),
+        }
+    }
+
+    fn final_params(&mut self, eng: &SimEngine<'_, Ev>) -> Vec<Vec<f32>> {
+        eng.workers.iter().map(|s| s.params.clone()).collect()
+    }
+
+    fn stale_discarded(&self, _eng: &SimEngine<'_, Ev>) -> u64 {
+        self.workers.iter().map(|w| w.queue.stale_discarded()).sum()
     }
 }
 
@@ -648,11 +625,7 @@ mod tests {
 
     #[test]
     fn standard_gap_respects_theorem_1() {
-        let report = run_cfg(
-            HopConfig::standard(),
-            40,
-            SlowdownModel::paper_random(4),
-        );
+        let report = run_cfg(HopConfig::standard(), 40, SlowdownModel::paper_random(4));
         let sp = hop_graph::ShortestPaths::new(&Topology::ring(4));
         let gaps = report.trace.max_pairwise_gap();
         for i in 0..4 {
@@ -793,7 +766,11 @@ mod tests {
         let report = run_cfg(HopConfig::standard(), 30, SlowdownModel::None);
         // With identical compute times on a symmetric graph the gap never
         // exceeds 1 (neighbors) / 2 (diameter).
-        assert!(report.trace.max_gap() <= 2, "gap {}", report.trace.max_gap());
+        assert!(
+            report.trace.max_gap() <= 2,
+            "gap {}",
+            report.trace.max_gap()
+        );
     }
 
     #[test]
@@ -802,36 +779,25 @@ mod tests {
         let slow = SlowdownModel::paper_straggler(4, 0, 6.0);
         let mut cfg = HopConfig::backup(1, 5);
         cfg.send_inquiry = Some(true);
-        let mut engine = Engine::new(
-            &cfg,
-            &topo,
-            &cluster,
+        let engine = SimEngine::new(
+            cluster,
+            4,
             &slow,
             &model,
             &dataset,
             &hyper,
             40,
             3,
-            EvalConfig { every: 0, examples: 16 },
+            EvalConfig {
+                every: 0,
+                examples: 16,
+            },
         );
-        for w in 0..4 {
-            engine.enter_iteration(w, 0, 0.0, 0);
-        }
-        while let Some((now, ev)) = engine.events.pop() {
-            match ev {
-                Ev::ComputeDone { w, iter } => engine.on_compute_done(w, iter, now),
-                Ev::Update { to, from, iter, params } => {
-                    engine.on_update(to, from, iter, params, now)
-                }
-                Ev::Tokens { to, from, count } => engine.on_tokens(to, from, count, now),
-                Ev::Ack { to } => engine.on_ack(to, now),
-            }
-            if engine.workers.iter().all(|w| w.phase == Phase::Finished) {
-                break;
-            }
-        }
+        let mut proto = Decentralized::new(&cfg, &topo, &engine);
+        let report = engine.drive(&mut proto);
+        assert!(!report.deadlocked);
         assert!(
-            engine.skipped_send_count() > 0,
+            proto.skipped_send_count() > 0,
             "straggler should have skipped at least one stale send"
         );
     }

@@ -7,6 +7,7 @@
 
 pub mod adpsgd;
 pub mod decentralized;
+pub mod engine;
 pub mod ps;
 pub mod ring;
 

@@ -5,16 +5,23 @@
 //! machine for the PS). All worker↔server traffic shares the server's
 //! NICs, reproducing the communication hotspot that decentralized training
 //! eliminates.
+//!
+//! Both coordination styles run through the shared
+//! [`super::engine::SimEngine`]: BSP as a round-per-event protocol,
+//! SSP/Async as a message-per-event protocol. The global parameter vector
+//! and optimizer live in the protocol (there is one logical replica on the
+//! server, not one per worker).
 
 use crate::config::{PsConfig, PsMode};
 use crate::report::TrainingReport;
 use crate::trainer::Hyper;
-use hop_data::{BatchSampler, Dataset, InMemoryDataset};
+use hop_data::InMemoryDataset;
 use hop_model::{Model, Sgd};
-use hop_sim::{ClusterSpec, EventQueue, Network, SlowdownModel, Trace};
+use hop_sim::{ClusterSpec, SlowdownModel};
 use std::sync::Arc;
 
-use super::recorder::{EvalConfig, Recorder};
+use super::engine::{SimEngine, WorkerProtocol};
+use super::recorder::EvalConfig;
 
 /// Runs a parameter-server experiment. `cluster` describes the workers
 /// only; the server node is appended on its own machine.
@@ -30,102 +37,121 @@ pub fn run(
     seed: u64,
     eval: EvalConfig,
 ) -> TrainingReport {
-    match cfg.mode {
-        PsMode::Bsp => run_bsp(cluster, slowdown, model, dataset, hyper, max_iters, seed, eval),
-        PsMode::Ssp(s) => run_async(
-            Some(s),
-            cluster,
-            slowdown,
-            model,
-            dataset,
-            hyper,
-            max_iters,
-            seed,
-            eval,
-        ),
-        PsMode::Async => run_async(
-            None,
-            cluster,
-            slowdown,
-            model,
-            dataset,
-            hyper,
-            max_iters,
-            seed,
-            eval,
-        ),
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn run_bsp(
-    cluster: &ClusterSpec,
-    slowdown: &SlowdownModel,
-    model: &dyn Model,
-    dataset: &InMemoryDataset,
-    hyper: &Hyper,
-    max_iters: u64,
-    seed: u64,
-    eval: EvalConfig,
-) -> TrainingReport {
     let n = cluster.len();
     let mut spec = cluster.clone();
     let server = spec.push_server_node(1e-3);
-    let mut net = Network::new(spec);
-    let mut init_rng = hop_util::Xoshiro256::seed_from_u64(seed);
-    let mut params = model.init_params(&mut init_rng);
-    let param_bytes = params.len() as u64 * 4;
-    let mut opt = Sgd::new(hyper.lr, hyper.momentum, hyper.weight_decay, params.len());
-    let mut samplers: Vec<BatchSampler> = (0..n)
-        .map(|w| BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w))
-        .collect();
-    let mut recorder = Recorder::new(n, eval, dataset);
-    let mut trace = Trace::new(n);
-    let mut grad = vec![0.0f32; params.len()];
-    let mut mean_grad = vec![0.0f32; params.len()];
-    let mut t = 0.0f64;
-    for k in 0..max_iters {
-        // Broadcast (serialized through the server's egress NIC).
-        let arrivals: Vec<f64> = (0..n)
-            .map(|w| net.transfer(t, server, w, param_bytes))
-            .collect();
-        for (w, &a) in arrivals.iter().enumerate() {
-            trace.record(w, k, a);
-        }
-        // Compute + push gradients; server ingress serializes the pushes.
-        mean_grad.fill(0.0);
-        let mut round_end = t;
-        for w in 0..n {
-            let done = arrivals[w] + cluster.base_compute(w) * slowdown.factor(seed, w, k);
-            let batch = samplers[w].next_batch(dataset);
-            let loss = model.loss_grad(&params, &batch, &mut grad);
-            recorder.train_loss(w, k, done, loss);
-            hop_tensor::ops::axpy(1.0 / n as f32, &grad, &mut mean_grad);
-            let grad_arrival = net.transfer(done, w, server, param_bytes);
-            round_end = round_end.max(grad_arrival);
-        }
-        t = round_end + 1e-3; // server apply cost
-        opt.step(&mut params, &mean_grad);
-        if recorder.eval_due(k + 1) {
-            let view: Vec<&[f32]> = vec![&params];
-            recorder.evaluate(model, dataset, &view, t, k + 1);
-        }
+    // The engine's event type is fixed at construction, so each mode
+    // builds its own engine over the same spec.
+    macro_rules! engine {
+        () => {
+            SimEngine::new(
+                spec, n, slowdown, model, dataset, hyper, max_iters, seed, eval,
+            )
+        };
     }
-    TrainingReport {
-        trace,
-        train_loss_time: recorder.train_time,
-        train_loss_steps: recorder.train_steps,
-        eval_time: recorder.eval_time,
-        eval_steps: recorder.eval_steps,
-        final_params: vec![params],
-        wall_time: t,
-        stale_discarded: 0,
-        bytes_sent: net.bytes_sent(),
-        deadlocked: false,
+    match cfg.mode {
+        PsMode::Bsp => {
+            let engine = engine!();
+            let mut proto = BspServer::new(server, &engine);
+            engine.drive(&mut proto)
+        }
+        PsMode::Ssp(s) => {
+            let engine = engine!();
+            let mut proto = AsyncServer::new(server, Some(s), &engine);
+            engine.drive(&mut proto)
+        }
+        PsMode::Async => {
+            let engine = engine!();
+            let mut proto = AsyncServer::new(server, None, &engine);
+            engine.drive(&mut proto)
+        }
     }
 }
 
-enum Ev {
+/// Server-side apply cost per round/update (seconds).
+const APPLY_COST: f64 = 1e-3;
+
+/// One BSP round: broadcast, compute everywhere, gather, apply. The
+/// round starts at the event's scheduled time.
+struct BspRound {
+    k: u64,
+}
+
+/// Bulk-synchronous parameter server: a global barrier every iteration,
+/// driven as one event per round.
+struct BspServer {
+    server: usize,
+    params: Vec<f32>,
+    opt: Sgd,
+    grad: Vec<f32>,
+    mean_grad: Vec<f32>,
+}
+
+impl BspServer {
+    fn new(server: usize, eng: &SimEngine<'_, BspRound>) -> Self {
+        let dim = eng.init_params().len();
+        Self {
+            server,
+            params: eng.init_params().to_vec(),
+            opt: eng.new_opt(),
+            grad: vec![0.0; dim],
+            mean_grad: vec![0.0; dim],
+        }
+    }
+}
+
+impl WorkerProtocol for BspServer {
+    type Event = BspRound;
+
+    fn start(&mut self, eng: &mut SimEngine<'_, BspRound>) {
+        eng.events.push(0.0, BspRound { k: 0 });
+    }
+
+    fn on_event(&mut self, eng: &mut SimEngine<'_, BspRound>, now: f64, ev: BspRound) {
+        let BspRound { k } = ev;
+        let t = now;
+        let n = eng.workers.len();
+        if k >= eng.max_iters {
+            for w in 0..n {
+                eng.finish_worker(w);
+            }
+            return;
+        }
+        // Broadcast (serialized through the server's egress NIC).
+        let arrivals: Vec<f64> = (0..n)
+            .map(|w| eng.net.transfer(t, self.server, w, eng.param_bytes))
+            .collect();
+        for (w, &a) in arrivals.iter().enumerate() {
+            eng.workers[w].iter = k;
+            eng.trace.record(w, k, a);
+        }
+        // Compute + push gradients; server ingress serializes the pushes.
+        self.mean_grad.fill(0.0);
+        let mut round_end = t;
+        for w in 0..n {
+            let done = arrivals[w] + eng.compute_duration(w, k);
+            let loss = eng.sample_grad(w, &self.params, &mut self.grad);
+            eng.recorder.train_loss(w, k, done, loss);
+            hop_tensor::ops::axpy(1.0 / n as f32, &self.grad, &mut self.mean_grad);
+            let grad_arrival = eng.net.transfer(done, w, self.server, eng.param_bytes);
+            round_end = round_end.max(grad_arrival);
+        }
+        let t = round_end + APPLY_COST;
+        self.opt.step(&mut self.params, &self.mean_grad);
+        if eng.recorder.eval_due(k + 1) {
+            let view: Vec<&[f32]> = vec![&self.params];
+            eng.recorder
+                .evaluate(eng.model, eng.dataset, &view, t, k + 1);
+        }
+        eng.events.push(t, BspRound { k: k + 1 });
+    }
+
+    fn final_params(&mut self, _eng: &SimEngine<'_, BspRound>) -> Vec<Vec<f32>> {
+        vec![self.params.clone()]
+    }
+}
+
+enum AsyncEv {
     /// Fresh parameters reached the worker; it starts computing.
     ParamsArrive { w: usize, params: Arc<Vec<f32>> },
     /// A worker's gradient reached the server.
@@ -137,61 +163,64 @@ enum Ev {
     },
 }
 
-#[allow(clippy::too_many_arguments)]
-fn run_async(
+/// Asynchronous/SSP parameter server: workers pull, compute and push
+/// independently; the server applies each gradient to the current
+/// parameters (§2.1's asynchronous coordination) and re-issues parameters
+/// subject to the staleness constraint.
+struct AsyncServer {
+    server: usize,
     staleness: Option<u64>,
-    cluster: &ClusterSpec,
-    slowdown: &SlowdownModel,
-    model: &dyn Model,
-    dataset: &InMemoryDataset,
-    hyper: &Hyper,
-    max_iters: u64,
-    seed: u64,
-    eval: EvalConfig,
-) -> TrainingReport {
-    let n = cluster.len();
-    let mut spec = cluster.clone();
-    let server = spec.push_server_node(1e-3);
-    let mut net = Network::new(spec);
-    let mut init_rng = hop_util::Xoshiro256::seed_from_u64(seed);
-    let mut params = model.init_params(&mut init_rng);
-    let param_bytes = params.len() as u64 * 4;
-    let mut opt = Sgd::new(hyper.lr, hyper.momentum, hyper.weight_decay, params.len());
-    let mut samplers: Vec<BatchSampler> = (0..n)
-        .map(|w| BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w))
-        .collect();
-    let mut recorder = Recorder::new(n, eval, dataset);
-    let mut trace = Trace::new(n);
-    let mut events: EventQueue<Ev> = EventQueue::new();
-    let mut iters = vec![0u64; n];
-    let mut blocked: Vec<bool> = vec![false; n];
-    let mut done = vec![false; n];
-    // Initial broadcast.
-    let snapshot = Arc::new(params.clone());
-    for w in 0..n {
-        let a = net.transfer(0.0, server, w, param_bytes);
-        events.push(
-            a,
-            Ev::ParamsArrive {
-                w,
-                params: Arc::clone(&snapshot),
-            },
-        );
+    params: Vec<f32>,
+    opt: Sgd,
+    blocked: Vec<bool>,
+}
+
+impl AsyncServer {
+    fn new(server: usize, staleness: Option<u64>, eng: &SimEngine<'_, AsyncEv>) -> Self {
+        Self {
+            server,
+            staleness,
+            params: eng.init_params().to_vec(),
+            opt: eng.new_opt(),
+            blocked: vec![false; eng.workers.len()],
+        }
     }
-    while let Some((now, ev)) = events.pop() {
+}
+
+impl WorkerProtocol for AsyncServer {
+    type Event = AsyncEv;
+
+    fn start(&mut self, eng: &mut SimEngine<'_, AsyncEv>) {
+        // Initial broadcast.
+        let snapshot = Arc::new(self.params.clone());
+        for w in 0..eng.workers.len() {
+            let a = eng.net.transfer(0.0, self.server, w, eng.param_bytes);
+            eng.events.push(
+                a,
+                AsyncEv::ParamsArrive {
+                    w,
+                    params: Arc::clone(&snapshot),
+                },
+            );
+        }
+    }
+
+    fn on_event(&mut self, eng: &mut SimEngine<'_, AsyncEv>, now: f64, ev: AsyncEv) {
         match ev {
-            Ev::ParamsArrive { w, params: snap } => {
-                let k = iters[w];
-                trace.record(w, k, now);
-                let compute_done =
-                    now + cluster.base_compute(w) * slowdown.factor(seed, w, k);
-                let batch = samplers[w].next_batch(dataset);
+            AsyncEv::ParamsArrive { w, params: snap } => {
+                let k = eng.workers[w].iter;
+                eng.trace.record(w, k, now);
+                let compute_done = now + eng.compute_duration(w, k);
                 let mut grad = vec![0.0f32; snap.len()];
-                let loss = model.loss_grad(&snap, &batch, &mut grad);
-                let arrival = net.transfer(compute_done, w, server, param_bytes);
-                events.push(
+                // The gradient is taken on the pulled (possibly stale)
+                // snapshot, not on whatever the server holds by then.
+                let loss = eng.sample_grad(w, &snap, &mut grad);
+                let arrival = eng
+                    .net
+                    .transfer(compute_done, w, self.server, eng.param_bytes);
+                eng.events.push(
                     arrival,
-                    Ev::GradArrive {
+                    AsyncEv::GradArrive {
                         w,
                         grad,
                         compute_done,
@@ -199,7 +228,7 @@ fn run_async(
                     },
                 );
             }
-            Ev::GradArrive {
+            AsyncEv::GradArrive {
                 w,
                 grad,
                 compute_done,
@@ -208,59 +237,51 @@ fn run_async(
                 // The gradient was computed on (possibly stale) pulled
                 // parameters but is applied to the current ones (§2.1's
                 // asynchronous coordination).
-                opt.step(&mut params, &grad);
-                recorder.train_loss(w, iters[w], compute_done, loss);
-                iters[w] += 1;
-                if w == 0 && recorder.eval_due(iters[0]) {
-                    let view: Vec<&[f32]> = vec![&params];
-                    recorder.evaluate(model, dataset, &view, now, iters[0]);
+                self.opt.step(&mut self.params, &grad);
+                eng.recorder
+                    .train_loss(w, eng.workers[w].iter, compute_done, loss);
+                eng.workers[w].iter += 1;
+                if w == 0 && eng.recorder.eval_due(eng.workers[0].iter) {
+                    let view: Vec<&[f32]> = vec![&self.params];
+                    let iter0 = eng.workers[0].iter;
+                    eng.recorder
+                        .evaluate(eng.model, eng.dataset, &view, now, iter0);
                 }
-                if iters[w] >= max_iters {
-                    done[w] = true;
+                if eng.workers[w].iter >= eng.max_iters {
+                    eng.finish_worker(w);
                 } else {
-                    blocked[w] = true;
+                    self.blocked[w] = true;
                 }
                 // Unblock every worker whose staleness constraint now holds.
-                let min_iter = iters
+                let min_iter = eng
+                    .workers
                     .iter()
-                    .zip(&done)
-                    .filter(|&(_, &d)| !d)
-                    .map(|(&i, _)| i)
+                    .filter(|s| !s.finished)
+                    .map(|s| s.iter)
                     .min()
-                    .unwrap_or(max_iters);
-                for v in 0..n {
-                    if !blocked[v] || done[v] {
+                    .unwrap_or(eng.max_iters);
+                for v in 0..eng.workers.len() {
+                    if !self.blocked[v] || eng.workers[v].finished {
                         continue;
                     }
-                    let ok = match staleness {
-                        Some(s) => iters[v] <= min_iter + s,
+                    let ok = match self.staleness {
+                        Some(s) => eng.workers[v].iter <= min_iter + s,
                         None => true,
                     };
                     if ok {
-                        blocked[v] = false;
-                        let snap = Arc::new(params.clone());
-                        let a = net.transfer(now, server, v, param_bytes);
-                        events.push(a, Ev::ParamsArrive { w: v, params: snap });
+                        self.blocked[v] = false;
+                        let snap = Arc::new(self.params.clone());
+                        let a = eng.net.transfer(now, self.server, v, eng.param_bytes);
+                        eng.events
+                            .push(a, AsyncEv::ParamsArrive { w: v, params: snap });
                     }
                 }
             }
         }
-        if done.iter().all(|&d| d) {
-            break;
-        }
     }
-    let deadlocked = !done.iter().all(|&d| d);
-    TrainingReport {
-        trace,
-        train_loss_time: recorder.train_time,
-        train_loss_steps: recorder.train_steps,
-        eval_time: recorder.eval_time,
-        eval_steps: recorder.eval_steps,
-        final_params: vec![params],
-        wall_time: events.now(),
-        stale_discarded: 0,
-        bytes_sent: net.bytes_sent(),
-        deadlocked,
+
+    fn final_params(&mut self, _eng: &SimEngine<'_, AsyncEv>) -> Vec<Vec<f32>> {
+        vec![self.params.clone()]
     }
 }
 
@@ -323,11 +344,7 @@ mod tests {
     #[test]
     fn bsp_straggler_slows_every_round() {
         let fast = run_mode(PsMode::Bsp, SlowdownModel::None, 30);
-        let slow = run_mode(
-            PsMode::Bsp,
-            SlowdownModel::paper_straggler(4, 0, 6.0),
-            30,
-        );
+        let slow = run_mode(PsMode::Bsp, SlowdownModel::paper_straggler(4, 0, 6.0), 30);
         // With one 6x straggler every BSP round waits for it.
         assert!(slow.wall_time > fast.wall_time * 3.0);
     }

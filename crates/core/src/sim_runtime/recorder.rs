@@ -24,7 +24,10 @@ impl Default for EvalConfig {
 
 /// Records per-worker training-loss curves and periodic evaluations of the
 /// cross-worker parameter average.
-pub(crate) struct Recorder {
+///
+/// Owned by [`super::engine::SimEngine`]; protocols reach it through the
+/// engine to log minibatch losses and trigger evaluations.
+pub struct Recorder {
     pub train_time: Vec<TimeSeries>,
     pub train_steps: Vec<TimeSeries>,
     pub eval_time: TimeSeries,
@@ -56,7 +59,7 @@ impl Recorder {
 
     /// Whether an evaluation is due at worker-0 iteration `iter`.
     pub fn eval_due(&self, iter: u64) -> bool {
-        self.eval_cfg.every > 0 && iter % self.eval_cfg.every == 0
+        self.eval_cfg.every > 0 && iter.is_multiple_of(self.eval_cfg.every)
     }
 
     /// Boundary-crossing variant for runtimes where a single worker's

@@ -5,14 +5,20 @@
 //! each) and end up with the global average. The round time is the
 //! slowest worker's compute time plus the pipeline time dominated by the
 //! slowest link — which is why stragglers and slow links hurt it (§2.3).
+//!
+//! Runs through the shared [`super::engine::SimEngine`] as one event per
+//! round; the pipeline time is modeled analytically (per-step max over
+//! ring hops), so bytes are accounted here rather than via the virtual
+//! network.
 
 use crate::report::TrainingReport;
 use crate::trainer::Hyper;
-use hop_data::{BatchSampler, Dataset, InMemoryDataset};
+use hop_data::InMemoryDataset;
 use hop_model::{Model, Sgd};
-use hop_sim::{ClusterSpec, SlowdownModel, Trace};
+use hop_sim::{ClusterSpec, SlowdownModel};
 
-use super::recorder::{EvalConfig, Recorder};
+use super::engine::{SimEngine, WorkerProtocol};
+use super::recorder::EvalConfig;
 
 /// Runs ring all-reduce training; the ring follows worker index order.
 #[allow(clippy::too_many_arguments)]
@@ -28,67 +34,116 @@ pub fn run(
 ) -> TrainingReport {
     let n = cluster.len();
     assert!(n >= 2, "ring all-reduce needs at least 2 workers");
-    let mut init_rng = hop_util::Xoshiro256::seed_from_u64(seed);
-    let mut params = model.init_params(&mut init_rng);
-    let param_bytes = params.len() as f64 * 4.0;
-    let mut opt = Sgd::new(hyper.lr, hyper.momentum, hyper.weight_decay, params.len());
-    let mut samplers: Vec<BatchSampler> = (0..n)
-        .map(|w| BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w))
-        .collect();
-    let mut recorder = Recorder::new(n, eval, dataset);
-    let mut trace = Trace::new(n);
-    // Per-step pipeline time: every worker forwards a chunk to its ring
-    // successor simultaneously; the step takes as long as the slowest hop.
-    let link = cluster.link();
-    let chunk = param_bytes / n as f64;
-    let mut step_time = 0.0f64;
-    for w in 0..n {
-        let next = (w + 1) % n;
-        let (lat, bw) = if cluster.same_machine(w, next) {
-            (link.intra_latency, link.intra_bandwidth)
-        } else {
-            (link.inter_latency, link.inter_bandwidth)
-        };
-        step_time = step_time.max(lat + chunk / bw);
-    }
-    let allreduce_time = 2.0 * (n as f64 - 1.0) * step_time;
-    let mut grad = vec![0.0f32; params.len()];
-    let mut mean_grad = vec![0.0f32; params.len()];
-    let mut bytes_sent = 0u64;
-    let mut t = 0.0f64;
-    for k in 0..max_iters {
+    let engine = SimEngine::new(
+        cluster.clone(),
+        n,
+        slowdown,
+        model,
+        dataset,
+        hyper,
+        max_iters,
+        seed,
+        eval,
+    );
+    let mut proto = RingAllReduce::new(&engine);
+    engine.drive(&mut proto)
+}
+
+struct Round {
+    k: u64,
+}
+
+/// Bulk-synchronous ring all-reduce with an analytic pipeline model.
+struct RingAllReduce {
+    params: Vec<f32>,
+    opt: Sgd,
+    grad: Vec<f32>,
+    mean_grad: Vec<f32>,
+    /// Duration of one full all-reduce (2(n-1) pipeline steps).
+    allreduce_time: f64,
+    /// Wire bytes per chunk (`param_bytes / n`).
+    chunk: f64,
+    bytes_sent: u64,
+}
+
+impl RingAllReduce {
+    fn new(eng: &SimEngine<'_, Round>) -> Self {
+        let n = eng.workers.len();
+        let dim = eng.init_params().len();
+        // Per-step pipeline time: every worker forwards a chunk to its
+        // ring successor simultaneously; the step takes as long as the
+        // slowest hop.
+        let cluster = eng.net.spec();
+        let link = cluster.link();
+        let chunk = eng.param_bytes as f64 / n as f64;
+        let mut step_time = 0.0f64;
         for w in 0..n {
-            trace.record(w, k, t);
+            let next = (w + 1) % n;
+            let (lat, bw) = if cluster.same_machine(w, next) {
+                (link.intra_latency, link.intra_bandwidth)
+            } else {
+                (link.inter_latency, link.inter_bandwidth)
+            };
+            step_time = step_time.max(lat + chunk / bw);
+        }
+        Self {
+            params: eng.init_params().to_vec(),
+            opt: eng.new_opt(),
+            grad: vec![0.0; dim],
+            mean_grad: vec![0.0; dim],
+            allreduce_time: 2.0 * (n as f64 - 1.0) * step_time,
+            chunk,
+            bytes_sent: 0,
+        }
+    }
+}
+
+impl WorkerProtocol for RingAllReduce {
+    type Event = Round;
+
+    fn start(&mut self, eng: &mut SimEngine<'_, Round>) {
+        eng.events.push(0.0, Round { k: 0 });
+    }
+
+    fn on_event(&mut self, eng: &mut SimEngine<'_, Round>, now: f64, ev: Round) {
+        let k = ev.k;
+        let n = eng.workers.len();
+        if k >= eng.max_iters {
+            for w in 0..n {
+                eng.finish_worker(w);
+            }
+            return;
+        }
+        for w in 0..n {
+            eng.workers[w].iter = k;
+            eng.trace.record(w, k, now);
         }
         let mut compute_max = 0.0f64;
-        mean_grad.fill(0.0);
+        self.mean_grad.fill(0.0);
         for w in 0..n {
-            let dur = cluster.base_compute(w) * slowdown.factor(seed, w, k);
-            let batch = samplers[w].next_batch(dataset);
-            let loss = model.loss_grad(&params, &batch, &mut grad);
-            recorder.train_loss(w, k, t + dur, loss);
-            hop_tensor::ops::axpy(1.0 / n as f32, &grad, &mut mean_grad);
+            let dur = eng.compute_duration(w, k);
+            let loss = eng.sample_grad(w, &self.params, &mut self.grad);
+            eng.recorder.train_loss(w, k, now + dur, loss);
+            hop_tensor::ops::axpy(1.0 / n as f32, &self.grad, &mut self.mean_grad);
             compute_max = compute_max.max(dur);
         }
-        opt.step(&mut params, &mean_grad);
-        bytes_sent += (2 * (n - 1) * n) as u64 * (chunk as u64);
-        t += compute_max + allreduce_time;
-        if recorder.eval_due(k + 1) {
-            let view: Vec<&[f32]> = vec![&params];
-            recorder.evaluate(model, dataset, &view, t, k + 1);
+        self.opt.step(&mut self.params, &self.mean_grad);
+        self.bytes_sent += (2 * (n - 1) * n) as u64 * (self.chunk as u64);
+        let t = now + compute_max + self.allreduce_time;
+        if eng.recorder.eval_due(k + 1) {
+            let view: Vec<&[f32]> = vec![&self.params];
+            eng.recorder
+                .evaluate(eng.model, eng.dataset, &view, t, k + 1);
         }
+        eng.events.push(t, Round { k: k + 1 });
     }
-    TrainingReport {
-        trace,
-        train_loss_time: recorder.train_time,
-        train_loss_steps: recorder.train_steps,
-        eval_time: recorder.eval_time,
-        eval_steps: recorder.eval_steps,
-        final_params: vec![params],
-        wall_time: t,
-        stale_discarded: 0,
-        bytes_sent,
-        deadlocked: false,
+
+    fn final_params(&mut self, _eng: &SimEngine<'_, Round>) -> Vec<Vec<f32>> {
+        vec![self.params.clone()]
+    }
+
+    fn bytes_sent(&self, _eng: &SimEngine<'_, Round>) -> u64 {
+        self.bytes_sent
     }
 }
 

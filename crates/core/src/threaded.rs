@@ -74,7 +74,10 @@ impl std::fmt::Display for ThreadedError {
                 worker,
                 iter,
                 waiting_for,
-            } => write!(f, "worker {worker} stalled at iteration {iter} waiting for {waiting_for}"),
+            } => write!(
+                f,
+                "worker {worker} stalled at iteration {iter} waiting for {waiting_for}"
+            ),
             ThreadedError::SkipUnsupported => {
                 write!(f, "skipping iterations is simulator-only")
             }
@@ -113,6 +116,9 @@ pub struct ThreadedExperiment {
     pub stall_timeout: Duration,
 }
 
+/// Final `(params, train-loss curve)` of one worker thread.
+type WorkerOutcome = Result<(Vec<f32>, Vec<f32>), ThreadedError>;
+
 impl ThreadedExperiment {
     /// Runs the experiment with one OS thread per worker.
     ///
@@ -133,9 +139,7 @@ impl ThreadedExperiment {
         if self.config.skip.is_some() {
             return Err(ThreadedError::SkipUnsupported);
         }
-        if self.config.order != ComputeOrder::Parallel
-            || self.config.sync == SyncMode::NotifyAck
-        {
+        if self.config.order != ComputeOrder::Parallel || self.config.sync == SyncMode::NotifyAck {
             return Err(ThreadedError::SerialUnsupported);
         }
         let n = self.topology.len();
@@ -158,45 +162,44 @@ impl ThreadedExperiment {
         let mut init_rng = hop_util::Xoshiro256::seed_from_u64(self.seed);
         let init_params = Arc::new(model.init_params(&mut init_rng));
         let start = Instant::now();
-        let results: Vec<Result<(Vec<f32>, Vec<f32>), ThreadedError>> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for w in 0..n {
-                    let update_queues = &update_queues;
-                    let token_queues = Arc::clone(&token_queues);
-                    let model = Arc::clone(&model);
-                    let dataset = Arc::clone(&dataset);
-                    let init = Arc::clone(&init_params);
-                    let cfg = self.config.clone();
-                    let topo = self.topology.clone();
-                    let hyper = self.hyper;
-                    let max_iters = self.max_iters;
-                    let seed = self.seed;
-                    let sleep = self.compute_sleep;
-                    let timeout = self.stall_timeout;
-                    handles.push(scope.spawn(move || {
-                        worker_loop(
-                            w,
-                            cfg,
-                            topo,
-                            model.as_ref(),
-                            dataset.as_ref(),
-                            hyper,
-                            max_iters,
-                            seed,
-                            sleep,
-                            timeout,
-                            init.as_ref(),
-                            update_queues,
-                            &token_queues,
-                        )
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker thread panicked"))
-                    .collect()
-            });
+        let results: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..n {
+                let update_queues = &update_queues;
+                let token_queues = Arc::clone(&token_queues);
+                let model = Arc::clone(&model);
+                let dataset = Arc::clone(&dataset);
+                let init = Arc::clone(&init_params);
+                let cfg = self.config.clone();
+                let topo = self.topology.clone();
+                let hyper = self.hyper;
+                let max_iters = self.max_iters;
+                let seed = self.seed;
+                let sleep = self.compute_sleep;
+                let timeout = self.stall_timeout;
+                handles.push(scope.spawn(move || {
+                    worker_loop(
+                        w,
+                        cfg,
+                        topo,
+                        model.as_ref(),
+                        dataset.as_ref(),
+                        hyper,
+                        max_iters,
+                        seed,
+                        sleep,
+                        timeout,
+                        init.as_ref(),
+                        update_queues,
+                        &token_queues,
+                    )
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
         let mut final_params = Vec::with_capacity(n);
         let mut losses = Vec::with_capacity(n);
         for r in results {
@@ -227,7 +230,7 @@ fn worker_loop(
     init_params: &[f32],
     update_queues: &[SharedTaggedQueue<Arc<Vec<f32>>>],
     token_queues: &HashMap<(usize, usize), SharedTokenQueue>,
-) -> Result<(Vec<f32>, Vec<f32>), ThreadedError> {
+) -> WorkerOutcome {
     let mut params = init_params.to_vec();
     let mut opt = Sgd::new(hyper.lr, hyper.momentum, hyper.weight_decay, params.len());
     let mut sampler = BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w);
@@ -371,7 +374,9 @@ mod tests {
         let model = Arc::new(Svm::log_loss(hop_data::Dataset::feature_dim(
             dataset.as_ref(),
         )));
-        experiment(config).run(model, dataset).expect("run succeeds")
+        experiment(config)
+            .run(model, dataset)
+            .expect("run succeeds")
     }
 
     #[test]
@@ -407,8 +412,7 @@ mod tests {
         let model = Arc::new(Svm::log_loss(hop_data::Dataset::feature_dim(
             dataset.as_ref(),
         )));
-        let cfg = HopConfig::backup(1, 4)
-            .with_skip(crate::config::SkipConfig::with_max_jump(4));
+        let cfg = HopConfig::backup(1, 4).with_skip(crate::config::SkipConfig::with_max_jump(4));
         let err = experiment(cfg).run(model, dataset).unwrap_err();
         assert!(matches!(err, ThreadedError::SkipUnsupported));
     }

@@ -22,10 +22,7 @@ impl Features {
                 assert_eq!(x.len(), weights.len(), "dense feature dim mismatch");
                 x.iter().zip(weights).map(|(a, b)| a * b).sum()
             }
-            Features::Sparse(pairs) => pairs
-                .iter()
-                .map(|&(i, v)| v * weights[i as usize])
-                .sum(),
+            Features::Sparse(pairs) => pairs.iter().map(|&(i, v)| v * weights[i as usize]).sum(),
         }
     }
 

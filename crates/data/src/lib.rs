@@ -2,8 +2,8 @@
 //!
 //! The paper trains VGG11 on CIFAR-10 and an SVM on the webspam dataset.
 //! Neither dataset can be downloaded here, so this crate provides seeded
-//! synthetic equivalents that exercise the same code paths (see DESIGN.md
-//! §2 for the substitution argument):
+//! synthetic equivalents that exercise the same code paths (see the README
+//! for the substitution argument):
 //!
 //! * [`images::SyntheticImages`] — a 10-class dense image dataset
 //!   (3×8×8 channels) generated from per-class templates plus Gaussian

@@ -198,7 +198,9 @@ mod tests {
     /// `(1 + 2 cos(2 pi k / n)) / 3`.
     fn ring_lambda2(n: usize) -> f64 {
         (1..n)
-            .map(|k| ((1.0 + 2.0 * (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos()) / 3.0).abs())
+            .map(|k| {
+                ((1.0 + 2.0 * (2.0 * std::f64::consts::PI * k as f64 / n as f64).cos()) / 3.0).abs()
+            })
             .fold(0.0f64, f64::max)
     }
 
@@ -279,7 +281,11 @@ mod tests {
 
     #[test]
     fn power_method_matches_jacobi_on_symmetric() {
-        for t in [Topology::ring(8), Topology::ring_based(8), Topology::double_ring(16)] {
+        for t in [
+            Topology::ring(8),
+            Topology::ring_based(8),
+            Topology::double_ring(16),
+        ] {
             let w = WeightMatrix::uniform(&t);
             let exact = jacobi_eigenvalues(w.len(), w.as_slice())[1].abs();
             let approx = power_growth_rate(&w);

@@ -52,8 +52,14 @@ impl Topology {
         }
         Self {
             n,
-            in_nbrs: in_sets.into_iter().map(|s| s.into_iter().collect()).collect(),
-            out_nbrs: out_sets.into_iter().map(|s| s.into_iter().collect()).collect(),
+            in_nbrs: in_sets
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+            out_nbrs: out_sets
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
         }
     }
 
@@ -85,7 +91,10 @@ impl Topology {
     ///
     /// Panics if `n < 4` or `n` is odd (the "most distant node" is ambiguous).
     pub fn ring_based(n: usize) -> Self {
-        assert!(n >= 4 && n % 2 == 0, "ring-based graph needs even n >= 4");
+        assert!(
+            n >= 4 && n.is_multiple_of(2),
+            "ring-based graph needs even n >= 4"
+        );
         let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
         for i in 0..n / 2 {
             edges.push((i, i + n / 2));
@@ -101,7 +110,7 @@ impl Topology {
     /// Panics unless `n >= 8` and `n/2` is even.
     pub fn double_ring(n: usize) -> Self {
         assert!(
-            n >= 8 && n % 2 == 0 && (n / 2) % 2 == 0,
+            n >= 8 && n.is_multiple_of(2) && (n / 2).is_multiple_of(2),
             "double-ring needs n >= 8 with n/2 even"
         );
         let half = n / 2;
@@ -311,12 +320,20 @@ impl Topology {
     /// In-neighbors excluding the self-loop: senders whose updates arrive
     /// over the network.
     pub fn external_in_neighbors(&self, i: usize) -> Vec<usize> {
-        self.in_nbrs[i].iter().copied().filter(|&j| j != i).collect()
+        self.in_nbrs[i]
+            .iter()
+            .copied()
+            .filter(|&j| j != i)
+            .collect()
     }
 
     /// Out-neighbors excluding the self-loop: receivers of network sends.
     pub fn external_out_neighbors(&self, i: usize) -> Vec<usize> {
-        self.out_nbrs[i].iter().copied().filter(|&j| j != i).collect()
+        self.out_nbrs[i]
+            .iter()
+            .copied()
+            .filter(|&j| j != i)
+            .collect()
     }
 
     /// `|Nin(i)|`, including the self-loop.
@@ -378,8 +395,7 @@ impl Topology {
             color[start] = 0;
             let mut queue = std::collections::VecDeque::from([start]);
             while let Some(u) = queue.pop_front() {
-                let nbrs: Vec<usize> = self
-                    .out_nbrs[u]
+                let nbrs: Vec<usize> = self.out_nbrs[u]
                     .iter()
                     .chain(self.in_nbrs[u].iter())
                     .copied()

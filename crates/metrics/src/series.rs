@@ -188,7 +188,8 @@ mod tests {
         let smooth = noisy.smoothed(0.5);
         let spread = |s: &TimeSeries| {
             let vs: Vec<f64> = s.points().iter().map(|&(_, v)| v).collect();
-            vs.iter().cloned().fold(f64::MIN, f64::max) - vs.iter().cloned().fold(f64::MAX, f64::min)
+            vs.iter().cloned().fold(f64::MIN, f64::max)
+                - vs.iter().cloned().fold(f64::MAX, f64::min)
         };
         assert!(spread(&smooth) < spread(&noisy));
     }

@@ -3,7 +3,7 @@
 //! Architecture: 3×3 convolution (padding 1) over `C×H×W` input with `F`
 //! filters → ReLU → 2×2 average pool → fully connected softmax classifier.
 //! VGG11 itself is out of scale for this environment; the protocol code
-//! only requires a non-convex dense-gradient model (see DESIGN.md §2), and
+//! only requires a non-convex dense-gradient model (see the README), and
 //! this network keeps the convolution + pooling + dense code path of a
 //! real CNN, with all backward passes written out explicitly.
 //!
@@ -41,13 +41,19 @@ impl TinyCnn {
     ///
     /// Panics if any dimension is zero or `height`/`width` are odd (the
     /// 2×2 pool requires even spatial dimensions).
-    pub fn new(channels: usize, height: usize, width: usize, filters: usize, classes: usize) -> Self {
+    pub fn new(
+        channels: usize,
+        height: usize,
+        width: usize,
+        filters: usize,
+        classes: usize,
+    ) -> Self {
         assert!(
             channels > 0 && height > 0 && width > 0 && filters > 0 && classes > 0,
             "all dimensions must be positive"
         );
         assert!(
-            height % 2 == 0 && width % 2 == 0,
+            height.is_multiple_of(2) && width.is_multiple_of(2),
             "height and width must be even for 2x2 pooling"
         );
         Self {
@@ -202,7 +208,13 @@ impl Model for TinyCnn {
                     );
                     gfc_b[k] += dlogits[k];
                 }
-                ops::gemv_t(fc_w, self.classes, self.pooled_len(), &dlogits, &mut dpooled);
+                ops::gemv_t(
+                    fc_w,
+                    self.classes,
+                    self.pooled_len(),
+                    &dlogits,
+                    &mut dpooled,
+                );
             }
             // Pool backward: spread each pooled gradient over its 2x2 window.
             let mut dconv = vec![0.0; self.filters * h * w];

@@ -78,9 +78,7 @@ impl Mlp {
     }
 
     fn logits(&self, params: &[f32], features: &Features) -> Vec<f32> {
-        let input = features
-            .as_dense()
-            .expect("MLP requires dense features");
+        let input = features.as_dense().expect("MLP requires dense features");
         let (acts, _) = self.forward(params, input);
         acts.last().expect("at least one layer").clone()
     }

@@ -1,14 +1,15 @@
 //! Thread-safe blocking queue variants for the real multi-threaded runtime.
 //!
-//! These wrap the logical queues with a `parking_lot` mutex + condvar so
+//! These wrap the logical queues with a mutex + condvar (see
+//! [`crate::sync_shim`]) so
 //! that a worker thread's `Recv` genuinely blocks until enough matching
 //! updates arrive (the paper's blocking `dequeue`), and token acquisition
 //! blocks until the out-going neighbor releases tokens. All blocking
 //! operations take a timeout so tests can detect deadlocks (e.g. the
 //! AD-PSGD non-bipartite deadlock of §5) instead of hanging.
 
+use crate::sync_shim::{Condvar, Mutex};
 use crate::tagged::{Tag, TagFilter, TaggedEntry, TaggedQueue};
-use parking_lot::{Condvar, Mutex};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -76,7 +77,8 @@ impl<T> SharedTaggedQueue<T> {
     pub fn enqueue(&self, value: T, tag: Tag) {
         let (lock, cvar) = &*self.inner;
         let mut q = lock.lock();
-        q.enqueue(value, tag).expect("unbounded queue never overflows");
+        q.enqueue(value, tag)
+            .expect("unbounded queue never overflows");
         cvar.notify_all();
     }
 

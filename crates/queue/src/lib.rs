@@ -12,11 +12,12 @@
 //!   reused like rotating registers, with stale-update discarding.
 //! * [`token::TokenQueue`] — the token queues of §4.2 that bound the
 //!   iteration gap between adjacent workers.
-//! * [`blocking`] — thread-safe blocking variants (`parking_lot` mutex +
-//!   condvar) used by the real multi-threaded runtime.
+//! * [`blocking`] — thread-safe blocking variants (mutex + condvar via
+//!   [`sync_shim`]) used by the real multi-threaded runtime.
 
 pub mod blocking;
 pub mod rotating;
+pub mod sync_shim;
 pub mod tagged;
 pub mod token;
 

@@ -168,7 +168,10 @@ impl<T> TaggedQueue<T> {
     /// The paper's `q.size(iter, w_id)`: number of entries matching the
     /// filter.
     pub fn size(&self, filter: TagFilter) -> usize {
-        self.entries.iter().filter(|e| filter.matches(e.tag)).count()
+        self.entries
+            .iter()
+            .filter(|e| filter.matches(e.tag))
+            .count()
     }
 
     /// Non-blocking `q.dequeue(m, iter, w_id)`: removes and returns the
@@ -325,12 +328,11 @@ mod tests {
             let mut q = TaggedQueue::unbounded();
             let mut sequence_by_tag: std::collections::HashMap<Tag, Vec<u32>> =
                 std::collections::HashMap::new();
-            let mut counter = 0u32;
-            for &(iter, w_id) in &ops {
+            for (counter, &(iter, w_id)) in ops.iter().enumerate() {
+                let counter = counter as u32;
                 let t = tag(iter, w_id);
                 q.enqueue(counter, t).unwrap();
                 sequence_by_tag.entry(t).or_default().push(counter);
-                counter += 1;
             }
             for (t, expected) in sequence_by_tag {
                 let got = q.drain_matching(TagFilter::exact(t.iter, t.w_id));

@@ -34,7 +34,7 @@ pub struct LinkModel {
     /// the real (small) stand-in model; scaling the *simulated* transfer
     /// size reproduces the communication:compute ratio of the paper's
     /// full-size models (VGG11 is ~2e8 parameters) without paying their
-    /// compute cost. See DESIGN.md §2.
+    /// compute cost (the README's workload stand-in rationale).
     pub payload_scale: f64,
 }
 
@@ -411,13 +411,8 @@ mod jitter_tests {
         let link = LinkModel::ethernet_1gbps().with_jitter(0.5);
         let spec = ClusterSpec::uniform(3, 1, 0.1, link);
         let mut net = Network::new(spec.clone());
-        let base = Network::new(ClusterSpec::uniform(
-            3,
-            1,
-            0.1,
-            LinkModel::ethernet_1gbps(),
-        ))
-        .transfer(0.0, 0, 1, 1000);
+        let base = Network::new(ClusterSpec::uniform(3, 1, 0.1, LinkModel::ethernet_1gbps()))
+            .transfer(0.0, 0, 1, 1000);
         let mut reordered = false;
         let mut prev = f64::NEG_INFINITY;
         for _ in 0..64 {

@@ -10,9 +10,10 @@
 use hop_util::rng::splitmix64;
 
 /// Per-iteration compute-time multiplier model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum SlowdownModel {
     /// Homogeneous cluster: factor 1 always.
+    #[default]
     None,
     /// Each worker is slowed by `factor` with probability `prob`,
     /// independently per iteration (the paper uses `factor = 6`,
@@ -71,19 +72,11 @@ impl SlowdownModel {
                     1.0
                 }
             }
-            SlowdownModel::Deterministic(factors) => {
-                factors.get(worker).copied().unwrap_or(1.0)
-            }
+            SlowdownModel::Deterministic(factors) => factors.get(worker).copied().unwrap_or(1.0),
             SlowdownModel::Compose(a, b) => {
                 a.factor(seed, worker, iteration) * b.factor(seed, worker, iteration)
             }
         }
-    }
-}
-
-impl Default for SlowdownModel {
-    fn default() -> Self {
-        SlowdownModel::None
     }
 }
 
@@ -124,8 +117,11 @@ mod tests {
             }
         }
         // Different seeds give different patterns.
-        let pattern =
-            |seed: u64| (0..64).map(|k| m.factor(seed, 0, k) > 1.0).collect::<Vec<_>>();
+        let pattern = |seed: u64| {
+            (0..64)
+                .map(|k| m.factor(seed, 0, k) > 1.0)
+                .collect::<Vec<_>>()
+        };
         assert_ne!(pattern(1), pattern(2));
     }
 

@@ -43,7 +43,10 @@ fn main() {
     let mut placement = Table::new(vec!["setting", "spectral gap", "doubly stochastic W"]);
     let settings: [(&str, Topology); 3] = [
         ("1: ring-based(8)", Topology::ring_based(8)),
-        ("2: hierarchical, 1 bridge", Topology::hierarchical(&[3, 3, 2], 1)),
+        (
+            "2: hierarchical, 1 bridge",
+            Topology::hierarchical(&[3, 3, 2], 1),
+        ),
         (
             "3: hierarchical, full bridge",
             Topology::hierarchical(&[3, 3, 2], usize::MAX),

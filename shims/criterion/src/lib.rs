@@ -1,0 +1,100 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! just the API surface the workspace's microbenchmarks use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`criterion_group!`]
+//! and [`criterion_main!`]. Timing is a plain wall-clock mean over a fixed
+//! measurement budget — good enough for relative comparisons, not for
+//! criterion's statistical rigor. Swap the `[workspace.dependencies]`
+//! entry for the registry crate when online.
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            measurement_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` under a [`Bencher`] and prints a mean per-iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            budget: self.measurement_time,
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iters > 0 {
+            bencher.elapsed / bencher.iters
+        } else {
+            Duration::ZERO
+        };
+        println!("{id:<40} {:>12.3?}/iter ({} iters)", mean, bencher.iters);
+        self
+    }
+}
+
+/// Timing loop driver passed to the closure of
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    iters: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly until the measurement budget is spent,
+    /// timing every call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // One untimed warm-up call.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        loop {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            self.elapsed += t0.elapsed();
+            self.iters += 1;
+            if start.elapsed() >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function that runs every listed benchmark with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a benchmark binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,263 @@
+//! Minimal offline stand-in for the `proptest` property-testing framework.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of the proptest API the workspace's tests use: the
+//! [`proptest!`] macro with `a in range` argument strategies, an inner
+//! `#![proptest_config(...)]` attribute, [`ProptestConfig::with_cases`]
+//! and [`prop_assert!`]. Inputs are drawn deterministically from a fixed
+//! seed (no shrinking, no persistence), so failures reproduce exactly
+//! across runs. Swap the `[workspace.dependencies]` entry for the registry
+//! crate when online.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Runner configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated input tuples per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// A failed property case, produced by [`prop_assert!`].
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    pub fn new(msg: String) -> Self {
+        Self(msg)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Deterministic xorshift64* generator driving input sampling.
+#[derive(Debug)]
+pub struct Gen(u64);
+
+impl Gen {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+}
+
+/// Anything the `a in strat` syntax of [`proptest!`] can sample from.
+pub trait Strategy {
+    /// The sampled value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, gen: &mut Gen) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u128;
+                    self.start + (gen.next_u64() as u128 % span) as $t
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident),+)),+) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, gen: &mut Gen) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($s,)+) = self;
+                    ($($s.sample(gen),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Strategies over collections (`proptest::collection`).
+pub mod collection {
+    use super::{Gen, Strategy};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s of sampled elements.
+    #[derive(Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `element` samples with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, gen: &mut Gen) -> Self::Value {
+            let len = Strategy::sample(&self.len, gen);
+            (0..len).map(|_| self.element.sample(gen)).collect()
+        }
+    }
+}
+
+/// Strategies over `bool` (`proptest::bool`).
+pub mod bool {
+    use super::{Gen, Strategy};
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, gen: &mut Gen) -> bool {
+            gen.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Runs each property over deterministically sampled inputs.
+///
+/// Supports the subset of the real macro used here: an optional leading
+/// `#![proptest_config(expr)]`, then `#[test]` functions whose arguments
+/// use the `name in strategy` form.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut generator = $crate::Gen::new(0x9E37_79B9_7F4A_7C15);
+                for case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut generator);)*
+                    let case_desc =
+                        [$(format!("{} = {:?}", stringify!($arg), $arg)),*].join(", ");
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(err) = outcome {
+                        panic!(
+                            "property {} failed on case {case} ({case_desc}): {err}",
+                            stringify!($name),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+/// `assert!` variant that fails the current property case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` variant that fails the current property case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::TestCaseError::new(format!(
+                "assertion failed: `{:?} == {:?}`",
+                left, right
+            )));
+        }
+    }};
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn samples_stay_in_range(a in 3u64..9, b in 0usize..4) {
+            prop_assert!((3..9).contains(&a), "a = {a}");
+            prop_assert!(b < 4);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let mut g1 = crate::Gen::new(7);
+        let mut g2 = crate::Gen::new(7);
+        for _ in 0..100 {
+            assert_eq!(g1.next_u64(), g2.next_u64());
+        }
+    }
+}

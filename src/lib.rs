@@ -1,8 +1,9 @@
 //! # Hop: Heterogeneity-Aware Decentralized Training (Rust reproduction)
 //!
-//! Facade crate re-exporting the whole workspace. See the README for an
-//! overview, `DESIGN.md` for the system inventory, and `EXPERIMENTS.md`
-//! for the paper-vs-measured results.
+//! Facade crate re-exporting the whole workspace. See the repository
+//! `README.md` for an overview, the crate layout, and build/run
+//! instructions, and `crates/bench` for the per-figure experiment
+//! harnesses.
 //!
 //! # Examples
 //!

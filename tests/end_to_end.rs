@@ -1,8 +1,8 @@
 //! Cross-crate end-to-end tests: every protocol trains real models on the
 //! simulated cluster and the paper's headline orderings hold.
 
-use hop::core::{HopConfig, Hyper, Protocol, SimExperiment, SkipConfig};
 use hop::core::config::{PsConfig, PsMode};
+use hop::core::{HopConfig, Hyper, Protocol, SimExperiment, SkipConfig};
 use hop::data::images::SyntheticImages;
 use hop::data::webspam::SyntheticWebspam;
 use hop::data::Dataset;
@@ -180,7 +180,9 @@ fn sparser_graphs_suffer_less_from_random_slowdown() {
             eval_every: 0,
             eval_examples: 64,
         };
-        let homo = mk(SlowdownModel::None).run(&model, &dataset).expect("valid");
+        let homo = mk(SlowdownModel::None)
+            .run(&model, &dataset)
+            .expect("valid");
         let hetero = mk(SlowdownModel::paper_random(n))
             .run(&model, &dataset)
             .expect("valid");

@@ -19,12 +19,7 @@ fn jittery_experiment(cfg: HopConfig, jitter: f64) -> SimExperiment {
     let n = 6;
     SimExperiment {
         topology: Topology::ring(n),
-        cluster: ClusterSpec::uniform(
-            n,
-            2,
-            0.01,
-            LinkModel::ethernet_1gbps().with_jitter(jitter),
-        ),
+        cluster: ClusterSpec::uniform(n, 2, 0.01, LinkModel::ethernet_1gbps().with_jitter(jitter)),
         slowdown: SlowdownModel::paper_random(n),
         protocol: Protocol::Hop(cfg),
         hyper: Hyper::svm(),
