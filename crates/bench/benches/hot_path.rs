@@ -1,0 +1,241 @@
+//! Hot-path microbenchmarks for the zero-copy parameter plane.
+//!
+//! Three comparisons seed the performance trajectory:
+//!
+//! 1. **Chunked vs scalar kernels** — the 4-way chunked `ops::axpy`
+//!    against the naive `ops::reference::axpy`.
+//! 2. **Pooled vs allocating gradient steps** — an MLP gradient+SGD step
+//!    reusing one `GradScratch`/gradient buffer per worker vs allocating
+//!    fresh buffers per step.
+//! 3. **Snapshot vs deep-copy publication** — publishing a parameter
+//!    vector to `FANOUT` receivers as `ParamBlock` snapshots vs `Vec`
+//!    clones, plus the bytes a simulated decentralized run puts on the
+//!    wire per iteration.
+//!
+//! The criterion lines and the machine-readable summary are built from
+//! the *same* fixture constructors, so the two sets of numbers cannot
+//! desynchronize. The summary line
+//!
+//! ```text
+//! HOT_PATH_SUMMARY {"axpy_chunked_ns":…, …}
+//! ```
+//!
+//! lets future PRs track the trajectory (`cargo bench --bench hot_path`
+//! in CI runs with `HOP_BENCH_SMOKE=1` for a fast smoke pass).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hop_core::{HopConfig, Hyper, Protocol, SimExperiment};
+use hop_data::images::SyntheticImages;
+use hop_data::{BatchSampler, Dataset, InMemoryDataset};
+use hop_graph::Topology;
+use hop_model::{mlp::Mlp, GradScratch, Model, Sgd};
+use hop_sim::{ClusterSpec, LinkModel, SlowdownModel};
+use hop_tensor::{ops, ParamBlock};
+use std::time::Instant;
+
+/// Smoke mode (set `HOP_BENCH_SMOKE=1`): tiny sizes, just enough to
+/// exercise every path in CI.
+fn smoke() -> bool {
+    std::env::var("HOP_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+fn vector_dim() -> usize {
+    if smoke() {
+        1 << 10
+    } else {
+        1 << 16
+    }
+}
+
+/// Receivers per publication in the snapshot benchmark (a ring worker
+/// publishes to itself plus two neighbors).
+const FANOUT: usize = 3;
+
+fn deterministic_vec(len: usize, mut seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|_| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Mean ns/iteration of `f` over `iters` timed calls (one warm-up).
+fn time_ns<F: FnMut()>(iters: u32, mut f: F) -> f64 {
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// `(x, y)` operands for the kernel comparison.
+fn axpy_fixture() -> (Vec<f32>, Vec<f32>) {
+    let dim = vector_dim();
+    (deterministic_vec(dim, 1), deterministic_vec(dim, 2))
+}
+
+/// Everything one simulated worker owns for a gradient+SGD step.
+struct GradFixture {
+    data: InMemoryDataset,
+    model: Mlp,
+    params: Vec<f32>,
+    opt: Sgd,
+    sampler: BatchSampler,
+    grad: Vec<f32>,
+    scratch: GradScratch,
+}
+
+fn grad_fixture() -> GradFixture {
+    let n_examples = if smoke() { 64 } else { 512 };
+    let data = SyntheticImages::generate(n_examples, 3);
+    let hidden = if smoke() { 16 } else { 64 };
+    let model = Mlp::new(&[data.feature_dim(), hidden, data.n_classes()]);
+    let mut rng = hop_util::Xoshiro256::seed_from_u64(7);
+    let params = model.init_params(&mut rng);
+    let opt = Sgd::new(0.05, 0.9, 1e-4, params.len());
+    let sampler = BatchSampler::new(data.len(), 16, 1);
+    let grad = vec![0.0f32; params.len()];
+    GradFixture {
+        data,
+        model,
+        params,
+        opt,
+        sampler,
+        grad,
+        scratch: GradScratch::new(),
+    }
+}
+
+impl GradFixture {
+    /// One step reusing per-worker buffers (the engine's path).
+    fn pooled_step(&mut self) {
+        let batch = self.sampler.next_batch(&self.data);
+        self.model
+            .loss_grad_with(&self.params, &batch, &mut self.grad, &mut self.scratch);
+        self.opt.step(&mut self.params, &self.grad);
+    }
+
+    /// The pre-refactor shape: fresh gradient buffer and scratch every
+    /// step.
+    fn allocating_step(&mut self) {
+        let batch = self.sampler.next_batch(&self.data);
+        let mut grad = vec![0.0f32; self.params.len()];
+        self.model.loss_grad(&self.params, &batch, &mut grad);
+        self.opt.step(&mut self.params, &grad);
+    }
+}
+
+/// The block published zero-copy and its deep-copied twin.
+fn publish_fixture() -> (ParamBlock, Vec<f32>) {
+    let block = ParamBlock::from_vec(deterministic_vec(vector_dim(), 3));
+    let vec = block.to_vec();
+    (block, vec)
+}
+
+fn publish_snapshots(block: &ParamBlock) -> usize {
+    let sent: Vec<ParamBlock> = (0..FANOUT).map(|_| block.snapshot()).collect();
+    sent.len()
+}
+
+fn publish_deep_copies(vec: &[f32]) -> usize {
+    let sent: Vec<Vec<f32>> = (0..FANOUT).map(|_| vec.to_vec()).collect();
+    sent.len()
+}
+
+fn bench_axpy(c: &mut Criterion) {
+    let (x, mut y) = axpy_fixture();
+    c.bench_function("hot_path/axpy_chunked", |b| {
+        b.iter(|| ops::axpy(0.5, &x, &mut y))
+    });
+    c.bench_function("hot_path/axpy_scalar", |b| {
+        b.iter(|| ops::reference::axpy(0.5, &x, &mut y))
+    });
+}
+
+fn bench_grad_step(c: &mut Criterion) {
+    let mut fx = grad_fixture();
+    c.bench_function("hot_path/grad_step_pooled", |b| b.iter(|| fx.pooled_step()));
+    c.bench_function("hot_path/grad_step_allocating", |b| {
+        b.iter(|| fx.allocating_step())
+    });
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let (block, vec) = publish_fixture();
+    c.bench_function("hot_path/publish_snapshot", |b| {
+        b.iter(|| publish_snapshots(&block))
+    });
+    c.bench_function("hot_path/publish_deep_copy", |b| {
+        b.iter(|| publish_deep_copies(&vec))
+    });
+}
+
+/// Wire bytes per iteration of a short decentralized run — the
+/// params-exchanged-per-iteration trajectory metric.
+fn params_bytes_per_iter(max_iters: u64) -> f64 {
+    let n = 6;
+    let dataset = hop_data::webspam::SyntheticWebspam::generate(192, 5);
+    let model = hop_model::svm::Svm::log_loss(dataset.feature_dim());
+    let report = SimExperiment {
+        topology: Topology::ring(n),
+        cluster: ClusterSpec::uniform(n, 2, 0.01, LinkModel::ethernet_1gbps()),
+        slowdown: SlowdownModel::paper_random(n),
+        protocol: Protocol::Hop(HopConfig::standard()),
+        hyper: Hyper::svm(),
+        max_iters,
+        seed: 13,
+        eval_every: 0,
+        eval_examples: 16,
+    }
+    .run(&model, &dataset)
+    .expect("valid configuration");
+    report.bytes_sent as f64 / max_iters as f64
+}
+
+fn emit_summary() {
+    let iters = if smoke() { 5 } else { 200 };
+    let dim = vector_dim();
+
+    let (x, mut y) = axpy_fixture();
+    let axpy_chunked = time_ns(iters, || ops::axpy(0.5, &x, &mut y));
+    let axpy_scalar = time_ns(iters, || ops::reference::axpy(0.5, &x, &mut y));
+
+    let mut fx = grad_fixture();
+    let grad_pooled = time_ns(iters, || fx.pooled_step());
+    let grad_alloc = time_ns(iters, || fx.allocating_step());
+
+    let (block, vec) = publish_fixture();
+    let publish_snapshot = time_ns(iters, || {
+        std::hint::black_box(publish_snapshots(&block));
+    });
+    let publish_copy = time_ns(iters, || {
+        std::hint::black_box(publish_deep_copies(&vec));
+    });
+
+    let sim_iters = if smoke() { 10 } else { 40 };
+    let bytes_per_iter = params_bytes_per_iter(sim_iters);
+
+    println!(
+        "HOT_PATH_SUMMARY {{\"smoke\":{},\"dim\":{dim},\
+         \"axpy_chunked_ns\":{axpy_chunked:.0},\"axpy_scalar_ns\":{axpy_scalar:.0},\
+         \"grad_step_pooled_ns\":{grad_pooled:.0},\"grad_step_allocating_ns\":{grad_alloc:.0},\
+         \"publish_snapshot_ns\":{publish_snapshot:.0},\"publish_deep_copy_ns\":{publish_copy:.0},\
+         \"sim_params_bytes_per_iter\":{bytes_per_iter:.0}}}",
+        smoke(),
+    );
+}
+
+fn bench_summary(_c: &mut Criterion) {
+    emit_summary();
+}
+
+criterion_group!(
+    hot_path,
+    bench_axpy,
+    bench_grad_step,
+    bench_publish,
+    bench_summary
+);
+criterion_main!(hot_path);

@@ -21,6 +21,7 @@ use hop_data::InMemoryDataset;
 use hop_graph::Topology;
 use hop_model::Model;
 use hop_sim::{ClusterSpec, SlowdownModel};
+use hop_tensor::ParamBlock;
 use std::collections::VecDeque;
 
 use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
@@ -40,7 +41,8 @@ struct WorkerSt {
     waiting_on: Option<usize>,
     /// Requesters waiting to average with this worker.
     wait_queue: VecDeque<usize>,
-    /// Gradient computed this iteration, applied after averaging.
+    /// Gradient computed this iteration (buffer from the engine pool),
+    /// applied after averaging.
     pending_grad: Option<Vec<f32>>,
     /// Whether this worker initiates averaging (bipartite: one side only).
     initiates: bool,
@@ -93,11 +95,7 @@ pub fn run(
             },
         })
         .collect();
-    let mut proto = AdPsgd {
-        topology,
-        workers,
-        grad_buf: vec![0.0f32; engine.init_params().len()],
-    };
+    let mut proto = AdPsgd { topology, workers };
     engine.drive(&mut proto)
 }
 
@@ -105,7 +103,6 @@ pub fn run(
 struct AdPsgd<'a> {
     topology: &'a Topology,
     workers: Vec<WorkerSt>,
-    grad_buf: Vec<f32>,
 }
 
 impl AdPsgd<'_> {
@@ -131,7 +128,10 @@ impl AdPsgd<'_> {
             .take()
             .expect("gradient pending");
         let WorkerCommon { opt, params, .. } = &mut eng.workers[w];
-        opt.step(params, &grad);
+        // Copy-on-write: detaches from a partner still sharing the
+        // averaged block.
+        opt.step_block(params, &grad);
+        eng.pool.release(grad);
         eng.workers[w].iter += 1;
         let k = eng.workers[w].iter;
         eng.trace.record(w, k, now);
@@ -174,8 +174,9 @@ impl WorkerProtocol for AdPsgd<'_> {
     fn on_event(&mut self, eng: &mut SimEngine<'_, Ev>, now: f64, ev: Ev) {
         match ev {
             Ev::ComputeDone { w } => {
-                eng.local_grad(w, now, &mut self.grad_buf);
-                self.workers[w].pending_grad = Some(self.grad_buf.clone());
+                let mut grad = eng.pool.acquire(eng.workers[w].params.len());
+                eng.local_grad(w, now, &mut grad);
+                self.workers[w].pending_grad = Some(grad);
                 if self.workers[w].initiates {
                     let neighbors = self.topology.external_out_neighbors(w);
                     let partner = *eng.workers[w].rng.choose(&neighbors);
@@ -196,13 +197,23 @@ impl WorkerProtocol for AdPsgd<'_> {
                 }
             }
             Ev::AvgDone { active, passive } => {
-                // Atomic pairwise average: both sides take the mean.
-                for i in 0..eng.workers[active].params.len() {
-                    let mean =
-                        0.5 * (eng.workers[active].params[i] + eng.workers[passive].params[i]);
-                    eng.workers[active].params[i] = mean;
-                    eng.workers[passive].params[i] = mean;
+                // Atomic pairwise average: both sides take the mean. The
+                // mean is computed once into a pooled buffer and then
+                // *shared* by both replicas — they stay one allocation
+                // until either side's next write detaches it.
+                let mut mean = eng.pool.acquire(eng.workers[active].params.len());
+                {
+                    let pa = eng.workers[active].params.as_slice();
+                    let pb = eng.workers[passive].params.as_slice();
+                    for ((m, &a), &b) in mean.iter_mut().zip(pa).zip(pb) {
+                        *m = 0.5 * (a + b);
+                    }
                 }
+                let block = ParamBlock::from_vec(mean);
+                let old_a = std::mem::replace(&mut eng.workers[active].params, block.snapshot());
+                let old_p = std::mem::replace(&mut eng.workers[passive].params, block);
+                eng.pool.reclaim(old_a);
+                eng.pool.reclaim(old_p);
                 self.workers[active].busy = false;
                 self.workers[passive].busy = false;
                 self.finish_iteration(eng, active, now);
@@ -229,7 +240,7 @@ impl WorkerProtocol for AdPsgd<'_> {
     }
 
     fn final_params(&mut self, eng: &SimEngine<'_, Ev>) -> Vec<Vec<f32>> {
-        eng.workers.iter().map(|s| s.params.clone()).collect()
+        eng.workers.iter().map(|s| s.params.to_vec()).collect()
     }
 }
 

@@ -21,8 +21,8 @@ use hop_graph::Topology;
 use hop_model::Model;
 use hop_queue::{RotatingQueues, Tag};
 use hop_sim::{ClusterSpec, SlowdownModel};
+use hop_tensor::ParamBlock;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
 use super::recorder::EvalConfig;
@@ -67,7 +67,8 @@ enum Ev {
         to: usize,
         from: usize,
         iter: u64,
-        params: Arc<Vec<f32>>,
+        /// Zero-copy snapshot of the sender's parameters at send time.
+        params: ParamBlock,
     },
     Tokens {
         to: usize,
@@ -82,13 +83,14 @@ enum Ev {
 /// Protocol-specific per-worker state; common state (params, optimizer,
 /// sampler, iteration counter) lives in the engine's [`WorkerCommon`].
 struct WorkerSt {
-    /// Parameter snapshot gradients are computed on (parallel order).
-    compute_params: Vec<f32>,
+    /// Parameter snapshot gradients are computed on (parallel order) — a
+    /// refcount bump of the replica, not a copy.
+    compute_params: ParamBlock,
     grad: Vec<f32>,
     delta: Vec<f32>,
-    queue: RotatingQueues<Arc<Vec<f32>>>,
+    queue: RotatingQueues<ParamBlock>,
     /// Newest update seen per in-neighbor (staleness mode, incl. self).
-    newest_from: HashMap<usize, (u64, Arc<Vec<f32>>)>,
+    newest_from: HashMap<usize, (u64, ParamBlock)>,
     /// Tokens visible from each external out-neighbor's `TokenQ(o -> w)`.
     tokens_from: HashMap<usize, u64>,
     /// NOTIFY-ACK: ACKs received for the last sent iteration.
@@ -159,7 +161,7 @@ impl<'a> Decentralized<'a> {
                     }
                 }
                 WorkerSt {
-                    compute_params: eng.init_params().to_vec(),
+                    compute_params: eng.init_block(),
                     grad: vec![0.0; dim],
                     delta: vec![0.0; dim],
                     queue: RotatingQueues::new(window),
@@ -201,9 +203,7 @@ impl<'a> Decentralized<'a> {
             self.finish_worker(eng, w, now);
             return;
         }
-        self.workers[w]
-            .compute_params
-            .copy_from_slice(&eng.workers[w].params);
+        self.workers[w].compute_params = eng.workers[w].params.snapshot();
         self.workers[w].phase = Phase::Computing;
         if self.cfg.order == ComputeOrder::Parallel {
             self.do_send(eng, w, new_iter, now);
@@ -231,10 +231,11 @@ impl<'a> Decentralized<'a> {
 
     /// The Send of iteration `iter`: self-loop delivery is immediate;
     /// external sends go over the network (with the §6.2(b) inquiry
-    /// optimization when enabled).
+    /// optimization when enabled). Every delivery carries a zero-copy
+    /// snapshot — the wire bytes are simulated, no parameter bytes move.
     fn do_send(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
-        let params = Arc::new(eng.workers[w].params.clone());
-        self.deliver_update(eng, w, w, iter, Arc::clone(&params), now);
+        let params = eng.workers[w].params.snapshot();
+        self.deliver_update(eng, w, w, iter, params.snapshot(), now);
         let inquiry = self.cfg.effective_send_inquiry();
         for o in self.topology.external_out_neighbors(w) {
             if inquiry && eng.workers[o].iter > iter {
@@ -250,7 +251,7 @@ impl<'a> Decentralized<'a> {
                     to: o,
                     from: w,
                     iter,
-                    params: Arc::clone(&params),
+                    params: params.snapshot(),
                 },
             );
         }
@@ -262,7 +263,7 @@ impl<'a> Decentralized<'a> {
         to: usize,
         from: usize,
         iter: u64,
-        params: Arc<Vec<f32>>,
+        params: ParamBlock,
         now: f64,
     ) {
         let state = &mut self.workers[to];
@@ -272,7 +273,9 @@ impl<'a> Decentralized<'a> {
                 .get(&from)
                 .is_none_or(|&(have, _)| iter > have);
             if newer {
-                state.newest_from.insert(from, (iter, params));
+                if let Some((_, old)) = state.newest_from.insert(from, (iter, params)) {
+                    eng.pool.reclaim(old);
+                }
             }
         } else {
             state
@@ -331,8 +334,10 @@ impl<'a> Decentralized<'a> {
             }
             ComputeOrder::Serial => {
                 // Fig. 2(a): apply to the same parameters, then send.
+                // Copy-on-write: snapshots still in flight keep their
+                // values.
                 let WorkerCommon { opt, params, .. } = &mut eng.workers[w];
-                opt.step(params, &state.grad);
+                opt.step_block(params, &state.grad);
                 let needs_ack = self.cfg.sync == SyncMode::NotifyAck
                     && iter > 0
                     && self.workers[w].acks_received
@@ -353,6 +358,31 @@ impl<'a> Decentralized<'a> {
         self.try_recv(eng, w, now);
     }
 
+    /// Whether every neighbor in `neighbors` has a satisfactory newest
+    /// update for a worker renewing at iteration `k` (staleness mode).
+    fn newest_satisfied(&self, w: usize, neighbors: &[usize], k: u64, s: u64) -> bool {
+        neighbors.iter().all(|j| {
+            self.workers[w]
+                .newest_from
+                .get(j)
+                .is_some_and(|&(iter, _)| semantics::staleness_satisfied(iter, k, s))
+        })
+    }
+
+    /// Gathers the newest update per listed in-neighbor as
+    /// `(iteration, snapshot)` pairs — the shared collection step of the
+    /// staleness Recv (Fig. 9) and the §5 jump-renew. Snapshots are
+    /// refcount bumps, not copies.
+    fn collect_newest(&self, w: usize, neighbors: &[usize]) -> Vec<(u64, ParamBlock)> {
+        neighbors
+            .iter()
+            .map(|j| {
+                let (iter, params) = &self.workers[w].newest_from[j];
+                (*iter, params.snapshot())
+            })
+            .collect()
+    }
+
     /// The Recv + Reduce + Apply of the current iteration. Blocks (phase
     /// `WaitUpdates`) until the mode's condition is met.
     fn try_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
@@ -361,34 +391,27 @@ impl<'a> Decentralized<'a> {
         if let Some(s) = self.cfg.staleness {
             // Fig. 9: newest satisfactory update per in-neighbor.
             let neighbors = self.topology.in_neighbors(w).to_vec();
-            let satisfied = neighbors.iter().all(|j| {
-                self.workers[w]
-                    .newest_from
-                    .get(j)
-                    .is_some_and(|&(iter, _)| semantics::staleness_satisfied(iter, k, s))
-            });
-            if !satisfied {
+            if !self.newest_satisfied(w, &neighbors, k, s) {
                 self.workers[w].phase = Phase::WaitUpdates;
                 return;
             }
-            let collected: Vec<(u64, Arc<Vec<f32>>)> = neighbors
-                .iter()
-                .map(|j| self.workers[w].newest_from[j].clone())
-                .collect();
+            let collected = self.collect_newest(w, &neighbors);
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
                 .collect();
-            let state = &mut self.workers[w];
+            let state = &self.workers[w];
+            // Full overwrite: the old contents are not read, so a shared
+            // replica detaches without copying.
             semantics::reduce_staleness_with(
                 self.cfg.staleness_weighting,
                 &views,
                 k,
                 s,
-                &mut eng.workers[w].params,
+                eng.workers[w].params.overwrite_mut(&mut eng.pool),
             );
             if self.cfg.order == ComputeOrder::Parallel {
-                semantics::apply_parallel(&mut eng.workers[w].params, &state.delta);
+                semantics::apply_parallel(eng.workers[w].params.make_mut(), &state.delta);
             }
         } else {
             let quota = semantics::backup_quota(in_deg, self.cfg.n_backup);
@@ -399,9 +422,14 @@ impl<'a> Decentralized<'a> {
             // Fig. 8: the needed updates plus any extras already here.
             let entries = self.workers[w].queue.dequeue_up_to(in_deg, k);
             let views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
-            semantics::reduce_mean(&views, &mut eng.workers[w].params);
+            semantics::reduce_mean(&views, eng.workers[w].params.overwrite_mut(&mut eng.pool));
             if self.cfg.order == ComputeOrder::Parallel {
-                semantics::apply_parallel(&mut eng.workers[w].params, &self.workers[w].delta);
+                semantics::apply_parallel(eng.workers[w].params.make_mut(), &self.workers[w].delta);
+            }
+            // The dequeued snapshots are done; recycle any whose last
+            // holder this was.
+            for entry in entries {
+                eng.pool.reclaim(entry.value);
             }
         }
         // NOTIFY-ACK: confirm consumption to every external in-neighbor.
@@ -469,22 +497,14 @@ impl<'a> Decentralized<'a> {
         let renew_iter = target - 1;
         if let Some(s) = self.cfg.staleness {
             let externals = self.topology.external_in_neighbors(w);
-            let satisfied = externals.iter().all(|j| {
-                self.workers[w]
-                    .newest_from
-                    .get(j)
-                    .is_some_and(|&(iter, _)| semantics::staleness_satisfied(iter, renew_iter, s))
-            });
-            if !satisfied {
+            if !self.newest_satisfied(w, &externals, renew_iter, s) {
                 self.workers[w].phase = Phase::JumpRecv { target };
                 return;
             }
-            let mut collected: Vec<(u64, Arc<Vec<f32>>)> = externals
-                .iter()
-                .map(|j| self.workers[w].newest_from[j].clone())
-                .collect();
-            // Own (stale) parameters participate with clamped weight.
-            collected.push((eng.workers[w].iter, Arc::new(eng.workers[w].params.clone())));
+            let mut collected = self.collect_newest(w, &externals);
+            // Own (stale) parameters participate with clamped weight; the
+            // snapshot keeps them readable while the replica is rewritten.
+            collected.push((eng.workers[w].iter, eng.workers[w].params.snapshot()));
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
@@ -494,7 +514,7 @@ impl<'a> Decentralized<'a> {
                 &views,
                 renew_iter,
                 s,
-                &mut eng.workers[w].params,
+                eng.workers[w].params.overwrite_mut(&mut eng.pool),
             );
         } else {
             // Backup mode: collect the quota of iteration `target-1`
@@ -508,10 +528,15 @@ impl<'a> Decentralized<'a> {
                 return;
             }
             let entries = self.workers[w].queue.dequeue_up_to(ext, renew_iter);
-            let own = eng.workers[w].params.clone();
+            let own = eng.workers[w].params.snapshot();
             let mut views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
-            views.push(&own);
-            semantics::reduce_mean(&views, &mut eng.workers[w].params);
+            views.push(own.as_slice());
+            semantics::reduce_mean(&views, eng.workers[w].params.overwrite_mut(&mut eng.pool));
+            drop(views);
+            eng.pool.reclaim(own);
+            for entry in entries {
+                eng.pool.reclaim(entry.value);
+            }
         }
         // Momentum history refers to a trajectory this worker abandoned.
         eng.workers[w].opt.reset_velocity();
@@ -559,7 +584,7 @@ impl WorkerProtocol for Decentralized<'_> {
     }
 
     fn final_params(&mut self, eng: &SimEngine<'_, Ev>) -> Vec<Vec<f32>> {
-        eng.workers.iter().map(|s| s.params.clone()).collect()
+        eng.workers.iter().map(|s| s.params.to_vec()).collect()
     }
 
     fn stale_discarded(&self, _eng: &SimEngine<'_, Ev>) -> u64 {

@@ -31,18 +31,39 @@
 //! quasi-global momentum) is now a ~150-line `WorkerProtocol`
 //! implementation instead of a fork of `decentralized.rs`.
 //!
+//! # The zero-copy parameter plane
+//!
+//! Worker parameter replicas are [`ParamBlock`]s: `Arc`-shared flat
+//! buffers whose [`snapshot`](ParamBlock::snapshot) is a refcount bump.
+//! Protocols publish parameters (to event payloads, rotating queues,
+//! staleness caches) by snapshotting — a steady-state message send copies
+//! *zero* parameter bytes. Mutation is copy-on-write:
+//! read-modify-write updates (optimizer steps, pairwise averaging) go
+//! through [`ParamBlock::make_mut`], and full overwrites (`Reduce`) go
+//! through [`ParamBlock::overwrite_mut`], which takes its buffer from the
+//! engine-owned [`BufferPool`] instead of copying soon-discarded values.
+//! The pool also recycles per-event gradient scratch
+//! ([`BufferPool::acquire`]/[`release`](BufferPool::release)) and
+//! reclaims dequeued snapshots once their last holder drops them, so the
+//! steady state performs no heap allocation. Per-example forward/backward
+//! intermediates live in each worker's [`GradScratch`].
+//!
 //! Determinism: the engine introduces no randomness of its own. Event
 //! order is total (time, then insertion sequence), per-worker RNGs are
 //! seeded from the master seed, and slowdowns are sampled from
 //! `(seed, worker, iteration)` — so one seed yields one report,
-//! bit-for-bit.
+//! bit-for-bit. Sharing never changes values: snapshots are immutable,
+//! copy-on-write detaches before any write, and pooled buffers are
+//! handed out zero-filled — so reports are bit-identical to an
+//! implementation that deep-copied every message.
 
 use crate::report::TrainingReport;
 use crate::sim_runtime::recorder::{EvalConfig, Recorder};
 use crate::trainer::Hyper;
 use hop_data::{BatchSampler, Dataset, InMemoryDataset};
-use hop_model::{Model, Sgd};
+use hop_model::{GradScratch, Model, Sgd};
 use hop_sim::{ClusterSpec, EventQueue, Network, SlowdownModel, Trace};
+use hop_tensor::{BufferPool, ParamBlock};
 use hop_util::Xoshiro256;
 
 /// Protocol-independent per-worker state owned by the engine.
@@ -52,16 +73,20 @@ pub struct WorkerCommon {
     /// Whether this worker reached `max_iters` (set via
     /// [`SimEngine::finish_worker`]).
     pub finished: bool,
-    /// The worker's parameter replica. Protocols with a single global
-    /// parameter vector (parameter server, ring all-reduce) keep their own
-    /// copy and ignore these.
-    pub params: Vec<f32>,
+    /// The worker's parameter replica, shared zero-copy with in-flight
+    /// messages (see the [module docs](self)). Protocols with a single
+    /// global parameter vector (parameter server, ring all-reduce) keep
+    /// their own copy and ignore these.
+    pub params: ParamBlock,
     /// Per-worker SGD state (momentum velocity).
     pub opt: Sgd,
     /// Deterministic minibatch sampler for this worker's data partition.
     pub sampler: BatchSampler,
     /// Per-worker RNG, seeded from the master seed and the worker id.
     pub rng: Xoshiro256,
+    /// Reusable forward/backward scratch for this worker's gradient
+    /// evaluations (no per-example allocation).
+    pub scratch: GradScratch,
 }
 
 /// A simulated training protocol plugged into [`SimEngine::drive`].
@@ -130,7 +155,10 @@ pub struct SimEngine<'a, E> {
     pub recorder: Recorder,
     /// Protocol-independent per-worker state.
     pub workers: Vec<WorkerCommon>,
-    init_params: Vec<f32>,
+    /// Recycled scratch buffers for per-event temporaries and
+    /// full-overwrite parameter writes (see the [module docs](self)).
+    pub pool: BufferPool,
+    init_params: ParamBlock,
     aborted: bool,
 }
 
@@ -162,12 +190,13 @@ impl<'a, E> SimEngine<'a, E> {
             spec.len()
         );
         let mut init_rng = Xoshiro256::seed_from_u64(seed);
-        let init_params = model.init_params(&mut init_rng);
+        let init_params = ParamBlock::from_vec(model.init_params(&mut init_rng));
         let workers = (0..n_workers)
             .map(|w| WorkerCommon {
                 iter: 0,
                 finished: false,
-                params: init_params.clone(),
+                // All replicas share the init allocation until first write.
+                params: init_params.snapshot(),
                 opt: Sgd::new(
                     hyper.lr,
                     hyper.momentum,
@@ -180,6 +209,7 @@ impl<'a, E> SimEngine<'a, E> {
                 rng: Xoshiro256::seed_from_u64(
                     seed ^ (w as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 ),
+                scratch: GradScratch::new(),
             })
             .collect();
         Self {
@@ -195,6 +225,7 @@ impl<'a, E> SimEngine<'a, E> {
             trace: Trace::new(n_workers),
             recorder: Recorder::new(n_workers, eval, dataset),
             workers,
+            pool: BufferPool::new(),
             init_params,
             aborted: false,
         }
@@ -203,7 +234,13 @@ impl<'a, E> SimEngine<'a, E> {
     /// The shared initial parameter vector (for protocols keeping a global
     /// replica instead of per-worker ones).
     pub fn init_params(&self) -> &[f32] {
-        &self.init_params
+        self.init_params.as_slice()
+    }
+
+    /// A zero-copy snapshot of the initial parameters (for protocols
+    /// keeping [`ParamBlock`] replicas of their own).
+    pub fn init_block(&self) -> ParamBlock {
+        self.init_params.snapshot()
     }
 
     /// A fresh optimizer sized for the model (for global-replica
@@ -224,12 +261,15 @@ impl<'a, E> SimEngine<'a, E> {
     }
 
     /// Draws worker `w`'s next minibatch and evaluates loss and gradient
-    /// at `params` (which may be a protocol-owned vector). Does not record
-    /// the loss — pair with [`Recorder::train_loss`] at the time that fits
-    /// the protocol's semantics.
+    /// at `params` (which may be a protocol-owned vector), reusing the
+    /// worker's [`GradScratch`]. Does not record the loss — pair with
+    /// [`Recorder::train_loss`] at the time that fits the protocol's
+    /// semantics.
     pub fn sample_grad(&mut self, w: usize, params: &[f32], grad_out: &mut [f32]) -> f32 {
-        let batch = self.workers[w].sampler.next_batch(self.dataset);
-        self.model.loss_grad(params, &batch, grad_out)
+        let wc = &mut self.workers[w];
+        let batch = wc.sampler.next_batch(self.dataset);
+        self.model
+            .loss_grad_with(params, &batch, grad_out, &mut wc.scratch)
     }
 
     /// [`Self::sample_grad`] on the worker's own replica, recording the
@@ -237,7 +277,12 @@ impl<'a, E> SimEngine<'a, E> {
     pub fn local_grad(&mut self, w: usize, now: f64, grad_out: &mut [f32]) -> f32 {
         let wc = &mut self.workers[w];
         let batch = wc.sampler.next_batch(self.dataset);
-        let loss = self.model.loss_grad(&wc.params, &batch, grad_out);
+        let WorkerCommon {
+            params, scratch, ..
+        } = wc;
+        let loss = self
+            .model
+            .loss_grad_with(params.as_slice(), &batch, grad_out, scratch);
         self.recorder.train_loss(w, wc.iter, now, loss);
         loss
     }
@@ -332,11 +377,12 @@ mod tests {
 
         fn on_event(&mut self, eng: &mut SimEngine<'_, Step>, now: f64, ev: Step) {
             let w = ev.w;
-            let mut grad = vec![0.0; eng.workers[w].params.len()];
+            let mut grad = eng.pool.acquire(eng.workers[w].params.len());
             eng.local_grad(w, now, &mut grad);
             let wc = &mut eng.workers[w];
             let WorkerCommon { opt, params, .. } = wc;
-            opt.step(params, &grad);
+            opt.step_block(params, &grad);
+            eng.pool.release(grad);
             wc.iter += 1;
             let k = wc.iter;
             eng.trace.record(w, k, now);
@@ -349,7 +395,7 @@ mod tests {
         }
 
         fn final_params(&mut self, eng: &SimEngine<'_, Step>) -> Vec<Vec<f32>> {
-            eng.workers.iter().map(|s| s.params.clone()).collect()
+            eng.workers.iter().map(|s| s.params.to_vec()).collect()
         }
     }
 

@@ -18,7 +18,7 @@ use crate::trainer::Hyper;
 use hop_data::InMemoryDataset;
 use hop_model::{Model, Sgd};
 use hop_sim::{ClusterSpec, SlowdownModel};
-use std::sync::Arc;
+use hop_tensor::ParamBlock;
 
 use super::engine::{SimEngine, WorkerProtocol};
 use super::recorder::EvalConfig;
@@ -81,7 +81,10 @@ struct BspRound {
 /// driven as one event per round.
 struct BspServer {
     server: usize,
-    params: Vec<f32>,
+    /// The single global replica; never snapshotted (BSP broadcast is
+    /// modeled analytically), so mutation always hits the fast in-place
+    /// path.
+    params: ParamBlock,
     opt: Sgd,
     grad: Vec<f32>,
     mean_grad: Vec<f32>,
@@ -92,7 +95,7 @@ impl BspServer {
         let dim = eng.init_params().len();
         Self {
             server,
-            params: eng.init_params().to_vec(),
+            params: eng.init_block(),
             opt: eng.new_opt(),
             grad: vec![0.0; dim],
             mean_grad: vec![0.0; dim],
@@ -137,9 +140,9 @@ impl WorkerProtocol for BspServer {
             round_end = round_end.max(grad_arrival);
         }
         let t = round_end + APPLY_COST;
-        self.opt.step(&mut self.params, &self.mean_grad);
+        self.opt.step_block(&mut self.params, &self.mean_grad);
         if eng.recorder.eval_due(k + 1) {
-            let view: Vec<&[f32]> = vec![&self.params];
+            let view: Vec<&[f32]> = vec![self.params.as_slice()];
             eng.recorder
                 .evaluate(eng.model, eng.dataset, &view, t, k + 1);
         }
@@ -147,14 +150,16 @@ impl WorkerProtocol for BspServer {
     }
 
     fn final_params(&mut self, _eng: &SimEngine<'_, BspRound>) -> Vec<Vec<f32>> {
-        vec![self.params.clone()]
+        vec![self.params.to_vec()]
     }
 }
 
 enum AsyncEv {
-    /// Fresh parameters reached the worker; it starts computing.
-    ParamsArrive { w: usize, params: Arc<Vec<f32>> },
-    /// A worker's gradient reached the server.
+    /// Fresh parameters reached the worker; it starts computing. The
+    /// payload is a zero-copy snapshot of the server replica at pull time.
+    ParamsArrive { w: usize, params: ParamBlock },
+    /// A worker's gradient reached the server (buffer from the engine
+    /// pool, released after the server applies it).
     GradArrive {
         w: usize,
         grad: Vec<f32>,
@@ -170,7 +175,9 @@ enum AsyncEv {
 struct AsyncServer {
     server: usize,
     staleness: Option<u64>,
-    params: Vec<f32>,
+    /// Global replica; every pull is a snapshot, every apply detaches
+    /// copy-on-write from the snapshots still in flight.
+    params: ParamBlock,
     opt: Sgd,
     blocked: Vec<bool>,
 }
@@ -180,7 +187,7 @@ impl AsyncServer {
         Self {
             server,
             staleness,
-            params: eng.init_params().to_vec(),
+            params: eng.init_block(),
             opt: eng.new_opt(),
             blocked: vec![false; eng.workers.len()],
         }
@@ -191,15 +198,15 @@ impl WorkerProtocol for AsyncServer {
     type Event = AsyncEv;
 
     fn start(&mut self, eng: &mut SimEngine<'_, AsyncEv>) {
-        // Initial broadcast.
-        let snapshot = Arc::new(self.params.clone());
+        // Initial broadcast: every worker gets a snapshot of one
+        // allocation.
         for w in 0..eng.workers.len() {
             let a = eng.net.transfer(0.0, self.server, w, eng.param_bytes);
             eng.events.push(
                 a,
                 AsyncEv::ParamsArrive {
                     w,
-                    params: Arc::clone(&snapshot),
+                    params: self.params.snapshot(),
                 },
             );
         }
@@ -211,10 +218,11 @@ impl WorkerProtocol for AsyncServer {
                 let k = eng.workers[w].iter;
                 eng.trace.record(w, k, now);
                 let compute_done = now + eng.compute_duration(w, k);
-                let mut grad = vec![0.0f32; snap.len()];
+                let mut grad = eng.pool.acquire(snap.len());
                 // The gradient is taken on the pulled (possibly stale)
                 // snapshot, not on whatever the server holds by then.
                 let loss = eng.sample_grad(w, &snap, &mut grad);
+                eng.pool.reclaim(snap);
                 let arrival = eng
                     .net
                     .transfer(compute_done, w, self.server, eng.param_bytes);
@@ -237,12 +245,13 @@ impl WorkerProtocol for AsyncServer {
                 // The gradient was computed on (possibly stale) pulled
                 // parameters but is applied to the current ones (§2.1's
                 // asynchronous coordination).
-                self.opt.step(&mut self.params, &grad);
+                self.opt.step_block(&mut self.params, &grad);
+                eng.pool.release(grad);
                 eng.recorder
                     .train_loss(w, eng.workers[w].iter, compute_done, loss);
                 eng.workers[w].iter += 1;
                 if w == 0 && eng.recorder.eval_due(eng.workers[0].iter) {
-                    let view: Vec<&[f32]> = vec![&self.params];
+                    let view: Vec<&[f32]> = vec![self.params.as_slice()];
                     let iter0 = eng.workers[0].iter;
                     eng.recorder
                         .evaluate(eng.model, eng.dataset, &view, now, iter0);
@@ -270,7 +279,7 @@ impl WorkerProtocol for AsyncServer {
                     };
                     if ok {
                         self.blocked[v] = false;
-                        let snap = Arc::new(self.params.clone());
+                        let snap = self.params.snapshot();
                         let a = eng.net.transfer(now, self.server, v, eng.param_bytes);
                         eng.events
                             .push(a, AsyncEv::ParamsArrive { w: v, params: snap });
@@ -281,7 +290,7 @@ impl WorkerProtocol for AsyncServer {
     }
 
     fn final_params(&mut self, _eng: &SimEngine<'_, AsyncEv>) -> Vec<Vec<f32>> {
-        vec![self.params.clone()]
+        vec![self.params.to_vec()]
     }
 }
 

@@ -16,6 +16,7 @@ use crate::trainer::Hyper;
 use hop_data::InMemoryDataset;
 use hop_model::{Model, Sgd};
 use hop_sim::{ClusterSpec, SlowdownModel};
+use hop_tensor::ParamBlock;
 
 use super::engine::{SimEngine, WorkerProtocol};
 use super::recorder::EvalConfig;
@@ -55,7 +56,10 @@ struct Round {
 
 /// Bulk-synchronous ring all-reduce with an analytic pipeline model.
 struct RingAllReduce {
-    params: Vec<f32>,
+    /// The single logical replica (all workers hold identical parameters
+    /// after each all-reduce); never snapshotted, so updates stay
+    /// in-place.
+    params: ParamBlock,
     opt: Sgd,
     grad: Vec<f32>,
     mean_grad: Vec<f32>,
@@ -87,7 +91,7 @@ impl RingAllReduce {
             step_time = step_time.max(lat + chunk / bw);
         }
         Self {
-            params: eng.init_params().to_vec(),
+            params: eng.init_block(),
             opt: eng.new_opt(),
             grad: vec![0.0; dim],
             mean_grad: vec![0.0; dim],
@@ -127,11 +131,11 @@ impl WorkerProtocol for RingAllReduce {
             hop_tensor::ops::axpy(1.0 / n as f32, &self.grad, &mut self.mean_grad);
             compute_max = compute_max.max(dur);
         }
-        self.opt.step(&mut self.params, &self.mean_grad);
+        self.opt.step_block(&mut self.params, &self.mean_grad);
         self.bytes_sent += (2 * (n - 1) * n) as u64 * (self.chunk as u64);
         let t = now + compute_max + self.allreduce_time;
         if eng.recorder.eval_due(k + 1) {
-            let view: Vec<&[f32]> = vec![&self.params];
+            let view: Vec<&[f32]> = vec![self.params.as_slice()];
             eng.recorder
                 .evaluate(eng.model, eng.dataset, &view, t, k + 1);
         }
@@ -139,7 +143,7 @@ impl WorkerProtocol for RingAllReduce {
     }
 
     fn final_params(&mut self, _eng: &SimEngine<'_, Round>) -> Vec<Vec<f32>> {
-        vec![self.params.clone()]
+        vec![self.params.to_vec()]
     }
 
     fn bytes_sent(&self, _eng: &SimEngine<'_, Round>) -> u64 {

@@ -17,9 +17,10 @@ use crate::semantics;
 use crate::trainer::Hyper;
 use hop_data::{BatchSampler, Dataset, InMemoryDataset};
 use hop_graph::Topology;
-use hop_model::{Model, Sgd};
+use hop_model::{GradScratch, Model, Sgd};
 use hop_queue::blocking::{SharedTaggedQueue, SharedTokenQueue};
 use hop_queue::tagged::{Tag, TagFilter};
+use hop_tensor::{BufferPool, ParamBlock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -143,7 +144,9 @@ impl ThreadedExperiment {
             return Err(ThreadedError::SerialUnsupported);
         }
         let n = self.topology.len();
-        let update_queues: Vec<SharedTaggedQueue<Arc<Vec<f32>>>> =
+        // Update queues carry zero-copy parameter snapshots: an enqueue is
+        // a refcount bump on the sender's current block.
+        let update_queues: Vec<SharedTaggedQueue<ParamBlock>> =
             (0..n).map(|_| SharedTaggedQueue::new()).collect();
         // TokenQ(owner -> consumer) for every external edge owner->consumer
         // in the *reverse* direction of updates: the consumer of tokens is
@@ -160,7 +163,7 @@ impl ThreadedExperiment {
         }
         let token_queues = Arc::new(token_queues);
         let mut init_rng = hop_util::Xoshiro256::seed_from_u64(self.seed);
-        let init_params = Arc::new(model.init_params(&mut init_rng));
+        let init_params = ParamBlock::from_vec(model.init_params(&mut init_rng));
         let start = Instant::now();
         let results: Vec<WorkerOutcome> = std::thread::scope(|scope| {
             let mut handles = Vec::new();
@@ -169,7 +172,7 @@ impl ThreadedExperiment {
                 let token_queues = Arc::clone(&token_queues);
                 let model = Arc::clone(&model);
                 let dataset = Arc::clone(&dataset);
-                let init = Arc::clone(&init_params);
+                let init = init_params.snapshot();
                 let cfg = self.config.clone();
                 let topo = self.topology.clone();
                 let hyper = self.hyper;
@@ -189,7 +192,7 @@ impl ThreadedExperiment {
                         seed,
                         sleep,
                         timeout,
-                        init.as_ref(),
+                        &init,
                         update_queues,
                         &token_queues,
                     )
@@ -215,6 +218,26 @@ impl ThreadedExperiment {
     }
 }
 
+/// Keeps only the newest update per sender: superseded or stale-on-arrival
+/// blocks are recycled into the worker's pool so the staleness path stays
+/// allocation-free in steady state.
+fn note_newest(
+    newest_from: &mut HashMap<usize, (u64, ParamBlock)>,
+    pool: &mut BufferPool,
+    entry: hop_queue::tagged::TaggedEntry<ParamBlock>,
+) {
+    let newer = newest_from
+        .get(&entry.tag.w_id)
+        .is_none_or(|&(have, _)| entry.tag.iter > have);
+    if newer {
+        if let Some((_, old)) = newest_from.insert(entry.tag.w_id, (entry.tag.iter, entry.value)) {
+            pool.reclaim(old);
+        }
+    } else {
+        pool.reclaim(entry.value);
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn worker_loop(
     w: usize,
@@ -227,17 +250,21 @@ fn worker_loop(
     seed: u64,
     compute_sleep: Duration,
     timeout: Duration,
-    init_params: &[f32],
-    update_queues: &[SharedTaggedQueue<Arc<Vec<f32>>>],
+    init_params: &ParamBlock,
+    update_queues: &[SharedTaggedQueue<ParamBlock>],
     token_queues: &HashMap<(usize, usize), SharedTokenQueue>,
 ) -> WorkerOutcome {
-    let mut params = init_params.to_vec();
+    // All workers start on one shared allocation; the first write
+    // detaches copy-on-write.
+    let mut params = init_params.snapshot();
     let mut opt = Sgd::new(hyper.lr, hyper.momentum, hyper.weight_decay, params.len());
     let mut sampler = BatchSampler::for_worker(dataset.len(), hyper.batch_size, seed, w);
     let mut grad = vec![0.0f32; params.len()];
     let mut delta = vec![0.0f32; params.len()];
+    let mut scratch = GradScratch::new();
+    let mut pool = BufferPool::new();
     let mut losses = Vec::with_capacity(max_iters as usize);
-    let mut newest_from: HashMap<usize, (u64, Arc<Vec<f32>>)> = HashMap::new();
+    let mut newest_from: HashMap<usize, (u64, ParamBlock)> = HashMap::new();
     let in_deg = topo.in_degree(w);
     let externals_in = topo.external_in_neighbors(w);
     let externals_out = topo.external_out_neighbors(w);
@@ -249,30 +276,25 @@ fn worker_loop(
                 token_queues[&(w, *j)].insert(1);
             }
         }
-        // Send (parallel order): own queue and all out-neighbors.
-        let snapshot = Arc::new(params.clone());
-        update_queues[w].enqueue(Arc::clone(&snapshot), Tag { iter: k, w_id: w });
+        // Send (parallel order): own queue and all out-neighbors. Each
+        // enqueue shares the current block — zero parameter bytes copied.
+        update_queues[w].enqueue(params.snapshot(), Tag { iter: k, w_id: w });
         for &o in &externals_out {
-            update_queues[o].enqueue(Arc::clone(&snapshot), Tag { iter: k, w_id: w });
+            update_queues[o].enqueue(params.snapshot(), Tag { iter: k, w_id: w });
         }
         // Compute.
         if !compute_sleep.is_zero() {
             std::thread::sleep(compute_sleep);
         }
         let batch = sampler.next_batch(dataset);
-        let loss = model.loss_grad(&params, &batch, &mut grad);
+        let loss = model.loss_grad_with(params.as_slice(), &batch, &mut grad, &mut scratch);
         losses.push(loss);
-        opt.delta(&params, &grad, &mut delta);
+        opt.delta(params.as_slice(), &grad, &mut delta);
         // Recv + Reduce.
         if let Some(s) = cfg.staleness {
             loop {
                 for entry in update_queues[w].dequeue_up_to(usize::MAX, TagFilter::any()) {
-                    let newer = newest_from
-                        .get(&entry.tag.w_id)
-                        .is_none_or(|&(have, _)| entry.tag.iter > have);
-                    if newer {
-                        newest_from.insert(entry.tag.w_id, (entry.tag.iter, entry.value));
-                    }
+                    note_newest(&mut newest_from, &mut pool, entry);
                 }
                 let satisfied = topo.in_neighbors(w).iter().all(|j| {
                     newest_from
@@ -286,12 +308,7 @@ fn worker_loop(
                 match update_queues[w].dequeue(1, TagFilter::any(), timeout) {
                     Ok(entries) => {
                         for entry in entries {
-                            let newer = newest_from
-                                .get(&entry.tag.w_id)
-                                .is_none_or(|&(have, _)| entry.tag.iter > have);
-                            if newer {
-                                newest_from.insert(entry.tag.w_id, (entry.tag.iter, entry.value));
-                            }
+                            note_newest(&mut newest_from, &mut pool, entry);
                         }
                     }
                     Err(_) => {
@@ -303,16 +320,26 @@ fn worker_loop(
                     }
                 }
             }
-            let collected: Vec<(u64, Arc<Vec<f32>>)> = topo
+            let collected: Vec<(u64, ParamBlock)> = topo
                 .in_neighbors(w)
                 .iter()
-                .map(|j| newest_from[j].clone())
+                .map(|j| {
+                    let (iter, p) = &newest_from[j];
+                    (*iter, p.snapshot())
+                })
                 .collect();
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
                 .collect();
-            semantics::reduce_staleness_with(cfg.staleness_weighting, &views, k, s, &mut params);
+            // Full overwrite: shared blocks detach without copying.
+            semantics::reduce_staleness_with(
+                cfg.staleness_weighting,
+                &views,
+                k,
+                s,
+                params.overwrite_mut(&mut pool),
+            );
         } else {
             let quota = semantics::backup_quota(in_deg, cfg.n_backup);
             let mut entries = update_queues[w]
@@ -325,9 +352,13 @@ fn worker_loop(
             // Fig. 8 line 5: grab extras that happen to be here already.
             entries.extend(update_queues[w].dequeue_up_to(in_deg - quota, TagFilter::iter(k)));
             let views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
-            semantics::reduce_mean(&views, &mut params);
+            semantics::reduce_mean(&views, params.overwrite_mut(&mut pool));
+            drop(views);
+            for entry in entries {
+                pool.reclaim(entry.value);
+            }
         }
-        semantics::apply_parallel(&mut params, &delta);
+        semantics::apply_parallel(params.make_mut(), &delta);
         // Advance: one token from every out-going neighbor's queue.
         if max_ig.is_some() {
             for &o in &externals_out {
@@ -348,7 +379,7 @@ fn worker_loop(
             token_queues[&(w, *j)].insert(max_iters);
         }
     }
-    Ok((params, losses))
+    Ok((params.to_vec(), losses))
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! Parameter layout: `[conv_w (F*C*3*3), conv_b (F), fc_w (K * F*(H/2)*(W/2)), fc_b (K)]`.
 
 use crate::loss::softmax_cross_entropy;
-use crate::model::Model;
+use crate::model::{resize_buf, GradScratch, Model};
 use hop_data::{Batch, Features};
 use hop_tensor::ops;
 use hop_util::Xoshiro256;
@@ -144,20 +144,24 @@ impl TinyCnn {
         }
     }
 
-    /// Full forward pass, returning `(conv_pre_relu, pooled, logits)`.
-    fn forward(&self, params: &[f32], input: &[f32]) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
-        let mut conv = vec![0.0; self.filters * self.height * self.width];
-        self.conv_forward(params, input, &mut conv);
-        let mut activated = conv.clone();
-        ops::relu(&mut activated);
-        let mut pooled = vec![0.0; self.pooled_len()];
-        self.pool_forward(&activated, &mut pooled);
+    /// Full forward pass into the scratch's stage buffers
+    /// (`[conv_pre_relu, activated, pooled, logits]`).
+    fn forward_into(&self, params: &[f32], input: &[f32], stages: &mut [Vec<f32>]) {
+        let [conv, activated, pooled, logits] = &mut stages[..4] else {
+            unreachable!("caller reserves 4 stage buffers");
+        };
+        resize_buf(conv, self.filters * self.height * self.width);
+        self.conv_forward(params, input, conv);
+        resize_buf(activated, conv.len());
+        activated.copy_from_slice(conv);
+        ops::relu(activated);
+        resize_buf(pooled, self.pooled_len());
+        self.pool_forward(activated, pooled);
         let fc_w = &params[self.fc_w_offset()..self.fc_w_offset() + self.fc_w_len()];
         let fc_b = &params[self.fc_w_offset() + self.fc_w_len()..];
-        let mut logits = vec![0.0; self.classes];
-        ops::gemv(fc_w, self.classes, self.pooled_len(), &pooled, &mut logits);
-        ops::axpy(1.0, fc_b, &mut logits);
-        (conv, pooled, logits)
+        resize_buf(logits, self.classes);
+        ops::gemv(fc_w, self.classes, self.pooled_len(), pooled, logits);
+        ops::axpy(1.0, fc_b, logits);
     }
 }
 
@@ -180,7 +184,13 @@ impl Model for TinyCnn {
         params
     }
 
-    fn loss_grad(&self, params: &[f32], batch: &Batch<'_>, grad: &mut [f32]) -> f32 {
+    fn loss_grad_with(
+        &self,
+        params: &[f32],
+        batch: &Batch<'_>,
+        grad: &mut [f32],
+        scratch: &mut GradScratch,
+    ) -> f32 {
         assert_eq!(params.len(), self.param_len(), "params length mismatch");
         assert_eq!(grad.len(), self.param_len(), "grad length mismatch");
         assert!(!batch.is_empty(), "empty batch");
@@ -188,36 +198,39 @@ impl Model for TinyCnn {
         let (h, w, c_in) = (self.height, self.width, self.channels);
         let (ph, pw) = (h / 2, w / 2);
         let mut total = 0.0f32;
+        scratch.ensure_stages(4);
+        let GradScratch { stages, a, b, c } = scratch;
+        let (dlogits_buf, dpooled_buf, dconv_buf) = (a, b, c);
         for ex in &batch.examples {
             let input = ex.features.as_dense().expect("CNN requires dense features");
             assert_eq!(input.len(), c_in * h * w, "input size mismatch");
-            let (conv_pre, pooled, logits) = self.forward(params, input);
-            let mut dlogits = vec![0.0; self.classes];
-            total += softmax_cross_entropy(&logits, ex.label as usize, &mut dlogits);
+            self.forward_into(params, input, stages);
+            let [conv_pre, _activated, pooled, logits] = &stages[..4] else {
+                unreachable!("forward_into reserves 4 stage buffers");
+            };
+            resize_buf(dlogits_buf, self.classes);
+            let dlogits = dlogits_buf.as_mut_slice();
+            total += softmax_cross_entropy(logits, ex.label as usize, dlogits);
             // FC backward.
             let fc_off = self.fc_w_offset();
             let fc_w = &params[fc_off..fc_off + self.fc_w_len()];
-            let mut dpooled = vec![0.0; self.pooled_len()];
+            resize_buf(dpooled_buf, self.pooled_len());
+            let dpooled = dpooled_buf.as_mut_slice();
             {
                 let (gfc_w, gfc_b) = grad[fc_off..].split_at_mut(self.fc_w_len());
                 for k in 0..self.classes {
                     ops::axpy(
                         dlogits[k],
-                        &pooled,
+                        pooled,
                         &mut gfc_w[k * self.pooled_len()..(k + 1) * self.pooled_len()],
                     );
                     gfc_b[k] += dlogits[k];
                 }
-                ops::gemv_t(
-                    fc_w,
-                    self.classes,
-                    self.pooled_len(),
-                    &dlogits,
-                    &mut dpooled,
-                );
+                ops::gemv_t(fc_w, self.classes, self.pooled_len(), dlogits, dpooled);
             }
             // Pool backward: spread each pooled gradient over its 2x2 window.
-            let mut dconv = vec![0.0; self.filters * h * w];
+            resize_buf(dconv_buf, self.filters * h * w);
+            let dconv = dconv_buf.as_mut_slice();
             for f in 0..self.filters {
                 for py in 0..ph {
                     for px in 0..pw {
@@ -231,7 +244,7 @@ impl Model for TinyCnn {
                 }
             }
             // ReLU backward on the conv pre-activations.
-            ops::relu_backward(&conv_pre, &mut dconv);
+            ops::relu_backward(conv_pre, dconv);
             // Conv backward (weights and bias only; input grads unused).
             let (gconv_w, rest) = grad.split_at_mut(self.conv_w_len());
             let gconv_b = &mut rest[..self.filters];
@@ -270,8 +283,10 @@ impl Model for TinyCnn {
 
     fn predict(&self, params: &[f32], features: &Features) -> u32 {
         let input = features.as_dense().expect("CNN requires dense features");
-        let (_, _, logits) = self.forward(params, input);
-        ops::argmax(&logits) as u32
+        let mut scratch = GradScratch::new();
+        scratch.ensure_stages(4);
+        self.forward_into(params, input, &mut scratch.stages);
+        ops::argmax(&scratch.stages[3]) as u32
     }
 }
 

@@ -52,5 +52,5 @@ pub mod model;
 pub mod optimizer;
 pub mod svm;
 
-pub use model::Model;
+pub use model::{GradScratch, Model};
 pub use optimizer::Sgd;

@@ -4,7 +4,7 @@
 //! layout per layer is row-major `W (d_out x d_in)` followed by `b (d_out)`.
 
 use crate::loss::softmax_cross_entropy;
-use crate::model::Model;
+use crate::model::{resize_buf, GradScratch, Model};
 use hop_data::{Batch, Features};
 use hop_tensor::ops;
 use hop_util::Xoshiro256;
@@ -55,32 +55,52 @@ impl Mlp {
         off
     }
 
-    /// Forward pass for one dense example; returns activations per layer
-    /// (`acts[0]` is the input) and pre-activations.
-    fn forward(&self, params: &[f32], input: &[f32]) -> (Vec<Vec<f32>>, Vec<Vec<f32>>) {
-        let mut acts = vec![input.to_vec()];
-        let mut pre = Vec::new();
+    /// Forward pass for one dense example into caller-provided buffers:
+    /// `acts[l]` receives layer `l`'s activation (`acts[0]` is the input)
+    /// and `pre[l]` layer `l`'s pre-activation.
+    fn forward_into(
+        &self,
+        params: &[f32],
+        input: &[f32],
+        acts: &mut [Vec<f32>],
+        pre: &mut [Vec<f32>],
+    ) {
+        resize_buf(&mut acts[0], input.len());
+        acts[0].copy_from_slice(input);
         for l in 0..self.n_layers() {
             let (d_in, d_out) = (self.sizes[l], self.sizes[l + 1]);
             let off = self.weight_offset(l);
             let w = &params[off..off + d_in * d_out];
             let b = &params[off + d_in * d_out..off + d_in * d_out + d_out];
-            let mut z = vec![0.0; d_out];
-            ops::gemv(w, d_out, d_in, &acts[l], &mut z);
-            ops::axpy(1.0, b, &mut z);
-            pre.push(z.clone());
+            resize_buf(&mut pre[l], d_out);
+            ops::gemv(w, d_out, d_in, &acts[l], &mut pre[l]);
+            ops::axpy(1.0, b, &mut pre[l]);
+            resize_buf(&mut acts[l + 1], d_out);
+            acts[l + 1].copy_from_slice(&pre[l]);
             if l + 1 < self.n_layers() {
-                ops::relu(&mut z);
+                ops::relu(&mut acts[l + 1]);
             }
-            acts.push(z);
         }
-        (acts, pre)
+    }
+
+    /// Splits a scratch into the per-layer activation and pre-activation
+    /// buffers used by [`Self::forward_into`].
+    fn scratch_stages<'s>(
+        &self,
+        scratch: &'s mut GradScratch,
+    ) -> (&'s mut [Vec<f32>], &'s mut [Vec<f32>]) {
+        let n_layers = self.n_layers();
+        scratch.ensure_stages(2 * n_layers + 1);
+        let (acts, rest) = scratch.stages.split_at_mut(n_layers + 1);
+        (acts, &mut rest[..n_layers])
     }
 
     fn logits(&self, params: &[f32], features: &Features) -> Vec<f32> {
         let input = features.as_dense().expect("MLP requires dense features");
-        let (acts, _) = self.forward(params, input);
-        acts.last().expect("at least one layer").clone()
+        let mut scratch = GradScratch::new();
+        let (acts, pre) = self.scratch_stages(&mut scratch);
+        self.forward_into(params, input, acts, pre);
+        acts[self.n_layers()].clone()
     }
 }
 
@@ -104,23 +124,36 @@ impl Model for Mlp {
         params
     }
 
-    fn loss_grad(&self, params: &[f32], batch: &Batch<'_>, grad: &mut [f32]) -> f32 {
+    fn loss_grad_with(
+        &self,
+        params: &[f32],
+        batch: &Batch<'_>,
+        grad: &mut [f32],
+        scratch: &mut GradScratch,
+    ) -> f32 {
         assert_eq!(params.len(), self.param_len(), "params length mismatch");
         assert_eq!(grad.len(), self.param_len(), "grad length mismatch");
         assert!(!batch.is_empty(), "empty batch");
         grad.fill(0.0);
         let mut total = 0.0f32;
         let n_layers = self.n_layers();
+        let max_width = *self.sizes.iter().max().expect("at least two layers");
+        scratch.ensure_stages(2 * n_layers + 1);
+        let GradScratch { stages, a, b, .. } = scratch;
+        let (acts, pre) = stages.split_at_mut(n_layers + 1);
+        let (dz_buf, da_buf) = (a, b);
+        resize_buf(dz_buf, max_width);
+        resize_buf(da_buf, max_width);
         for ex in &batch.examples {
             let input = ex.features.as_dense().expect("MLP requires dense features");
-            let (acts, pre) = self.forward(params, input);
-            let logits = acts.last().expect("layers");
-            let mut dz = vec![0.0; logits.len()];
-            total += softmax_cross_entropy(logits, ex.label as usize, &mut dz);
+            self.forward_into(params, input, acts, pre);
+            let logits = &acts[n_layers];
+            total += softmax_cross_entropy(logits, ex.label as usize, &mut dz_buf[..logits.len()]);
             // Backpropagate.
             for l in (0..n_layers).rev() {
                 let (d_in, d_out) = (self.sizes[l], self.sizes[l + 1]);
                 let off = self.weight_offset(l);
+                let dz = &dz_buf[..d_out];
                 {
                     // dW += dz ⊗ a_{l-1}; db += dz.
                     let (gw, gb) = grad[off..off + d_in * d_out + d_out].split_at_mut(d_in * d_out);
@@ -132,10 +165,10 @@ impl Model for Mlp {
                 if l > 0 {
                     // da_{l-1} = W^T dz, then mask by ReLU'.
                     let w = &params[off..off + d_in * d_out];
-                    let mut da = vec![0.0; d_in];
-                    ops::gemv_t(w, d_out, d_in, &dz, &mut da);
-                    ops::relu_backward(&pre[l - 1], &mut da);
-                    dz = da;
+                    let da = &mut da_buf[..d_in];
+                    ops::gemv_t(w, d_out, d_in, dz, da);
+                    ops::relu_backward(&pre[l - 1], da);
+                    std::mem::swap(dz_buf, da_buf);
                 }
             }
         }

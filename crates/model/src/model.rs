@@ -3,6 +3,55 @@
 use hop_data::{Batch, Features};
 use hop_util::Xoshiro256;
 
+/// Reusable forward/backward scratch buffers for
+/// [`Model::loss_grad_with`].
+///
+/// Each training worker owns one `GradScratch`; models write per-example
+/// activations and backprop deltas into it instead of allocating fresh
+/// `Vec`s per example, so a steady-state gradient step performs no heap
+/// allocation. The buffer contents are transient — every call overwrites
+/// what it reads — and carry no cross-call state, so reusing (or not
+/// reusing) a scratch cannot change any computed value.
+///
+/// The layout is deliberately loose: [`GradScratch::stages`] holds one
+/// buffer per forward stage (layer activations, pre-activations, pooled
+/// maps…), and [`GradScratch::a`]/[`b`](GradScratch::b)/
+/// [`c`](GradScratch::c) are generic delta buffers. Models size them via
+/// [`resize_buf`] on entry.
+#[derive(Debug, Clone, Default)]
+pub struct GradScratch {
+    /// Per-stage forward buffers (activations, pre-activations…).
+    pub stages: Vec<Vec<f32>>,
+    /// Generic backprop buffer (e.g. the current layer's `dz`).
+    pub a: Vec<f32>,
+    /// Generic backprop buffer (e.g. the previous layer's `da`).
+    pub b: Vec<f32>,
+    /// Generic backprop buffer for models with a third intermediate
+    /// (e.g. the CNN's `dconv`).
+    pub c: Vec<f32>,
+}
+
+impl GradScratch {
+    /// An empty scratch; buffers grow to the model's sizes on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ensures [`Self::stages`] holds at least `n` buffers.
+    pub fn ensure_stages(&mut self, n: usize) {
+        if self.stages.len() < n {
+            self.stages.resize_with(n, Vec::new);
+        }
+    }
+}
+
+/// Resizes a scratch buffer to `len` elements, zero-filled — equivalent
+/// to a fresh `vec![0.0; len]` but reusing the allocation.
+pub fn resize_buf(buf: &mut Vec<f32>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0.0);
+}
+
 /// A differentiable model over a flat parameter vector.
 ///
 /// Decentralized training exchanges raw parameter vectors between workers;
@@ -16,13 +65,30 @@ pub trait Model: Send + Sync {
     fn init_params(&self, rng: &mut Xoshiro256) -> Vec<f32>;
 
     /// Computes the mean loss over `batch` and writes the mean gradient
-    /// into `grad` (overwritten, not accumulated). Returns the loss.
+    /// into `grad` (overwritten, not accumulated), using `scratch` for
+    /// all per-example intermediates. Returns the loss.
+    ///
+    /// This is the allocation-free hot path: callers keep one
+    /// [`GradScratch`] per worker and pass it to every call. Results are
+    /// bit-identical regardless of the scratch's prior contents.
     ///
     /// # Panics
     ///
     /// Implementations panic if `params` or `grad` have the wrong length
     /// or the batch is empty.
-    fn loss_grad(&self, params: &[f32], batch: &Batch<'_>, grad: &mut [f32]) -> f32;
+    fn loss_grad_with(
+        &self,
+        params: &[f32],
+        batch: &Batch<'_>,
+        grad: &mut [f32],
+        scratch: &mut GradScratch,
+    ) -> f32;
+
+    /// [`Self::loss_grad_with`] with a throwaway scratch — convenient for
+    /// tests and cold paths.
+    fn loss_grad(&self, params: &[f32], batch: &Batch<'_>, grad: &mut [f32]) -> f32 {
+        self.loss_grad_with(params, batch, grad, &mut GradScratch::new())
+    }
 
     /// Computes the mean loss over `batch` without gradients.
     fn loss(&self, params: &[f32], batch: &Batch<'_>) -> f32 {
@@ -97,7 +163,13 @@ mod tests {
             vec![0.0; self.dim]
         }
 
-        fn loss_grad(&self, params: &[f32], batch: &Batch<'_>, grad: &mut [f32]) -> f32 {
+        fn loss_grad_with(
+            &self,
+            params: &[f32],
+            batch: &Batch<'_>,
+            grad: &mut [f32],
+            _scratch: &mut GradScratch,
+        ) -> f32 {
             assert_eq!(params.len(), self.dim);
             assert_eq!(grad.len(), self.dim);
             assert!(!batch.is_empty());

@@ -5,6 +5,8 @@
 //! optimizer instance (momentum state is local and is *not* exchanged
 //! between workers, matching the paper's prototype).
 
+use hop_tensor::ParamBlock;
+
 /// Stochastic gradient descent with classical momentum and L2 weight decay.
 ///
 /// Update rule per step:
@@ -98,6 +100,14 @@ impl Sgd {
             *v = self.momentum * *v + g + self.weight_decay * p;
             *d = -self.lr * *v;
         }
+    }
+
+    /// [`Self::step`] on a shared [`ParamBlock`]: copy-on-write, so
+    /// snapshots published to other workers before the step keep their
+    /// values, while an unshared block is updated in place with no
+    /// allocation.
+    pub fn step_block(&mut self, params: &mut ParamBlock, grad: &[f32]) {
+        self.step(params.make_mut(), grad);
     }
 
     /// Resets momentum state (used after a worker skips iterations and

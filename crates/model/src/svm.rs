@@ -5,7 +5,7 @@
 //! mapped to `{-1, +1}` here. The parameter vector is `[weights..., bias]`.
 
 use crate::loss::{hinge_loss, log_loss, sigmoid};
-use crate::model::Model;
+use crate::model::{GradScratch, Model};
 use hop_data::{Batch, Features};
 use hop_util::Xoshiro256;
 
@@ -95,7 +95,15 @@ impl Model for Svm {
         vec![0.0; self.dim + 1]
     }
 
-    fn loss_grad(&self, params: &[f32], batch: &Batch<'_>, grad: &mut [f32]) -> f32 {
+    // The linear model needs no per-example intermediates; the scratch is
+    // accepted (and ignored) so every model shares one hot-path entry.
+    fn loss_grad_with(
+        &self,
+        params: &[f32],
+        batch: &Batch<'_>,
+        grad: &mut [f32],
+        _scratch: &mut GradScratch,
+    ) -> f32 {
         assert_eq!(params.len(), self.param_len(), "params length mismatch");
         assert_eq!(grad.len(), self.param_len(), "grad length mismatch");
         assert!(!batch.is_empty(), "empty batch");

@@ -6,6 +6,12 @@
 //! shape-carrying [`Tensor`]. Everything is implemented here from scratch;
 //! no BLAS or external linear-algebra crate is used.
 //!
+//! The crate also provides the zero-copy parameter plane used by every
+//! runtime in `hop-core`: [`ParamBlock`] (an `Arc`-shared flat buffer with
+//! O(1) snapshots and copy-on-write mutation) and [`BufferPool`] (recycled
+//! zeroed scratch buffers), plus 4-way chunked elementwise kernels in
+//! [`ops`] that are bit-identical to their scalar references.
+//!
 //! # Examples
 //!
 //! ```
@@ -18,6 +24,10 @@
 //! ```
 
 pub mod ops;
+pub mod param_block;
+pub mod pool;
 pub mod tensor;
 
+pub use param_block::ParamBlock;
+pub use pool::BufferPool;
 pub use tensor::Tensor;

@@ -3,27 +3,55 @@
 //! These free functions operate on `&[f32]`/`&mut [f32]` so that model code
 //! can apply them directly to slices of a worker's flat parameter vector
 //! without copying into tensor objects.
+//!
+//! The elementwise vector kernels ([`axpy`], [`axpby`], [`scale`], and
+//! [`mean_into`]/[`weighted_mean_into`] built on them) process the bulk of
+//! each slice in 4-wide chunks so the compiler emits unrolled/vectorized
+//! loops. Every element is still computed by exactly the same scalar
+//! expression in the same order as the naive loop, so results are
+//! *bit-identical* to the [`mod@reference`] implementations — chunking is a
+//! speed, not a semantics, change (property-tested in
+//! `tests/chunked_kernels.rs`).
 
-/// `y += alpha * x` (AXPY).
+/// Width of the unrolled inner loops.
+const CHUNK: usize = 4;
+
+/// `y += alpha * x` (AXPY), 4-way chunked.
 ///
 /// # Panics
 ///
 /// Panics if `x` and `y` have different lengths.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut yc = y.chunks_exact_mut(CHUNK);
+    let mut xc = x.chunks_exact(CHUNK);
+    for (yy, xx) in yc.by_ref().zip(xc.by_ref()) {
+        yy[0] += alpha * xx[0];
+        yy[1] += alpha * xx[1];
+        yy[2] += alpha * xx[2];
+        yy[3] += alpha * xx[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi += alpha * xi;
     }
 }
 
-/// `y = alpha * x + beta * y`.
+/// `y = alpha * x + beta * y`, 4-way chunked.
 ///
 /// # Panics
 ///
 /// Panics if `x` and `y` have different lengths.
 pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpby length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut yc = y.chunks_exact_mut(CHUNK);
+    let mut xc = x.chunks_exact(CHUNK);
+    for (yy, xx) in yc.by_ref().zip(xc.by_ref()) {
+        yy[0] = alpha * xx[0] + beta * yy[0];
+        yy[1] = alpha * xx[1] + beta * yy[1];
+        yy[2] = alpha * xx[2] + beta * yy[2];
+        yy[3] = alpha * xx[3] + beta * yy[3];
+    }
+    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
         *yi = alpha * xi + beta * *yi;
     }
 }
@@ -38,9 +66,16 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
-/// Scales a slice in place: `x *= alpha`.
+/// Scales a slice in place: `x *= alpha`, 4-way chunked.
 pub fn scale(alpha: f32, x: &mut [f32]) {
-    for xi in x {
+    let mut xc = x.chunks_exact_mut(CHUNK);
+    for xx in xc.by_ref() {
+        xx[0] *= alpha;
+        xx[1] *= alpha;
+        xx[2] *= alpha;
+        xx[3] *= alpha;
+    }
+    for xi in xc.into_remainder() {
         *xi *= alpha;
     }
 }
@@ -60,6 +95,8 @@ pub fn norm2(x: &[f32]) -> f32 {
 /// Elementwise mean of several equally sized slices into `out`.
 ///
 /// This is the Reduce of Fig. 4 line 15: `temp = sum(x_recv) / n`.
+/// Composed from the chunked [`axpy`]/[`scale`] kernels; the per-element
+/// accumulation order over `inputs` matches the naive reference exactly.
 ///
 /// # Panics
 ///
@@ -199,6 +236,59 @@ pub fn argmax(x: &[f32]) -> usize {
         }
     }
     best
+}
+
+/// Naive scalar implementations of the chunked vector kernels.
+///
+/// These are the bit-exactness oracles: the chunked [`axpy`], [`axpby`],
+/// [`scale`] and [`mean_into`] must produce identical bits for every
+/// input (see `tests/chunked_kernels.rs`). They are also the "scalar"
+/// side of the `hot_path` benchmark.
+pub mod reference {
+    /// Scalar `y += alpha * x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` have different lengths.
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpy length mismatch");
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    /// Scalar `y = alpha * x + beta * y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `y` have different lengths.
+    pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpby length mismatch");
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = alpha * xi + beta * *yi;
+        }
+    }
+
+    /// Scalar `x *= alpha`.
+    pub fn scale(alpha: f32, x: &mut [f32]) {
+        for xi in x {
+            *xi *= alpha;
+        }
+    }
+
+    /// Scalar elementwise mean of several equally sized slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any input length differs from `out`.
+    pub fn mean_into(inputs: &[&[f32]], out: &mut [f32]) {
+        assert!(!inputs.is_empty(), "mean of zero slices");
+        super::fill(0.0, out);
+        for input in inputs {
+            axpy(1.0, input, out);
+        }
+        scale(1.0 / inputs.len() as f32, out);
+    }
 }
 
 #[cfg(test)]

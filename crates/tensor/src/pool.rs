@@ -1,0 +1,142 @@
+//! Scratch-buffer recycling for the training hot paths.
+//!
+//! Per-event temporaries (gradient vectors, reduce outputs, pairwise
+//! averages) used to be `vec![0.0; dim]` allocations; at thousands of
+//! simulated events per run the allocator dominated wall-clock. A
+//! [`BufferPool`] keeps returned buffers on a free list so steady state
+//! allocates nothing: [`BufferPool::acquire`] hands out a zeroed buffer
+//! (recycled when one is available), [`BufferPool::release`] returns it,
+//! and [`BufferPool::reclaim`] recycles the allocation behind a
+//! [`ParamBlock`] once it is no longer shared.
+//!
+//! Determinism contract: acquired buffers are always zero-filled, so a
+//! recycled buffer is indistinguishable from a fresh `vec![0.0; len]` —
+//! pooling cannot change any computed value.
+
+use crate::param_block::ParamBlock;
+
+/// A free list of reusable `Vec<f32>` scratch buffers.
+///
+/// # Examples
+///
+/// ```
+/// use hop_tensor::BufferPool;
+///
+/// let mut pool = BufferPool::new();
+/// let buf = pool.acquire(4);
+/// assert_eq!(buf, vec![0.0; 4]);
+/// pool.release(buf);
+/// let again = pool.acquire(4); // recycled, not reallocated
+/// assert_eq!(pool.reuses(), 1);
+/// # drop(again);
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<f32>>,
+    acquires: u64,
+    reuses: u64,
+}
+
+/// Free-list length cap; beyond this, released buffers are dropped. The
+/// runtimes hold only a handful of scratch buffers at once, so a small
+/// cap bounds memory without costing hits.
+const MAX_FREE: usize = 64;
+
+impl BufferPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a zero-filled buffer of length `len`, recycling a
+    /// released one when available.
+    pub fn acquire(&mut self, len: usize) -> Vec<f32> {
+        self.acquires += 1;
+        match self.free.pop() {
+            Some(mut buf) => {
+                self.reuses += 1;
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the free list.
+    pub fn release(&mut self, buf: Vec<f32>) {
+        if self.free.len() < MAX_FREE && buf.capacity() > 0 {
+            self.free.push(buf);
+        }
+    }
+
+    /// Recycles the allocation behind `block` if this was its last
+    /// holder; shared blocks are simply dropped (their other holders keep
+    /// the buffer alive).
+    pub fn reclaim(&mut self, block: ParamBlock) {
+        if let Some(buf) = block.try_into_unique_vec() {
+            self.release(buf);
+        }
+    }
+
+    /// Buffers currently on the free list.
+    pub fn free_buffers(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total [`Self::acquire`] calls.
+    pub fn acquires(&self) -> u64 {
+        self.acquires
+    }
+
+    /// Acquires served from the free list instead of the allocator.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_is_zeroed_even_after_reuse() {
+        let mut pool = BufferPool::new();
+        let mut buf = pool.acquire(3);
+        buf.copy_from_slice(&[1.0, 2.0, 3.0]);
+        pool.release(buf);
+        assert_eq!(pool.acquire(5), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn reuse_keeps_the_allocation() {
+        let mut pool = BufferPool::new();
+        let buf = pool.acquire(8);
+        let ptr = buf.as_ptr();
+        pool.release(buf);
+        let again = pool.acquire(8);
+        assert_eq!(again.as_ptr(), ptr);
+        assert_eq!(pool.acquires(), 2);
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn reclaim_recycles_only_unique_blocks() {
+        let mut pool = BufferPool::new();
+        let block = ParamBlock::from_vec(vec![1.0; 4]);
+        let snap = block.snapshot();
+        pool.reclaim(block); // still shared with `snap`: dropped, not pooled
+        assert_eq!(pool.free_buffers(), 0);
+        pool.reclaim(snap); // last holder: recycled
+        assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn free_list_is_bounded() {
+        let mut pool = BufferPool::new();
+        for _ in 0..200 {
+            pool.release(vec![0.0; 2]);
+        }
+        assert!(pool.free_buffers() <= 64);
+    }
+}

@@ -1,0 +1,131 @@
+//! Bit-exactness properties of the chunked vector kernels and the
+//! sharing guarantees of [`ParamBlock`].
+//!
+//! The 4-way chunked `axpy`/`axpby`/`scale`/`mean_into` must produce the
+//! *same bits* as the naive scalar references in `ops::reference` for
+//! every length — in particular across the remainder boundary (lengths
+//! that are not multiples of 4). Lengths 0–67 cover empty, sub-chunk,
+//! exact-multiple and remainder cases.
+
+use hop_tensor::{ops, ParamBlock};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random values in roughly [-4, 4].
+fn values(mut seed: u64, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|_| {
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            let raw = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            ((raw >> 40) as f32 / (1u64 << 24) as f32) * 8.0 - 4.0
+        })
+        .collect()
+}
+
+fn bits(x: &[f32]) -> Vec<u32> {
+    x.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn axpy_matches_reference_bitwise(len in 0usize..68, seed in 0u64..1_000_000_000) {
+        let alpha = values(seed ^ 0xA1, 1).first().copied().unwrap_or(0.0);
+        let x = values(seed, len);
+        let y0 = values(seed ^ 0xB2, len);
+        let mut chunked = y0.clone();
+        let mut scalar = y0;
+        ops::axpy(alpha, &x, &mut chunked);
+        ops::reference::axpy(alpha, &x, &mut scalar);
+        prop_assert_eq!(bits(&chunked), bits(&scalar));
+    }
+
+    #[test]
+    fn axpby_matches_reference_bitwise(len in 0usize..68, seed in 0u64..1_000_000_000) {
+        let coeffs = values(seed ^ 0xC3, 2);
+        let (alpha, beta) = (coeffs.first().copied().unwrap_or(0.5), coeffs[1]);
+        let x = values(seed, len);
+        let y0 = values(seed ^ 0xD4, len);
+        let mut chunked = y0.clone();
+        let mut scalar = y0;
+        ops::axpby(alpha, &x, beta, &mut chunked);
+        ops::reference::axpby(alpha, &x, beta, &mut scalar);
+        prop_assert_eq!(bits(&chunked), bits(&scalar));
+    }
+
+    #[test]
+    fn scale_matches_reference_bitwise(len in 0usize..68, seed in 0u64..1_000_000_000) {
+        let alpha = values(seed ^ 0xE5, 1).first().copied().unwrap_or(0.0);
+        let x0 = values(seed, len);
+        let mut chunked = x0.clone();
+        let mut scalar = x0;
+        ops::scale(alpha, &mut chunked);
+        ops::reference::scale(alpha, &mut scalar);
+        prop_assert_eq!(bits(&chunked), bits(&scalar));
+    }
+
+    #[test]
+    fn mean_into_matches_reference_bitwise(
+        len in 0usize..68,
+        n_inputs in 1usize..5,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let inputs: Vec<Vec<f32>> = (0..n_inputs)
+            .map(|i| values(seed ^ (i as u64 + 1), len))
+            .collect();
+        let views: Vec<&[f32]> = inputs.iter().map(Vec::as_slice).collect();
+        let mut chunked = vec![1.0f32; len];
+        let mut scalar = vec![1.0f32; len];
+        ops::mean_into(&views, &mut chunked);
+        ops::reference::mean_into(&views, &mut scalar);
+        prop_assert_eq!(bits(&chunked), bits(&scalar));
+    }
+}
+
+/// Exhaustive sweep over every length in 0..=67 (the property tests
+/// sample; this pins the full remainder-boundary range).
+#[test]
+fn every_length_up_to_67_is_bit_identical() {
+    for len in 0..=67usize {
+        let x = values(len as u64 + 11, len);
+        let y0 = values(len as u64 + 97, len);
+
+        let mut chunked = y0.clone();
+        let mut scalar = y0.clone();
+        ops::axpy(1.5, &x, &mut chunked);
+        ops::reference::axpy(1.5, &x, &mut scalar);
+        assert_eq!(bits(&chunked), bits(&scalar), "axpy len {len}");
+
+        let mut chunked = y0.clone();
+        let mut scalar = y0.clone();
+        ops::axpby(-0.25, &x, 0.75, &mut chunked);
+        ops::reference::axpby(-0.25, &x, 0.75, &mut scalar);
+        assert_eq!(bits(&chunked), bits(&scalar), "axpby len {len}");
+
+        let mut chunked = y0.clone();
+        let mut scalar = y0;
+        ops::scale(std::f32::consts::PI, &mut chunked);
+        ops::reference::scale(std::f32::consts::PI, &mut scalar);
+        assert_eq!(bits(&chunked), bits(&scalar), "scale len {len}");
+    }
+}
+
+/// The acceptance check for the zero-copy plane: a snapshot is a
+/// refcount bump on the same allocation, not a copy.
+#[test]
+fn snapshot_shares_the_allocation() {
+    let block = ParamBlock::from_vec(values(3, 256));
+    assert_eq!(block.strong_count(), 1);
+    let sent_to_neighbor = block.snapshot();
+    let queued = block.snapshot();
+    assert_eq!(block.strong_count(), 3);
+    assert!(sent_to_neighbor.ptr_eq(&block) && queued.ptr_eq(&block));
+    assert_eq!(
+        sent_to_neighbor.as_slice().as_ptr(),
+        block.as_slice().as_ptr()
+    );
+    drop(queued);
+    assert_eq!(block.strong_count(), 2);
+}

@@ -107,6 +107,47 @@ fn every_variant_is_deterministic_given_the_seed() {
 }
 
 #[test]
+fn parameter_replicas_share_until_first_write() {
+    // The zero-copy plane: every worker's replica starts as an alias of
+    // the one init allocation — snapshots are refcount bumps, not copies.
+    use hop::core::sim_runtime::engine::SimEngine;
+    use hop::core::sim_runtime::recorder::EvalConfig;
+    use hop::core::Hyper;
+
+    let dataset = SyntheticWebspam::generate(64, 5);
+    let model = Svm::log_loss(dataset.feature_dim());
+    let slowdown = SlowdownModel::None;
+    let engine: SimEngine<'_, ()> = SimEngine::new(
+        ClusterSpec::uniform(4, 2, 0.01, LinkModel::ethernet_1gbps()),
+        4,
+        &slowdown,
+        &model,
+        &dataset,
+        &Hyper::svm(),
+        5,
+        0,
+        EvalConfig {
+            every: 0,
+            examples: 16,
+        },
+    );
+    let init = engine.init_block();
+    // 4 worker replicas + the engine's own block + this snapshot.
+    assert_eq!(init.strong_count(), 6);
+    for wc in &engine.workers {
+        assert!(wc.params.ptr_eq(&init), "replica copied instead of shared");
+    }
+    // A snapshot taken for a simulated send is another alias...
+    let sent = engine.workers[0].params.snapshot();
+    assert_eq!(sent.strong_count(), 7);
+    // ...and copy-on-write only detaches the writer.
+    let mut replica = engine.workers[1].params.snapshot();
+    replica.make_mut()[0] += 1.0;
+    assert!(!replica.ptr_eq(&init));
+    assert!(sent.ptr_eq(&init));
+}
+
+#[test]
 fn seeds_actually_matter() {
     // Guard against a frozen RNG: two different seeds must produce
     // different trajectories for at least the decentralized runtime.
