@@ -281,6 +281,97 @@ impl Default for AdPsgdConfig {
     }
 }
 
+/// Prague-style partial all-reduce configuration (Luo et al.,
+/// *Heterogeneity-Aware Asynchronous Decentralized Training*).
+///
+/// Each round the workers are partitioned into groups of at most
+/// [`group_size`](Self::group_size) (deterministically from
+/// `(seed, round)` via [`hop_graph::groups::partition`]) and each group
+/// all-reduces among only its members, so a straggler delays at most its
+/// own group. [`regen_every`](Self::regen_every) controls how many rounds
+/// a partition is reused before it is re-drawn — regeneration is what
+/// mixes information across groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PragueConfig {
+    /// Maximum workers per all-reduce group (the paper uses small groups,
+    /// e.g. 2–8). Groups of 1 degenerate to local SGD for that round.
+    pub group_size: usize,
+    /// Rounds between partition regenerations (1 = fresh groups every
+    /// round, the paper's default).
+    pub regen_every: u64,
+}
+
+impl PragueConfig {
+    /// Fresh groups of `group_size` every round.
+    pub fn with_group_size(group_size: usize) -> Self {
+        Self {
+            group_size,
+            regen_every: 1,
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidPrague`] if `group_size == 0` or
+    /// `regen_every == 0`.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.group_size == 0 {
+            return Err(ConfigError::InvalidPrague("group_size must be >= 1"));
+        }
+        if self.regen_every == 0 {
+            return Err(ConfigError::InvalidPrague("regen_every must be >= 1"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PragueConfig {
+    fn default() -> Self {
+        Self {
+            group_size: 4,
+            regen_every: 1,
+        }
+    }
+}
+
+/// Quasi-Global Momentum configuration (Lin et al.): synchronous gossip
+/// over the communication topology with the
+/// [`hop_model::QgmState`] momentum applied around each Reduce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QgmConfig {
+    /// Momentum factor `mu` (the paper reuses SGD's 0.9).
+    pub mu: f32,
+    /// Mixing weight `beta` of the fresh parameter displacement (the
+    /// paper's choice is `1 - mu`).
+    pub beta: f32,
+}
+
+impl QgmConfig {
+    /// Validates the hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidQgm`] if `mu` is outside `[0, 1)` or
+    /// `beta` is not finite and non-negative.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(0.0..1.0).contains(&self.mu) {
+            return Err(ConfigError::InvalidQgm("mu must be in [0,1)"));
+        }
+        if !self.beta.is_finite() || self.beta < 0.0 {
+            return Err(ConfigError::InvalidQgm("beta must be finite and >= 0"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for QgmConfig {
+    fn default() -> Self {
+        Self { mu: 0.9, beta: 0.1 }
+    }
+}
+
 /// Top-level protocol selection.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Protocol {
@@ -292,6 +383,10 @@ pub enum Protocol {
     RingAllReduce,
     /// AD-PSGD baseline (§5).
     AdPsgd(AdPsgdConfig),
+    /// Prague-style partial all-reduce (Luo et al.).
+    Prague(PragueConfig),
+    /// Quasi-Global Momentum gossip (Lin et al.).
+    Qgm(QgmConfig),
 }
 
 /// Configuration errors.
@@ -316,6 +411,10 @@ pub enum ConfigError {
     InvalidSkip(u64),
     /// AD-PSGD's deadlock-free schedule needs a bipartite graph.
     NotBipartite,
+    /// Invalid Prague partial all-reduce knobs.
+    InvalidPrague(&'static str),
+    /// Invalid Quasi-Global Momentum hyperparameters.
+    InvalidQgm(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -342,6 +441,8 @@ impl fmt::Display for ConfigError {
             ConfigError::NotBipartite => {
                 write!(f, "AD-PSGD requires a bipartite communication graph")
             }
+            ConfigError::InvalidPrague(why) => write!(f, "invalid Prague config: {why}"),
+            ConfigError::InvalidQgm(why) => write!(f, "invalid QGM config: {why}"),
         }
     }
 }
@@ -448,6 +549,46 @@ mod tests {
             node: 0,
         };
         assert!(format!("{e}").contains("N_buw"));
+    }
+
+    #[test]
+    fn prague_config_validates() {
+        PragueConfig::default().validate().unwrap();
+        PragueConfig::with_group_size(2).validate().unwrap();
+        assert_eq!(
+            PragueConfig {
+                group_size: 0,
+                regen_every: 1
+            }
+            .validate(),
+            Err(ConfigError::InvalidPrague("group_size must be >= 1"))
+        );
+        assert_eq!(
+            PragueConfig {
+                group_size: 4,
+                regen_every: 0
+            }
+            .validate(),
+            Err(ConfigError::InvalidPrague("regen_every must be >= 1"))
+        );
+    }
+
+    #[test]
+    fn qgm_config_validates() {
+        QgmConfig::default().validate().unwrap();
+        assert!(QgmConfig { mu: 1.0, beta: 0.1 }.validate().is_err());
+        assert!(QgmConfig {
+            mu: 0.9,
+            beta: -0.1
+        }
+        .validate()
+        .is_err());
+        assert!(QgmConfig {
+            mu: 0.9,
+            beta: f32::NAN
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

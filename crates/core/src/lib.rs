@@ -7,7 +7,8 @@
 //!   (§3.3), queue-based synchronization with token queues (§4), backup
 //!   workers (§4.3), bounded staleness with the Eq. (2) weighted reduce
 //!   (§4.4), skipping iterations (§5), plus parameter-server, ring
-//!   all-reduce and AD-PSGD baselines.
+//!   all-reduce, AD-PSGD, Prague partial all-reduce and Quasi-Global
+//!   Momentum baselines.
 //! * [`semantics`] — the pure update-selection/reduction/jump rules shared
 //!   by both runtimes.
 //! * [`sim_runtime`] — deterministic discrete-event execution on
@@ -52,7 +53,9 @@ pub mod sim_runtime;
 pub mod threaded;
 pub mod trainer;
 
-pub use config::{ComputeOrder, HopConfig, Protocol, SkipConfig, SyncMode};
+pub use config::{
+    ComputeOrder, HopConfig, PragueConfig, Protocol, QgmConfig, SkipConfig, SyncMode,
+};
 pub use report::TrainingReport;
 pub use sim_runtime::recorder::EvalConfig;
 pub use trainer::{Hyper, SimExperiment};

@@ -28,6 +28,10 @@ pub struct TrainingReport {
     /// Whether the run ended in deadlock (event queue drained before all
     /// workers finished) — expected for AD-PSGD on non-bipartite graphs.
     pub deadlocked: bool,
+    /// Whether the engine stopped because its event budget ran out (a
+    /// runaway event storm) rather than a genuine stall. When set,
+    /// `deadlocked` is also set: the run did not complete.
+    pub budget_exhausted: bool,
 }
 
 impl TrainingReport {

@@ -158,6 +158,11 @@ pub struct SimEngine<'a, E> {
     /// Recycled scratch buffers for per-event temporaries and
     /// full-overwrite parameter writes (see the [module docs](self)).
     pub pool: BufferPool,
+    /// Overrides the default event budget of [`SimEngine::drive`]
+    /// (`(max_iters + 2) * n_workers * 64 + 10_000`): the maximum number
+    /// of events the pump will process (0 stops before the first event).
+    /// Tests use tiny budgets to exercise the `budget_exhausted` path.
+    pub event_budget: Option<u64>,
     init_params: ParamBlock,
     aborted: bool,
 }
@@ -226,6 +231,7 @@ impl<'a, E> SimEngine<'a, E> {
             recorder: Recorder::new(n_workers, eval, dataset),
             workers,
             pool: BufferPool::new(),
+            event_budget: None,
             init_params,
             aborted: false,
         }
@@ -300,6 +306,19 @@ impl<'a, E> SimEngine<'a, E> {
         self.workers[w].finished = true;
     }
 
+    /// [`Self::finish_worker`] plus the per-worker report convention:
+    /// the worker's counter rests at `iter` (normally `max_iters`, never
+    /// `max_iters - 1`) with a final trace entry at `now`. Protocols that
+    /// record an entry for every iteration a worker *enters* (including
+    /// the terminal one) already satisfy the convention and call
+    /// [`Self::finish_worker`] directly; round-driven protocols whose
+    /// terminal event covers many workers use this instead.
+    pub fn finish_worker_at(&mut self, w: usize, iter: u64, now: f64) {
+        self.workers[w].iter = iter;
+        self.trace.record(w, iter, now);
+        self.finish_worker(w);
+    }
+
     /// Whether every worker reached `max_iters`.
     pub fn all_finished(&self) -> bool {
         self.workers.iter().all(|s| s.finished)
@@ -317,20 +336,32 @@ impl<'a, E> SimEngine<'a, E> {
     /// Pumps events in deterministic order until every worker finishes,
     /// the protocol aborts, the event heap drains (a stall: some worker
     /// can never advance), or a generous safety budget is exhausted
-    /// (runaway event storms); the latter three all report as deadlock.
+    /// (runaway event storms). Every popped event is processed before the
+    /// budget is checked, so the budget never silently drops work; budget
+    /// exhaustion is reported distinctly via
+    /// [`TrainingReport::budget_exhausted`] (with
+    /// [`TrainingReport::deadlocked`] also set, since the run did not
+    /// complete).
     pub fn drive<P: WorkerProtocol<Event = E>>(mut self, proto: &mut P) -> TrainingReport {
         proto.start(&mut self);
         let n = self.workers.len() as u64;
-        let mut budget = (self.max_iters + 2) * n * 64 + 10_000;
-        while let Some((now, ev)) = self.events.pop() {
-            budget -= 1;
-            if budget == 0 {
+        let mut budget = self
+            .event_budget
+            .unwrap_or((self.max_iters + 2) * n * 64 + 10_000);
+        // Events are only popped while budget remains, so an exhausted
+        // budget never drops a popped event half-processed — and a budget
+        // of 0 stops before the protocol mutates anything.
+        let mut budget_exhausted = budget == 0;
+        while !budget_exhausted {
+            let Some((now, ev)) = self.events.pop() else {
                 break;
-            }
+            };
             proto.on_event(&mut self, now, ev);
             if self.aborted || self.all_finished() {
                 break;
             }
+            budget -= 1;
+            budget_exhausted = budget == 0;
         }
         let deadlocked = self.aborted || !self.all_finished();
         proto.on_finish(&mut self);
@@ -345,6 +376,7 @@ impl<'a, E> SimEngine<'a, E> {
             eval_time: self.recorder.eval_time,
             eval_steps: self.recorder.eval_steps,
             deadlocked,
+            budget_exhausted,
         }
     }
 }
@@ -442,6 +474,61 @@ mod tests {
     }
 
     #[test]
+    fn budget_exhaustion_is_distinct_and_processes_every_popped_event() {
+        let dataset = SyntheticWebspam::generate(128, 3);
+        let model = Svm::log_loss(hop_data::Dataset::feature_dim(&dataset));
+        let cluster = ClusterSpec::uniform(4, 2, 0.01, LinkModel::ethernet_1gbps());
+        let slowdown = SlowdownModel::None;
+        let mut eng = SimEngine::new(
+            cluster,
+            4,
+            &slowdown,
+            &model,
+            &dataset,
+            &Hyper::svm(),
+            20,
+            5,
+            EvalConfig {
+                every: 0,
+                examples: 32,
+            },
+        );
+        // LocalSgd needs exactly one event per worker-iteration; cap the
+        // run after 6 of the 80 it wants.
+        eng.event_budget = Some(6);
+        let report = eng.drive(&mut LocalSgd);
+        assert!(report.budget_exhausted, "tiny budget must trip the flag");
+        assert!(report.deadlocked, "an exhausted run did not complete");
+        // Process-then-check: all 6 popped events were handled, none were
+        // silently dropped (each LocalSgd event appends one trace record
+        // on top of the 4 initial ones).
+        assert_eq!(report.trace.len(), 4 + 6);
+        // A completed run of the same experiment reports neither flag.
+        let full = run_local(5);
+        assert!(!full.budget_exhausted);
+        assert!(!full.deadlocked);
+        // A zero budget stops before any event mutates protocol state.
+        let mut eng = SimEngine::new(
+            ClusterSpec::uniform(4, 2, 0.01, LinkModel::ethernet_1gbps()),
+            4,
+            &slowdown,
+            &model,
+            &dataset,
+            &Hyper::svm(),
+            20,
+            5,
+            EvalConfig {
+                every: 0,
+                examples: 32,
+            },
+        );
+        eng.event_budget = Some(0);
+        let report = eng.drive(&mut LocalSgd);
+        assert!(report.budget_exhausted);
+        assert_eq!(report.trace.len(), 4, "only the start() records remain");
+    }
+
+    #[test]
     fn empty_event_heap_reports_deadlock() {
         struct Stalled;
         impl WorkerProtocol for Stalled {
@@ -471,5 +558,9 @@ mod tests {
         );
         let report = eng.drive(&mut Stalled);
         assert!(report.deadlocked);
+        assert!(
+            !report.budget_exhausted,
+            "a drained heap is a stall, not an event storm"
+        );
     }
 }

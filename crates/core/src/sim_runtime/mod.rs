@@ -8,7 +8,9 @@
 pub mod adpsgd;
 pub mod decentralized;
 pub mod engine;
+pub mod prague;
 pub mod ps;
+pub mod qgm;
 pub mod ring;
 
 pub mod recorder;

@@ -116,7 +116,7 @@ impl WorkerProtocol for BspServer {
         let n = eng.workers.len();
         if k >= eng.max_iters {
             for w in 0..n {
-                eng.finish_worker(w);
+                eng.finish_worker_at(w, k, now);
             }
             return;
         }
@@ -149,8 +149,10 @@ impl WorkerProtocol for BspServer {
         eng.events.push(t, BspRound { k: k + 1 });
     }
 
-    fn final_params(&mut self, _eng: &SimEngine<'_, BspRound>) -> Vec<Vec<f32>> {
-        vec![self.params.to_vec()]
+    fn final_params(&mut self, eng: &SimEngine<'_, BspRound>) -> Vec<Vec<f32>> {
+        // Report convention: one vector per worker (all hold the server
+        // replica after the final broadcast).
+        vec![self.params.to_vec(); eng.workers.len()]
     }
 }
 
@@ -257,7 +259,7 @@ impl WorkerProtocol for AsyncServer {
                         .evaluate(eng.model, eng.dataset, &view, now, iter0);
                 }
                 if eng.workers[w].iter >= eng.max_iters {
-                    eng.finish_worker(w);
+                    eng.finish_worker_at(w, eng.workers[w].iter, now);
                 } else {
                     self.blocked[w] = true;
                 }
@@ -289,8 +291,9 @@ impl WorkerProtocol for AsyncServer {
         }
     }
 
-    fn final_params(&mut self, _eng: &SimEngine<'_, AsyncEv>) -> Vec<Vec<f32>> {
-        vec![self.params.to_vec()]
+    fn final_params(&mut self, eng: &SimEngine<'_, AsyncEv>) -> Vec<Vec<f32>> {
+        // Report convention: one vector per worker.
+        vec![self.params.to_vec(); eng.workers.len()]
     }
 }
 
@@ -345,8 +348,9 @@ mod tests {
     fn bsp_rounds_are_lockstep() {
         let r = run_mode(PsMode::Bsp, SlowdownModel::None, 20);
         assert!(r.trace.max_gap() <= 1);
+        // One entry per iteration 0..=max_iters, so max_iters durations.
         for w in 0..4 {
-            assert_eq!(r.trace.durations(w).len(), 19);
+            assert_eq!(r.trace.durations(w).len(), 20);
         }
     }
 

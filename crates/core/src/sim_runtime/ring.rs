@@ -74,29 +74,21 @@ impl RingAllReduce {
     fn new(eng: &SimEngine<'_, Round>) -> Self {
         let n = eng.workers.len();
         let dim = eng.init_params().len();
-        // Per-step pipeline time: every worker forwards a chunk to its
-        // ring successor simultaneously; the step takes as long as the
-        // slowest hop.
-        let cluster = eng.net.spec();
-        let link = cluster.link();
-        let chunk = eng.param_bytes as f64 / n as f64;
-        let mut step_time = 0.0f64;
-        for w in 0..n {
-            let next = (w + 1) % n;
-            let (lat, bw) = if cluster.same_machine(w, next) {
-                (link.intra_latency, link.intra_bandwidth)
-            } else {
-                (link.inter_latency, link.inter_bandwidth)
-            };
-            step_time = step_time.max(lat + chunk / bw);
-        }
+        // The shared analytic pipeline model: every worker forwards a
+        // chunk to its ring successor simultaneously, each step gated by
+        // the slowest hop (also used for Prague's intra-group reduces).
+        let members: Vec<usize> = (0..n).collect();
+        let allreduce_time = eng
+            .net
+            .spec()
+            .ring_allreduce_time(&members, eng.param_bytes as f64);
         Self {
             params: eng.init_block(),
             opt: eng.new_opt(),
             grad: vec![0.0; dim],
             mean_grad: vec![0.0; dim],
-            allreduce_time: 2.0 * (n as f64 - 1.0) * step_time,
-            chunk,
+            allreduce_time,
+            chunk: eng.param_bytes as f64 / n as f64,
             bytes_sent: 0,
         }
     }
@@ -114,7 +106,7 @@ impl WorkerProtocol for RingAllReduce {
         let n = eng.workers.len();
         if k >= eng.max_iters {
             for w in 0..n {
-                eng.finish_worker(w);
+                eng.finish_worker_at(w, k, now);
             }
             return;
         }
@@ -142,8 +134,10 @@ impl WorkerProtocol for RingAllReduce {
         eng.events.push(t, Round { k: k + 1 });
     }
 
-    fn final_params(&mut self, _eng: &SimEngine<'_, Round>) -> Vec<Vec<f32>> {
-        vec![self.params.to_vec()]
+    fn final_params(&mut self, eng: &SimEngine<'_, Round>) -> Vec<Vec<f32>> {
+        // Report convention: one vector per worker. All workers hold the
+        // global replica after the final all-reduce, so replicate it.
+        vec![self.params.to_vec(); eng.workers.len()]
     }
 
     fn bytes_sent(&self, _eng: &SimEngine<'_, Round>) -> u64 {

@@ -3,7 +3,7 @@
 use crate::config::{ConfigError, Protocol};
 use crate::report::TrainingReport;
 use crate::sim_runtime::recorder::EvalConfig;
-use crate::sim_runtime::{adpsgd, decentralized, ps, ring};
+use crate::sim_runtime::{adpsgd, decentralized, prague, ps, qgm, ring};
 use hop_data::InMemoryDataset;
 use hop_graph::Topology;
 use hop_model::Model;
@@ -109,9 +109,11 @@ impl SimExperiment {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the protocol configuration is invalid
-    /// for the topology (see [`crate::config::HopConfig::validate`]), or
+    /// for the topology (see [`crate::config::HopConfig::validate`]),
     /// [`ConfigError::NotBipartite`] for AD-PSGD with `require_bipartite`
-    /// on a non-bipartite graph.
+    /// on a non-bipartite graph, or the Prague/QGM knob errors (see
+    /// [`crate::config::PragueConfig::validate`] and
+    /// [`crate::config::QgmConfig::validate`]).
     pub fn run(
         &self,
         model: &dyn Model,
@@ -175,6 +177,38 @@ impl SimExperiment {
                     eval,
                 ))
             }
+            Protocol::Prague(cfg) => {
+                cfg.validate()?;
+                Ok(prague::run(
+                    cfg,
+                    &self.cluster,
+                    &self.slowdown,
+                    model,
+                    dataset,
+                    &self.hyper,
+                    self.max_iters,
+                    self.seed,
+                    eval,
+                ))
+            }
+            Protocol::Qgm(cfg) => {
+                cfg.validate()?;
+                if !self.topology.is_strongly_connected() {
+                    return Err(ConfigError::DisconnectedTopology);
+                }
+                Ok(qgm::run(
+                    cfg,
+                    &self.topology,
+                    &self.cluster,
+                    &self.slowdown,
+                    model,
+                    dataset,
+                    &self.hyper,
+                    self.max_iters,
+                    self.seed,
+                    eval,
+                ))
+            }
         }
     }
 }
@@ -182,7 +216,7 @@ impl SimExperiment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{AdPsgdConfig, HopConfig, PsConfig, PsMode};
+    use crate::config::{AdPsgdConfig, HopConfig, PragueConfig, PsConfig, PsMode, QgmConfig};
     use hop_data::webspam::SyntheticWebspam;
     use hop_model::svm::Svm;
     use hop_sim::LinkModel;
@@ -219,6 +253,8 @@ mod tests {
             }),
             Protocol::RingAllReduce,
             Protocol::AdPsgd(AdPsgdConfig::default()),
+            Protocol::Prague(PragueConfig::default()),
+            Protocol::Qgm(QgmConfig::default()),
         ] {
             let (exp, model, dataset) = experiment(protocol.clone());
             let report = exp.run(&model, &dataset).expect("runs");
@@ -242,6 +278,23 @@ mod tests {
             exp.run(&model, &dataset).unwrap_err(),
             ConfigError::NotBipartite
         );
+    }
+
+    #[test]
+    fn invalid_prague_and_qgm_surface_errors() {
+        let (exp, model, dataset) = experiment(Protocol::Prague(PragueConfig {
+            group_size: 0,
+            regen_every: 1,
+        }));
+        assert!(matches!(
+            exp.run(&model, &dataset),
+            Err(ConfigError::InvalidPrague(_))
+        ));
+        let (exp, model, dataset) = experiment(Protocol::Qgm(QgmConfig { mu: 1.5, beta: 0.1 }));
+        assert!(matches!(
+            exp.run(&model, &dataset),
+            Err(ConfigError::InvalidQgm(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Randomized partial all-reduce groups (Prague-style partition
+//! scheduling).
+//!
+//! Prague (Luo et al., *Heterogeneity-Aware Asynchronous Decentralized
+//! Training*) replaces the global all-reduce with a *partial* all-reduce:
+//! each round the workers are partitioned into small groups and every
+//! group all-reduces among only its own members, so a straggler delays at
+//! most `group_size - 1` peers instead of the whole cluster. The
+//! randomized regeneration of the partition over rounds is what mixes
+//! information across the cluster.
+//!
+//! This module supplies the *static-group scheduling* half of that
+//! design: [`partition`] is a pure function of `(seed, round)`, so every
+//! worker — and every rerun of a simulation — derives the identical
+//! group assignment for a round with no coordination and no shared
+//! state. Group sizes differ by at most one (no starved singleton
+//! remainders unless `n < group_size`).
+//!
+//! # Examples
+//!
+//! ```
+//! use hop_graph::groups::partition;
+//!
+//! let groups = partition(10, 4, 42, 7);
+//! // ceil(10 / 4) = 3 groups, balanced to sizes 4/3/3.
+//! assert_eq!(groups.len(), 3);
+//! let mut all: Vec<usize> = groups.concat();
+//! all.sort_unstable();
+//! assert_eq!(all, (0..10).collect::<Vec<_>>());
+//! // Pure in (seed, round): the same arguments always give the same
+//! // partition…
+//! assert_eq!(groups, partition(10, 4, 42, 7));
+//! // …and another round reshuffles it.
+//! assert_ne!(groups, partition(10, 4, 42, 8));
+//! ```
+
+use hop_util::rng::{splitmix64, Xoshiro256};
+
+/// Partitions workers `0..n` into groups of at most `group_size`,
+/// deterministically from `(seed, round)`.
+///
+/// The partition is a seeded Fisher–Yates shuffle of the worker ids cut
+/// into `ceil(n / group_size)` slices whose sizes differ by at most one
+/// (e.g. 10 workers with `group_size = 4` gives 4/3/3, never 4/4/2).
+/// Each group's member list stays in shuffled order, which callers use as
+/// the logical ring order for the group's all-reduce.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `group_size == 0`.
+pub fn partition(n: usize, group_size: usize, seed: u64, round: u64) -> Vec<Vec<usize>> {
+    assert!(n > 0, "cannot partition zero workers");
+    assert!(group_size > 0, "group size must be positive");
+    let mut ids: Vec<usize> = (0..n).collect();
+    let mut rng = Xoshiro256::seed_from_u64(mix(seed, round));
+    rng.shuffle(&mut ids);
+    let n_groups = n.div_ceil(group_size);
+    let base = n / n_groups;
+    let extra = n % n_groups; // the first `extra` groups get one more
+    let mut groups = Vec::with_capacity(n_groups);
+    let mut start = 0;
+    for g in 0..n_groups {
+        let size = base + usize::from(g < extra);
+        groups.push(ids[start..start + size].to_vec());
+        start += size;
+    }
+    groups
+}
+
+/// The group index each worker belongs to in `groups` (the inverse of
+/// [`partition`]'s output): `membership(&groups)[w]` is the index into
+/// `groups` containing worker `w`.
+///
+/// # Panics
+///
+/// Panics if a member id is out of range for the partition's total size.
+pub fn membership(groups: &[Vec<usize>]) -> Vec<usize> {
+    let n: usize = groups.iter().map(Vec::len).sum();
+    let mut of = vec![usize::MAX; n];
+    for (g, members) in groups.iter().enumerate() {
+        for &w in members {
+            assert!(w < n, "member {w} out of range for {n} workers");
+            of[w] = g;
+        }
+    }
+    of
+}
+
+/// Hashes `(seed, round)` into an RNG seed with two SplitMix64 rounds so
+/// neighboring rounds produce unrelated shuffles.
+fn mix(seed: u64, round: u64) -> u64 {
+    let mut state = seed ^ 0x00C0_DE5E_ED0F_u64.rotate_left(17);
+    let a = splitmix64(&mut state);
+    state ^= round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let b = splitmix64(&mut state);
+    a ^ b.rotate_left(32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn is_partition(groups: &[Vec<usize>], n: usize) {
+        let mut all: Vec<usize> = groups.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..n).collect::<Vec<_>>(), "not a partition of {n}");
+    }
+
+    #[test]
+    fn covers_all_workers_exactly_once() {
+        for n in [1, 2, 5, 6, 10, 16, 17] {
+            for gs in [1, 2, 3, 4, 16] {
+                for round in 0..4 {
+                    let groups = partition(n, gs, 9, round);
+                    is_partition(&groups, n);
+                    assert_eq!(groups.len(), n.div_ceil(gs));
+                    for g in &groups {
+                        assert!(g.len() <= gs, "group larger than {gs}: {g:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sizes_are_balanced() {
+        // 10 workers in groups of 4: 4/3/3, never a starved remainder.
+        let sizes: Vec<usize> = partition(10, 4, 0, 0).iter().map(Vec::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_round() {
+        assert_eq!(partition(12, 3, 7, 5), partition(12, 3, 7, 5));
+        assert_ne!(partition(12, 3, 7, 5), partition(12, 3, 7, 6));
+        assert_ne!(partition(12, 3, 7, 5), partition(12, 3, 8, 5));
+    }
+
+    #[test]
+    fn rounds_mix_memberships() {
+        // Over a handful of rounds worker 0 should meet most of the
+        // cluster — the property that makes partial all-reduce converge.
+        let n = 12;
+        let mut met = std::collections::HashSet::new();
+        for round in 0..16 {
+            let groups = partition(n, 4, 3, round);
+            let of = membership(&groups);
+            met.extend(groups[of[0]].iter().copied());
+        }
+        assert!(met.len() > n / 2, "worker 0 only met {met:?}");
+    }
+
+    #[test]
+    fn membership_inverts_partition() {
+        let groups = partition(9, 4, 1, 2);
+        let of = membership(&groups);
+        assert_eq!(of.len(), 9);
+        for (g, members) in groups.iter().enumerate() {
+            for &w in members {
+                assert_eq!(of[w], g);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "group size")]
+    fn rejects_zero_group_size() {
+        partition(4, 0, 0, 0);
+    }
+}

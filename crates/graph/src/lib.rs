@@ -16,6 +16,9 @@
 //!   Jacobi eigensolver for symmetric `W` and a deflated power method for
 //!   general `W` (§7.3.6, Fig. 21).
 //! * [`bounds`] — the closed-form iteration-gap upper bounds of Table 1.
+//! * [`groups`] — deterministic randomized partition scheduling for
+//!   Prague-style partial all-reduce (groups derived purely from
+//!   `(seed, round)`).
 //!
 //! # Examples
 //!
@@ -29,6 +32,7 @@
 //! ```
 
 pub mod bounds;
+pub mod groups;
 pub mod paths;
 pub mod spectral;
 pub mod topology;

@@ -14,6 +14,9 @@
 //!   "CNN" workload.
 //! * [`optimizer::Sgd`] — SGD with momentum and weight decay (momentum
 //!   0.9, as the paper's hyperparameter setup).
+//! * [`optimizer::QgmState`] — Quasi-Global Momentum (Lin et al.): a
+//!   momentum buffer tracking the locally-estimated global parameter
+//!   difference, applied around each gossip Reduce.
 //!
 //! All gradients are verified against finite differences in the test
 //! suites.
@@ -53,4 +56,4 @@ pub mod optimizer;
 pub mod svm;
 
 pub use model::{GradScratch, Model};
-pub use optimizer::Sgd;
+pub use optimizer::{QgmState, Sgd};

@@ -117,6 +117,113 @@ impl Sgd {
     }
 }
 
+/// Quasi-Global Momentum state (Lin et al., *Quasi-Global Momentum:
+/// Accelerating Decentralized Deep Learning on Heterogeneous Data*).
+///
+/// Local momentum diverges across decentralized workers when their data
+/// (or pace) is heterogeneous. QGM replaces it with a momentum buffer that
+/// tracks the *locally estimated global parameter difference*: after each
+/// gossip Reduce the worker measures how far the consensus actually moved
+/// its parameters over the iteration and folds that displacement — not
+/// its private gradient — into the buffer:
+///
+/// * local half-step: `x_{t+1/2} = x_t - lr * (g + mu * m_t + wd * x_t)`
+/// * gossip Reduce:   `x_{t+1}   = mean of neighbor half-steps`
+/// * momentum update: `m_{t+1}   = mu * m_t + beta * (x_t - x_{t+1}) / lr`
+///
+/// `mu` is the momentum factor (the paper reuses SGD's 0.9) and `beta`
+/// the mixing weight of the fresh displacement (the paper's `1 - mu`).
+///
+/// # Examples
+///
+/// ```
+/// use hop_model::QgmState;
+/// let mut qgm = QgmState::new(0.9, 0.1, 2);
+/// let mut x = vec![1.0f32, -1.0];
+/// qgm.local_step(&mut x, &[0.5, -0.5], 0.1, 0.0);
+/// assert!(x[0] < 1.0 && x[1] > -1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QgmState {
+    mu: f32,
+    beta: f32,
+    momentum: Vec<f32>,
+}
+
+impl QgmState {
+    /// Creates QGM state for a parameter vector of length `param_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu` is outside `[0, 1)` or `beta < 0`.
+    pub fn new(mu: f32, beta: f32, param_len: usize) -> Self {
+        assert!((0.0..1.0).contains(&mu), "mu must be in [0,1)");
+        assert!(beta >= 0.0, "beta must be non-negative");
+        Self {
+            mu,
+            beta,
+            momentum: vec![0.0; param_len],
+        }
+    }
+
+    /// Momentum factor `mu`.
+    pub fn mu(&self) -> f32 {
+        self.mu
+    }
+
+    /// Displacement mixing weight `beta`.
+    pub fn beta(&self) -> f32 {
+        self.beta
+    }
+
+    /// The current momentum buffer (the running estimate of the global
+    /// parameter difference per unit learning rate).
+    pub fn momentum(&self) -> &[f32] {
+        &self.momentum
+    }
+
+    /// The local half-step before the gossip Reduce:
+    /// `params -= lr * (grad + mu * m + weight_decay * params)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn local_step(&self, params: &mut [f32], grad: &[f32], lr: f32, weight_decay: f32) {
+        assert_eq!(params.len(), self.momentum.len(), "params length mismatch");
+        assert_eq!(grad.len(), self.momentum.len(), "grad length mismatch");
+        for ((p, &g), &m) in params.iter_mut().zip(grad).zip(&self.momentum) {
+            *p -= lr * (g + self.mu * m + weight_decay * *p);
+        }
+    }
+
+    /// The post-Reduce momentum update: folds the observed displacement
+    /// `(prev - reduced) / lr` — how far the half-step *plus consensus*
+    /// actually moved this worker — into the buffer with weight `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch or `lr <= 0`.
+    pub fn update_momentum(&mut self, prev: &[f32], reduced: &[f32], lr: f32) {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert_eq!(prev.len(), self.momentum.len(), "prev length mismatch");
+        assert_eq!(
+            reduced.len(),
+            self.momentum.len(),
+            "reduced length mismatch"
+        );
+        let inv_lr = 1.0 / lr;
+        for ((m, &p), &r) in self.momentum.iter_mut().zip(prev).zip(reduced) {
+            *m = self.mu * *m + self.beta * (p - r) * inv_lr;
+        }
+    }
+
+    /// Resets the momentum buffer (for protocols that abandon a
+    /// trajectory, mirroring [`Sgd::reset_velocity`]).
+    pub fn reset(&mut self) {
+        self.momentum.fill(0.0);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +293,52 @@ mod tests {
     #[should_panic(expected = "momentum")]
     fn validates_momentum() {
         Sgd::new(0.1, 1.0, 0.0, 1);
+    }
+
+    #[test]
+    fn qgm_zero_momentum_is_plain_sgd() {
+        let qgm = QgmState::new(0.9, 0.1, 2);
+        let mut x = vec![1.0f32, -2.0];
+        qgm.local_step(&mut x, &[0.5, 0.5], 0.1, 0.0);
+        // Fresh buffer: the mu * m term vanishes.
+        assert_eq!(x, vec![0.95, -2.05]);
+    }
+
+    #[test]
+    fn qgm_tracks_parameter_difference() {
+        let mut qgm = QgmState::new(0.5, 0.5, 1);
+        // The consensus moved x from 2.0 to 1.0 under lr 0.5: the
+        // displacement per unit lr is (2 - 1) / 0.5 = 2.
+        qgm.update_momentum(&[2.0], &[1.0], 0.5);
+        assert_eq!(qgm.momentum(), &[1.0]); // 0.5 * 0 + 0.5 * 2
+        qgm.update_momentum(&[1.0], &[1.0], 0.5);
+        assert_eq!(qgm.momentum(), &[0.5]); // decays when consensus stalls
+                                            // The next local step leans in the remembered global direction.
+        let mut x = vec![1.0f32];
+        qgm.local_step(&mut x, &[0.0], 0.5, 0.0);
+        assert_eq!(x, vec![1.0 - 0.5 * 0.5 * 0.5]);
+    }
+
+    #[test]
+    fn qgm_weight_decay_shrinks_params() {
+        let qgm = QgmState::new(0.0, 1.0, 1);
+        let mut x = vec![1.0f32];
+        qgm.local_step(&mut x, &[0.0], 0.1, 0.5);
+        assert!((x[0] - 0.95).abs() < 1e-7);
+    }
+
+    #[test]
+    fn qgm_reset_clears_buffer() {
+        let mut qgm = QgmState::new(0.9, 0.1, 2);
+        qgm.update_momentum(&[1.0, 1.0], &[0.0, 0.0], 0.1);
+        assert!(qgm.momentum().iter().any(|&m| m != 0.0));
+        qgm.reset();
+        assert_eq!(qgm.momentum(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu must be in [0,1)")]
+    fn qgm_validates_mu() {
+        QgmState::new(1.0, 0.1, 1);
     }
 }

@@ -175,6 +175,33 @@ impl ClusterSpec {
         self.machine_of[a] == self.machine_of[b]
     }
 
+    /// Duration of one ring all-reduce among `members` (in the given
+    /// logical ring order) exchanging `total_bytes` of payload:
+    /// `2(g-1)` pipeline steps of `total_bytes / g` each, every step
+    /// simultaneous across members and gated by the slowest hop. This is
+    /// the analytic model shared by the ring all-reduce baseline (over
+    /// all workers) and Prague's intra-group partial all-reduce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` has fewer than 2 nodes (nothing to reduce).
+    pub fn ring_allreduce_time(&self, members: &[usize], total_bytes: f64) -> f64 {
+        let g = members.len();
+        assert!(g >= 2, "a ring all-reduce needs at least 2 members");
+        let chunk = total_bytes / g as f64;
+        let mut step_time = 0.0f64;
+        for (i, &w) in members.iter().enumerate() {
+            let next = members[(i + 1) % g];
+            let (lat, bw) = if self.same_machine(w, next) {
+                (self.link.intra_latency, self.link.intra_bandwidth)
+            } else {
+                (self.link.inter_latency, self.link.inter_bandwidth)
+            };
+            step_time = step_time.max(lat + chunk / bw);
+        }
+        2.0 * (g as f64 - 1.0) * step_time
+    }
+
     /// Appends one extra node on its own new machine (used to host a
     /// parameter server, as the paper adds one machine for the PS).
     /// Returns the new node's index.
@@ -479,5 +506,30 @@ mod payload_scale_tests {
     #[should_panic(expected = "positive")]
     fn scale_validates() {
         let _ = LinkModel::ethernet_1gbps().with_payload_scale(0.0);
+    }
+
+    #[test]
+    fn ring_allreduce_time_scales_with_members_and_hops() {
+        // 4 nodes on 2 machines (0,1 | 2,3).
+        let spec = ClusterSpec::uniform(4, 2, 0.1, LinkModel::ethernet_1gbps());
+        let link = *spec.link();
+        let bytes = 1000.0;
+        // Intra-machine pair: 2 steps of bytes/2 at intra speed.
+        let intra = spec.ring_allreduce_time(&[0, 1], bytes);
+        assert!((intra - 2.0 * (link.intra_latency + 500.0 / link.intra_bandwidth)).abs() < 1e-12);
+        // Cross-machine pair is gated by the slower inter-machine hop.
+        let inter = spec.ring_allreduce_time(&[0, 2], bytes);
+        assert!((inter - 2.0 * (link.inter_latency + 500.0 / link.inter_bandwidth)).abs() < 1e-12);
+        assert!(inter > intra);
+        // A full 4-ring: 6 steps of bytes/4, slowest hop crosses machines.
+        let full = spec.ring_allreduce_time(&[0, 1, 2, 3], bytes);
+        assert!((full - 6.0 * (link.inter_latency + 250.0 / link.inter_bandwidth)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 members")]
+    fn ring_allreduce_time_rejects_singletons() {
+        let spec = ClusterSpec::uniform(2, 1, 0.1, LinkModel::ethernet_1gbps());
+        spec.ring_allreduce_time(&[0], 100.0);
     }
 }
