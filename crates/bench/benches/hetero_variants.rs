@@ -8,8 +8,11 @@
 //!
 //! Every variant runs the identical SVM workload at an equal iteration
 //! count, so the virtual wall times compare *protocol overhead and
-//! straggler exposure*, not optimization differences. The machine-readable
-//! summary line
+//! straggler exposure*, not optimization differences. The whole
+//! variant × scenario matrix is one `hop_core::sweep::SweepGrid` executed
+//! across all cores by `SweepRunner` — the runner guarantees the results
+//! are bit-identical to sequential runs, so parallelizing the harness
+//! cannot move a single number. The machine-readable summary line
 //!
 //! ```text
 //! HETERO_VARIANTS_SUMMARY {"scenario":{"variant":{"wall_time_s":…}}}
@@ -23,32 +26,19 @@
 //! and `tests/engine_smoke.rs` asserts it.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use hop_bench::Workload;
+use hop_bench::{emit_summary_line, sized, smoke, Workload};
 use hop_core::config::{PragueConfig, QgmConfig};
-use hop_core::{HopConfig, Protocol, SkipConfig, TrainingReport};
+use hop_core::sweep::{SweepGrid, SweepRunner, SweepSummary};
+use hop_core::{HopConfig, Protocol, SkipConfig};
 use hop_graph::Topology;
 use hop_sim::SlowdownModel;
 
-/// Smoke mode (set `HOP_BENCH_SMOKE=1`): fewer workers/iterations, just
-/// enough to exercise every variant in CI.
-fn smoke() -> bool {
-    std::env::var("HOP_BENCH_SMOKE").is_ok_and(|v| v != "0")
-}
-
 fn n_workers() -> usize {
-    if smoke() {
-        6
-    } else {
-        16
-    }
+    sized(16, 6)
 }
 
 fn max_iters() -> u64 {
-    if smoke() {
-        20
-    } else {
-        120
-    }
+    sized(120, 20)
 }
 
 /// The protocol lineup. Hop's three mitigations use the paper's standard
@@ -76,65 +66,84 @@ fn scenarios(n: usize) -> Vec<(&'static str, SlowdownModel)> {
     ]
 }
 
-fn run_variant(protocol: Protocol, slowdown: SlowdownModel) -> TrainingReport {
+/// The full variant × scenario matrix as one sweep grid on the paper
+/// cluster.
+fn grid() -> SweepGrid {
     let n = n_workers();
-    let mut exp = hop_bench::experiment(Topology::ring(n), protocol, Workload::Svm);
-    exp.slowdown = slowdown;
-    exp.max_iters = max_iters();
-    exp.eval_every = max_iters() / 2;
-    exp.eval_examples = if smoke() { 32 } else { 256 };
-    hop_bench::run(&exp, Workload::Svm)
+    let mut grid = SweepGrid::new(Workload::Svm.hyper(), max_iters())
+        .cluster("paper", Topology::ring(n), hop_bench::paper_cluster(n))
+        .seed(hop_bench::SEED)
+        .eval(max_iters() / 2, sized(256, 32));
+    for (name, protocol) in variants() {
+        grid = grid.protocol(name, protocol);
+    }
+    for (name, slowdown) in scenarios(n) {
+        grid = grid.slowdown(name, slowdown);
+    }
+    grid
 }
 
 fn emit_summary() {
-    let n = n_workers();
     hop_bench::banner(
         "hetero_variants",
         "partial all-reduce and QGM gossip tolerate stragglers that stall ring all-reduce",
     );
+    let (model, dataset) = Workload::Svm.build();
+    let results = SweepRunner::all_cores()
+        .run(&grid(), model.as_ref(), &dataset)
+        .expect("benchmark grid must be valid");
+    let summary = SweepSummary::from_results(&results);
+    // Rows come back in grid order (variant-major); regroup scenario-major
+    // to keep the established trajectory-line shape.
     let mut scenario_cells = Vec::new();
-    for (scenario, slowdown) in scenarios(n) {
+    for (scenario, _) in scenarios(n_workers()) {
         let mut cells = Vec::new();
-        for (name, protocol) in variants() {
-            let report = run_variant(protocol, slowdown.clone());
-            assert!(!report.deadlocked, "{scenario}/{name} deadlocked");
-            let final_loss = report.eval_time.last().map_or(f64::NAN, |(_, v)| v);
+        for row in summary.rows().iter().filter(|r| r.slowdown == scenario) {
+            assert!(!row.deadlocked, "{scenario}/{} deadlocked", row.protocol);
             println!(
-                "{scenario:>16} {name:<16} wall {:>9.4}s  mean-iter {:>9.6}s  bytes {:>12}  loss {:.4}",
-                report.wall_time,
-                report.mean_iteration_duration(),
-                report.bytes_sent,
-                final_loss,
+                "{scenario:>16} {:<16} wall {:>9.4}s  mean-iter {:>9.6}s  bytes {:>12}  loss {:.4}",
+                row.protocol,
+                row.wall_time,
+                row.mean_iteration,
+                row.bytes_sent,
+                row.final_eval_loss,
             );
             cells.push(format!(
-                "\"{name}\":{{\"wall_time_s\":{:.6},\"mean_iter_s\":{:.6},\"bytes_sent\":{},\"final_eval_loss\":{:.6}}}",
-                report.wall_time,
-                report.mean_iteration_duration(),
-                report.bytes_sent,
-                final_loss,
+                "\"{}\":{{\"wall_time_s\":{:.6},\"mean_iter_s\":{:.6},\"bytes_sent\":{},\"final_eval_loss\":{:.6}}}",
+                row.protocol, row.wall_time, row.mean_iteration, row.bytes_sent,
+                row.final_eval_loss,
             ));
         }
         scenario_cells.push(format!("\"{scenario}\":{{{}}}", cells.join(",")));
     }
-    println!(
-        "HETERO_VARIANTS_SUMMARY {{\"smoke\":{},\"n_workers\":{n},\"max_iters\":{},{}}}",
-        smoke(),
-        max_iters(),
-        scenario_cells.join(","),
+    emit_summary_line(
+        "HETERO_VARIANTS",
+        &format!(
+            "{{\"smoke\":{},\"n_workers\":{},\"max_iters\":{},{}}}",
+            smoke(),
+            n_workers(),
+            max_iters(),
+            scenario_cells.join(","),
+        ),
     );
 }
 
 fn bench_straggler_run(c: &mut Criterion) {
     // Host-time cost of one straggler run per headline variant (the
     // simulator's own speed on this comparison, for the perf trajectory).
-    for (name, protocol) in variants() {
-        if !matches!(name, "prague" | "qgm" | "ring_allreduce") {
+    // Drawn from the same grid as the summary, so the timed configuration
+    // can never drift from the HETERO_VARIANTS_SUMMARY rows.
+    let (model, dataset) = Workload::Svm.build();
+    for point in grid().points() {
+        if point.slowdown != "paper_straggler"
+            || !matches!(point.protocol.as_str(), "prague" | "qgm" | "ring_allreduce")
+        {
             continue;
         }
-        let slowdown = SlowdownModel::paper_straggler(n_workers(), 1, 6.0);
-        c.bench_function(&format!("hetero_variants/{name}_straggler"), |b| {
-            b.iter(|| run_variant(protocol.clone(), slowdown.clone()))
-        });
+        c.bench_function(
+            &format!("hetero_variants/{}_straggler", point.protocol),
+            |b| b.iter(|| point.experiment.run(model.as_ref(), &dataset).unwrap()),
+        );
     }
 }
 

@@ -24,6 +24,7 @@
 //! in CI runs with `HOP_BENCH_SMOKE=1` for a fast smoke pass).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hop_bench::{emit_summary_line, sized, smoke};
 use hop_core::{HopConfig, Hyper, Protocol, SimExperiment};
 use hop_data::images::SyntheticImages;
 use hop_data::{BatchSampler, Dataset, InMemoryDataset};
@@ -33,18 +34,8 @@ use hop_sim::{ClusterSpec, LinkModel, SlowdownModel};
 use hop_tensor::{ops, ParamBlock};
 use std::time::Instant;
 
-/// Smoke mode (set `HOP_BENCH_SMOKE=1`): tiny sizes, just enough to
-/// exercise every path in CI.
-fn smoke() -> bool {
-    std::env::var("HOP_BENCH_SMOKE").is_ok_and(|v| v != "0")
-}
-
 fn vector_dim() -> usize {
-    if smoke() {
-        1 << 10
-    } else {
-        1 << 16
-    }
+    sized(1 << 16, 1 << 10)
 }
 
 /// Receivers per publication in the snapshot benchmark (a ring worker
@@ -88,9 +79,9 @@ struct GradFixture {
 }
 
 fn grad_fixture() -> GradFixture {
-    let n_examples = if smoke() { 64 } else { 512 };
+    let n_examples = sized(512, 64);
     let data = SyntheticImages::generate(n_examples, 3);
-    let hidden = if smoke() { 16 } else { 64 };
+    let hidden = sized(64, 16);
     let model = Mlp::new(&[data.feature_dim(), hidden, data.n_classes()]);
     let mut rng = hop_util::Xoshiro256::seed_from_u64(7);
     let params = model.init_params(&mut rng);
@@ -195,7 +186,7 @@ fn params_bytes_per_iter(max_iters: u64) -> f64 {
 }
 
 fn emit_summary() {
-    let iters = if smoke() { 5 } else { 200 };
+    let iters = sized(200, 5);
     let dim = vector_dim();
 
     let (x, mut y) = axpy_fixture();
@@ -214,16 +205,19 @@ fn emit_summary() {
         std::hint::black_box(publish_deep_copies(&vec));
     });
 
-    let sim_iters = if smoke() { 10 } else { 40 };
+    let sim_iters = sized(40, 10);
     let bytes_per_iter = params_bytes_per_iter(sim_iters);
 
-    println!(
-        "HOT_PATH_SUMMARY {{\"smoke\":{},\"dim\":{dim},\
-         \"axpy_chunked_ns\":{axpy_chunked:.0},\"axpy_scalar_ns\":{axpy_scalar:.0},\
-         \"grad_step_pooled_ns\":{grad_pooled:.0},\"grad_step_allocating_ns\":{grad_alloc:.0},\
-         \"publish_snapshot_ns\":{publish_snapshot:.0},\"publish_deep_copy_ns\":{publish_copy:.0},\
-         \"sim_params_bytes_per_iter\":{bytes_per_iter:.0}}}",
-        smoke(),
+    emit_summary_line(
+        "HOT_PATH",
+        &format!(
+            "{{\"smoke\":{},\"dim\":{dim},\
+             \"axpy_chunked_ns\":{axpy_chunked:.0},\"axpy_scalar_ns\":{axpy_scalar:.0},\
+             \"grad_step_pooled_ns\":{grad_pooled:.0},\"grad_step_allocating_ns\":{grad_alloc:.0},\
+             \"publish_snapshot_ns\":{publish_snapshot:.0},\"publish_deep_copy_ns\":{publish_copy:.0},\
+             \"sim_params_bytes_per_iter\":{bytes_per_iter:.0}}}",
+            smoke(),
+        ),
     );
 }
 

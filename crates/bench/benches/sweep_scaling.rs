@@ -1,0 +1,133 @@
+//! Throughput scaling of the parallel sweep runner: the same experiment
+//! grid executed at 1/2/4/8 threads (1/2 in smoke mode), reporting host
+//! runs/sec per thread count and the speedup over the single-threaded
+//! run.
+//!
+//! The grid mixes the protocol families a scenario-diversity sweep
+//! actually uses — Hop backup, ring all-reduce, the Prague
+//! `group_size × regen_every` knob grid and a QGM `mu` axis — under the
+//! paper's random-slowdown process. Before any timing is trusted, the
+//! digest table of every thread count is asserted bit-identical to the
+//! single-threaded run: the runner may only change *where* a point
+//! executes, never its report.
+//!
+//! The machine-readable trajectory line
+//!
+//! ```text
+//! SWEEP_SUMMARY {"points":…, "threads":[{"threads":1,"runs_per_sec":…},…]}
+//! ```
+//!
+//! lands in CI logs (smoke mode) and is extracted into the
+//! `BENCH_sweep.json` artifact, seeding the sweep-throughput perf
+//! trajectory. Speedup numbers are only meaningful on multi-core hosts;
+//! on a single-core runner the line still records the (flat) scaling
+//! curve.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hop_bench::{emit_summary_line, sized, smoke, Workload};
+use hop_core::sweep::{SweepGrid, SweepResult, SweepRunner, SweepSummary};
+use hop_core::{HopConfig, Protocol};
+use hop_graph::Topology;
+use hop_sim::SlowdownModel;
+use std::time::Instant;
+
+fn thread_counts() -> Vec<usize> {
+    sized(vec![1, 2, 4, 8], vec![1, 2])
+}
+
+/// The smoke/scaling grid: 8 protocol-axis entries × seeds, one uniform
+/// cluster, the paper's random slowdown.
+fn grid() -> SweepGrid {
+    let n = sized(8, 6);
+    SweepGrid::new(Workload::Svm.hyper(), sized(40, 12))
+        .protocol("hop_backup", Protocol::Hop(HopConfig::backup(1, 5)))
+        .protocol("ring_allreduce", Protocol::RingAllReduce)
+        .prague_axis(&[2, 4], &[1, 4])
+        .qgm_axis(&[0.5, 0.9], 0.1)
+        .cluster("uniform", Topology::ring(n), hop_bench::paper_cluster(n))
+        .slowdown("paper_random", SlowdownModel::paper_random(n))
+        .seeds(sized(vec![1, 2, 3, 4], vec![1, 2]))
+        .eval(sized(20, 6), sized(128, 32))
+}
+
+fn digests(results: &[SweepResult]) -> Vec<u64> {
+    results.iter().map(SweepResult::digest).collect()
+}
+
+fn emit_summary() {
+    hop_bench::banner(
+        "sweep_scaling",
+        "independent grid points scale across cores without changing a bit of any report",
+    );
+    let grid = grid();
+    let points = grid.len();
+    let (model, dataset) = Workload::Svm.build();
+    // (digest table, elapsed seconds, results) of the first — always
+    // single-threaded — pass; later thread counts are checked against its
+    // digests and its results feed the summary, so the grid is never
+    // re-run just to aggregate.
+    let mut baseline: Option<(Vec<u64>, f64, Vec<SweepResult>)> = None;
+    let mut cells = Vec::new();
+    for threads in thread_counts() {
+        let runner = SweepRunner::new(threads);
+        let start = Instant::now();
+        let results = runner
+            .run(&grid, model.as_ref(), &dataset)
+            .expect("scaling grid must be valid");
+        let elapsed = start.elapsed().as_secs_f64();
+        let runs_per_sec = points as f64 / elapsed;
+        let table = digests(&results);
+        let speedup = match &baseline {
+            Some((reference, t1, _)) => {
+                assert_eq!(
+                    &table, reference,
+                    "{threads}-thread sweep diverged from the single-threaded digest table"
+                );
+                t1 / elapsed
+            }
+            None => {
+                baseline = Some((table, elapsed, results));
+                1.0
+            }
+        };
+        println!(
+            "threads {threads:>2}  {points:>4} runs in {elapsed:>7.3}s  \
+             {runs_per_sec:>8.2} runs/s  speedup {speedup:>5.2}x",
+        );
+        cells.push(format!(
+            "{{\"threads\":{threads},\"elapsed_s\":{elapsed:.6},\
+             \"runs_per_sec\":{runs_per_sec:.3},\"speedup\":{speedup:.3}}}"
+        ));
+    }
+    let (_, _, results) = baseline.expect("thread_counts() is never empty");
+    let summary = SweepSummary::from_results(&results);
+    emit_summary_line(
+        "SWEEP",
+        &format!(
+            "{{\"smoke\":{},\"points\":{points},\"grid_virtual_s\":{:.4},\
+             \"host_cores\":{},\"threads\":[{}]}}",
+            smoke(),
+            summary.total_wall_time(),
+            std::thread::available_parallelism().map_or(1, usize::from),
+            cells.join(","),
+        ),
+    );
+}
+
+fn bench_one_point(c: &mut Criterion) {
+    // Host-time cost of a single grid point — the unit the sweep
+    // parallelizes over.
+    let grid = grid();
+    let point = grid.points().remove(0);
+    let (model, dataset) = Workload::Svm.build();
+    c.bench_function("sweep_scaling/one_point", |b| {
+        b.iter(|| point.experiment.run(model.as_ref(), &dataset).unwrap())
+    });
+}
+
+fn bench_summary(_c: &mut Criterion) {
+    emit_summary();
+}
+
+criterion_group!(sweep_scaling, bench_one_point, bench_summary);
+criterion_main!(sweep_scaling);

@@ -121,6 +121,31 @@ pub fn banner(figure: &str, claim: &str) {
     println!("paper claim: {claim}");
 }
 
+/// Smoke mode for bench targets (set `HOP_BENCH_SMOKE=1`): CI-sized
+/// workloads, just enough to exercise every path. Previously copy-pasted
+/// into each bench target; hoisted here so every harness reads the same
+/// switch.
+pub fn smoke() -> bool {
+    std::env::var("HOP_BENCH_SMOKE").is_ok_and(|v| v != "0")
+}
+
+/// Picks the full-scale or smoke-scale value for the current mode.
+pub fn sized<T>(full: T, smoke_value: T) -> T {
+    if smoke() {
+        smoke_value
+    } else {
+        full
+    }
+}
+
+/// Prints the machine-readable `{TAG}_SUMMARY {json}` trajectory line a
+/// bench target ends with (`HOT_PATH_SUMMARY`, `HETERO_VARIANTS_SUMMARY`,
+/// `SWEEP_SUMMARY`, …). Centralized so the `TAG_SUMMARY {json}` shape CI
+/// greps for cannot drift between harnesses.
+pub fn emit_summary_line(tag: &str, json: &str) {
+    println!("{tag}_SUMMARY {json}");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +186,16 @@ mod tests {
     fn fmt_time_to_both_cases() {
         assert_eq!(fmt_time_to(Some(1.5)), "1.50s");
         assert_eq!(fmt_time_to(None), "not reached");
+    }
+
+    #[test]
+    fn sized_follows_smoke_mode() {
+        // `smoke()` reads the environment, so only the consistent branch
+        // can be asserted without racing other tests on env state.
+        if smoke() {
+            assert_eq!(sized(100, 5), 5);
+        } else {
+            assert_eq!(sized(100, 5), 100);
+        }
     }
 }

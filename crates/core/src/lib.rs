@@ -17,6 +17,9 @@
 //! * [`threaded`] — the same protocol on real OS threads with blocking
 //!   queues from [`hop_queue`].
 //! * [`trainer`] — the high-level [`trainer::SimExperiment`] API.
+//! * [`sweep`] — cartesian experiment grids ([`sweep::SweepGrid`])
+//!   executed across all cores by [`sweep::SweepRunner`], bit-identical
+//!   to sequential runs at any thread count.
 //!
 //! # Examples
 //!
@@ -50,6 +53,7 @@ pub mod config;
 pub mod report;
 pub mod semantics;
 pub mod sim_runtime;
+pub mod sweep;
 pub mod threaded;
 pub mod trainer;
 
@@ -58,4 +62,5 @@ pub use config::{
 };
 pub use report::TrainingReport;
 pub use sim_runtime::recorder::EvalConfig;
+pub use sweep::{SweepGrid, SweepResult, SweepRunner, SweepSummary};
 pub use trainer::{Hyper, SimExperiment};

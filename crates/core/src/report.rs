@@ -57,6 +57,61 @@ impl TrainingReport {
         self.trace.mean_iteration_duration()
     }
 
+    /// FNV-1a digest over every bit-exact field of the report: final
+    /// parameters, wall time, byte/stale counts, the outcome flags, the
+    /// full trace, and all loss curves (per-worker train loss vs time and
+    /// steps, eval loss vs time and steps). Two runs produce the same
+    /// digest iff they are bit-identical in everything the paper's
+    /// figures consume — the determinism invariant the engine promises
+    /// and the sweep runner must preserve at any thread count.
+    pub fn digest(&self) -> u64 {
+        const PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        // Every variable-size field is length-delimited before its
+        // contents, so differently-shaped reports (e.g. one concatenated
+        // final_params vector vs one per worker — exactly the
+        // report-convention bug class PR 3 fixed) can never feed the
+        // stream identical bytes.
+        eat(&(self.final_params.len() as u64).to_le_bytes());
+        for params in &self.final_params {
+            eat(&(params.len() as u64).to_le_bytes());
+            for v in params {
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        eat(&self.wall_time.to_bits().to_le_bytes());
+        eat(&self.bytes_sent.to_le_bytes());
+        eat(&self.stale_discarded.to_le_bytes());
+        eat(&[u8::from(self.deadlocked), u8::from(self.budget_exhausted)]);
+        eat(&(self.trace.records().len() as u64).to_le_bytes());
+        for r in self.trace.records() {
+            eat(&(r.worker as u64).to_le_bytes());
+            eat(&r.iter.to_le_bytes());
+            eat(&r.time.to_bits().to_le_bytes());
+        }
+        eat(&(self.train_loss_time.len() as u64).to_le_bytes());
+        eat(&(self.train_loss_steps.len() as u64).to_le_bytes());
+        let curves = self
+            .train_loss_time
+            .iter()
+            .chain(&self.train_loss_steps)
+            .chain([&self.eval_time, &self.eval_steps]);
+        for series in curves {
+            eat(&(series.points().len() as u64).to_le_bytes());
+            for &(t, v) in series.points() {
+                eat(&t.to_bits().to_le_bytes());
+                eat(&v.to_bits().to_le_bytes());
+            }
+        }
+        h
+    }
+
     /// Elementwise average of all workers' final parameters.
     pub fn averaged_params(&self) -> Vec<f32> {
         assert!(!self.final_params.is_empty(), "no final parameters");
@@ -127,5 +182,27 @@ mod tests {
     #[should_panic(expected = "no final parameters")]
     fn averaged_params_requires_workers() {
         TrainingReport::default().averaged_params();
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let report = TrainingReport {
+            final_params: vec![vec![1.0, 2.0]],
+            wall_time: 3.5,
+            bytes_sent: 128,
+            ..Default::default()
+        };
+        assert_eq!(report.digest(), report.digest());
+        let mut tweaked = report.clone();
+        tweaked.final_params[0][1] = f32::from_bits(tweaked.final_params[0][1].to_bits() + 1);
+        assert_ne!(report.digest(), tweaked.digest());
+        let mut flagged = report.clone();
+        flagged.deadlocked = true;
+        assert_ne!(report.digest(), flagged.digest());
+        // Length delimiting: the same scalars split differently across
+        // workers must not collide (the report-convention bug class).
+        let mut reshaped = report.clone();
+        reshaped.final_params = vec![vec![1.0], vec![2.0]];
+        assert_ne!(report.digest(), reshaped.digest());
     }
 }

@@ -226,7 +226,16 @@ impl<'a, E> SimEngine<'a, E> {
             seed,
             param_bytes: init_params.len() as u64 * 4,
             net: Network::new(spec),
-            events: EventQueue::new(),
+            // Pre-size the heap so steady-state pushes never reallocate:
+            // pending events scale with workers × protocol fan-out (each
+            // worker keeps a bounded number of sends/completions in
+            // flight), never with total iterations — but a tiny run needs
+            // no more slots than it has events, so cap by the event count.
+            events: EventQueue::with_capacity(
+                (n_workers * 64)
+                    .min(n_workers.saturating_mul((max_iters as usize).saturating_add(2)))
+                    .max(64),
+            ),
             trace: Trace::new(n_workers),
             recorder: Recorder::new(n_workers, eval, dataset),
             workers,
@@ -294,11 +303,20 @@ impl<'a, E> SimEngine<'a, E> {
     }
 
     /// Evaluates the element-wise average of all worker replicas at
-    /// `(now, iter)`.
+    /// `(now, iter)`, averaging into pool-backed scratch — no slice-vector
+    /// or averaged-buffer allocation per evaluation. The accumulation is
+    /// bit-identical to `ops::mean_into` over the replica slices: the
+    /// acquired buffer is zero-filled, each replica is `axpy`-accumulated
+    /// in worker order, then the sum is scaled once.
     pub fn evaluate_worker_average(&mut self, now: f64, iter: u64) {
-        let params: Vec<&[f32]> = self.workers.iter().map(|s| s.params.as_slice()).collect();
+        let mut avg = self.pool.acquire(self.workers[0].params.len());
+        for wc in &self.workers {
+            hop_tensor::ops::axpy(1.0, wc.params.as_slice(), &mut avg);
+        }
+        hop_tensor::ops::scale(1.0 / self.workers.len() as f32, &mut avg);
         self.recorder
-            .evaluate(self.model, self.dataset, &params, now, iter);
+            .evaluate_params(self.model, self.dataset, &avg, now, iter);
+        self.pool.release(avg);
     }
 
     /// Marks worker `w` finished; the pump stops once every worker is.

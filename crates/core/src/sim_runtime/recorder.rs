@@ -35,6 +35,10 @@ pub struct Recorder {
     eval_cfg: EvalConfig,
     eval_indices: Vec<usize>,
     next_eval: u64,
+    /// Reused averaged-parameter buffer for [`Self::evaluate`]; evaluation
+    /// used to allocate a fresh vector per call, which was the last
+    /// steady-state allocation on the eval path.
+    avg_scratch: Vec<f32>,
 }
 
 impl Recorder {
@@ -48,6 +52,7 @@ impl Recorder {
             eval_cfg,
             eval_indices: (0..n_eval).collect(),
             next_eval: 0,
+            avg_scratch: Vec::new(),
         }
     }
 
@@ -78,7 +83,10 @@ impl Recorder {
     }
 
     /// Evaluates the elementwise average of `all_params` on the fixed eval
-    /// batch and records it at `(time, iter)`.
+    /// batch and records it at `(time, iter)`. The averaged-parameter
+    /// buffer is reused across calls (bit-identical: `mean_into`
+    /// zero-fills it before accumulating, so a recycled buffer is
+    /// indistinguishable from a fresh one).
     pub fn evaluate(
         &mut self,
         model: &dyn Model,
@@ -87,10 +95,28 @@ impl Recorder {
         time: f64,
         iter: u64,
     ) {
-        let mut avg = vec![0.0f32; all_params[0].len()];
+        let mut avg = std::mem::take(&mut self.avg_scratch);
+        avg.clear();
+        avg.resize(all_params[0].len(), 0.0);
         hop_tensor::ops::mean_into(all_params, &mut avg);
+        self.evaluate_params(model, dataset, &avg, time, iter);
+        self.avg_scratch = avg;
+    }
+
+    /// Evaluates an already-averaged (or single) parameter vector on the
+    /// fixed eval batch and records it at `(time, iter)` — the
+    /// allocation-free entry point for callers that average into their own
+    /// pooled scratch.
+    pub fn evaluate_params(
+        &mut self,
+        model: &dyn Model,
+        dataset: &InMemoryDataset,
+        params: &[f32],
+        time: f64,
+        iter: u64,
+    ) {
         let batch = dataset.batch(&self.eval_indices);
-        let loss = model.loss(&avg, &batch) as f64;
+        let loss = model.loss(params, &batch) as f64;
         self.eval_time.push(time, loss);
         self.eval_steps.push(iter as f64, loss);
     }

@@ -104,7 +104,11 @@ pub struct SimExperiment {
 }
 
 impl SimExperiment {
-    /// Runs the experiment.
+    /// Validates the protocol configuration against the topology without
+    /// running anything — exactly the checks [`Self::run`] performs before
+    /// simulating. Callers batching many experiments (the sweep runner)
+    /// use this to reject a bad grid point up front instead of after the
+    /// other points' compute has been spent.
     ///
     /// # Errors
     ///
@@ -114,31 +118,56 @@ impl SimExperiment {
     /// on a non-bipartite graph, or the Prague/QGM knob errors (see
     /// [`crate::config::PragueConfig::validate`] and
     /// [`crate::config::QgmConfig::validate`]).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match &self.protocol {
+            Protocol::Hop(cfg) => cfg.validate(&self.topology),
+            Protocol::Ps(_) | Protocol::RingAllReduce => Ok(()),
+            Protocol::AdPsgd(cfg) => {
+                if cfg.require_bipartite && !self.topology.is_bipartite() {
+                    return Err(ConfigError::NotBipartite);
+                }
+                Ok(())
+            }
+            Protocol::Prague(cfg) => cfg.validate(),
+            Protocol::Qgm(cfg) => {
+                cfg.validate()?;
+                if !self.topology.is_strongly_connected() {
+                    return Err(ConfigError::DisconnectedTopology);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Runs the experiment.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::validate`]'s errors; a validated experiment always
+    /// runs.
     pub fn run(
         &self,
         model: &dyn Model,
         dataset: &InMemoryDataset,
     ) -> Result<TrainingReport, ConfigError> {
+        self.validate()?;
         let eval = EvalConfig {
             every: self.eval_every,
             examples: self.eval_examples,
         };
         match &self.protocol {
-            Protocol::Hop(cfg) => {
-                cfg.validate(&self.topology)?;
-                Ok(decentralized::run(
-                    cfg,
-                    &self.topology,
-                    &self.cluster,
-                    &self.slowdown,
-                    model,
-                    dataset,
-                    &self.hyper,
-                    self.max_iters,
-                    self.seed,
-                    eval,
-                ))
-            }
+            Protocol::Hop(cfg) => Ok(decentralized::run(
+                cfg,
+                &self.topology,
+                &self.cluster,
+                &self.slowdown,
+                model,
+                dataset,
+                &self.hyper,
+                self.max_iters,
+                self.seed,
+                eval,
+            )),
             Protocol::Ps(cfg) => Ok(ps::run(
                 cfg,
                 &self.cluster,
@@ -160,55 +189,41 @@ impl SimExperiment {
                 self.seed,
                 eval,
             )),
-            Protocol::AdPsgd(cfg) => {
-                if cfg.require_bipartite && !self.topology.is_bipartite() {
-                    return Err(ConfigError::NotBipartite);
-                }
-                Ok(adpsgd::run(
-                    cfg,
-                    &self.topology,
-                    &self.cluster,
-                    &self.slowdown,
-                    model,
-                    dataset,
-                    &self.hyper,
-                    self.max_iters,
-                    self.seed,
-                    eval,
-                ))
-            }
-            Protocol::Prague(cfg) => {
-                cfg.validate()?;
-                Ok(prague::run(
-                    cfg,
-                    &self.cluster,
-                    &self.slowdown,
-                    model,
-                    dataset,
-                    &self.hyper,
-                    self.max_iters,
-                    self.seed,
-                    eval,
-                ))
-            }
-            Protocol::Qgm(cfg) => {
-                cfg.validate()?;
-                if !self.topology.is_strongly_connected() {
-                    return Err(ConfigError::DisconnectedTopology);
-                }
-                Ok(qgm::run(
-                    cfg,
-                    &self.topology,
-                    &self.cluster,
-                    &self.slowdown,
-                    model,
-                    dataset,
-                    &self.hyper,
-                    self.max_iters,
-                    self.seed,
-                    eval,
-                ))
-            }
+            Protocol::AdPsgd(cfg) => Ok(adpsgd::run(
+                cfg,
+                &self.topology,
+                &self.cluster,
+                &self.slowdown,
+                model,
+                dataset,
+                &self.hyper,
+                self.max_iters,
+                self.seed,
+                eval,
+            )),
+            Protocol::Prague(cfg) => Ok(prague::run(
+                cfg,
+                &self.cluster,
+                &self.slowdown,
+                model,
+                dataset,
+                &self.hyper,
+                self.max_iters,
+                self.seed,
+                eval,
+            )),
+            Protocol::Qgm(cfg) => Ok(qgm::run(
+                cfg,
+                &self.topology,
+                &self.cluster,
+                &self.slowdown,
+                model,
+                dataset,
+                &self.hyper,
+                self.max_iters,
+                self.seed,
+                eval,
+            )),
         }
     }
 }

@@ -16,6 +16,9 @@
 //! ```
 
 pub use hop_core as core;
+// Parallel experiment sweeps, surfaced at the facade root: build a
+// `hop::sweep::SweepGrid`, run it with `hop::sweep::SweepRunner`.
+pub use hop_core::sweep;
 pub use hop_data as data;
 pub use hop_graph as graph;
 pub use hop_metrics as metrics;

@@ -186,39 +186,6 @@ fn parameter_replicas_share_until_first_write() {
     assert!(sent.ptr_eq(&init));
 }
 
-/// FNV-1a over every bit-exact field of a report: final parameters,
-/// wall time, trace, byte counts and eval curve. Two runs produce the
-/// same digest iff they are bit-identical in everything the paper's
-/// figures consume.
-fn report_digest(report: &TrainingReport) -> u64 {
-    const PRIME: u64 = 0x0000_0100_0000_01B3;
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut eat = |bytes: &[u8]| {
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
-        }
-    };
-    for params in &report.final_params {
-        for v in params {
-            eat(&v.to_bits().to_le_bytes());
-        }
-    }
-    eat(&report.wall_time.to_bits().to_le_bytes());
-    eat(&report.bytes_sent.to_le_bytes());
-    eat(&report.stale_discarded.to_le_bytes());
-    for r in report.trace.records() {
-        eat(&(r.worker as u64).to_le_bytes());
-        eat(&r.iter.to_le_bytes());
-        eat(&r.time.to_bits().to_le_bytes());
-    }
-    for &(t, v) in report.eval_time.points() {
-        eat(&t.to_bits().to_le_bytes());
-        eat(&v.to_bits().to_le_bytes());
-    }
-    h
-}
-
 #[test]
 fn digest_table_is_stable_and_distinguishes_variants() {
     // The determinism digest table: every variant, same seed, run twice —
@@ -228,11 +195,13 @@ fn digest_table_is_stable_and_distinguishes_variants() {
     // (token queues, SSP staleness bounds) leave the trajectory
     // bit-identical to their unbounded counterparts as long as the bound
     // never binds — which it doesn't at this scale.
+    // The digest itself lives on `TrainingReport` (shared with the sweep
+    // determinism table in `tests/sweep_determinism.rs`).
     let coincident = [("hop_tokens", "hop_standard"), ("ps_async", "ps_ssp")];
     let mut seen: Vec<(&str, u64)> = Vec::new();
     for (name, protocol) in all_variants() {
-        let a = report_digest(&run_variant(protocol.clone(), 29));
-        let b = report_digest(&run_variant(protocol, 29));
+        let a = run_variant(protocol.clone(), 29).digest();
+        let b = run_variant(protocol, 29).digest();
         assert_eq!(a, b, "{name} digest diverged across same-seed reruns");
         for (other, digest) in &seen {
             if coincident.contains(&(name, other)) {
