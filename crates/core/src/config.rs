@@ -193,6 +193,9 @@ impl HopConfig {
     /// * `N_buw >= |Nin(i)|` for some node;
     /// * a disconnected topology.
     pub fn validate(&self, topology: &Topology) -> Result<(), ConfigError> {
+        if topology.is_empty() {
+            return Err(ConfigError::NoWorkers);
+        }
         if !topology.is_strongly_connected() {
             return Err(ConfigError::DisconnectedTopology);
         }
@@ -392,6 +395,9 @@ pub enum Protocol {
 /// Configuration errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ConfigError {
+    /// The experiment has no workers at all (defense in depth — the
+    /// [`Topology`] constructors already reject zero nodes).
+    NoWorkers,
     /// The topology is not strongly connected.
     DisconnectedTopology,
     /// NOTIFY-ACK cannot express the named feature.
@@ -420,6 +426,9 @@ pub enum ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            ConfigError::NoWorkers => {
+                write!(f, "experiment needs at least one worker")
+            }
             ConfigError::DisconnectedTopology => {
                 write!(f, "topology must be strongly connected")
             }

@@ -11,6 +11,9 @@
 //!   Momentum baselines.
 //! * [`semantics`] — the pure update-selection/reduction/jump rules shared
 //!   by both runtimes.
+//! * [`conformance`] — the protocol-event trace both runtimes emit and
+//!   the invariant [`conformance::Oracle`] that replays it (gap bounds,
+//!   backup quota, staleness window, jump legality).
 //! * [`sim_runtime`] — deterministic discrete-event execution on
 //!   [`hop_sim`]'s virtual cluster; produces timing traces, gap
 //!   statistics and loss curves for every figure in the paper.
@@ -50,6 +53,7 @@
 //! ```
 
 pub mod config;
+pub mod conformance;
 pub mod report;
 pub mod semantics;
 pub mod sim_runtime;
@@ -60,6 +64,7 @@ pub mod trainer;
 pub use config::{
     ComputeOrder, HopConfig, PragueConfig, Protocol, QgmConfig, SkipConfig, SyncMode,
 };
+pub use conformance::{ConformanceSummary, Oracle, ProtocolEvent, ProtocolTrace, Violation};
 pub use report::TrainingReport;
 pub use sim_runtime::recorder::EvalConfig;
 pub use sweep::{SweepGrid, SweepResult, SweepRunner, SweepSummary};

@@ -1,11 +1,18 @@
 //! Training reports: what an experiment returns.
 
+use crate::conformance::ProtocolTrace;
 use hop_metrics::TimeSeries;
 use hop_sim::Trace;
 
 /// The outcome of one simulated (or threaded) training run.
 #[derive(Debug, Clone, Default)]
 pub struct TrainingReport {
+    /// Structured protocol-event trace, present when the run was executed
+    /// with conformance recording enabled (see
+    /// [`crate::trainer::SimExperiment::run_conformance`]). Deliberately
+    /// excluded from [`TrainingReport::digest`]: recording must never
+    /// change what the figures consume.
+    pub conformance: Option<ProtocolTrace>,
     /// Iteration-entry trace (timing, gaps).
     pub trace: Trace,
     /// Per-worker minibatch training loss vs virtual time.

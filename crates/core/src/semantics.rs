@@ -280,8 +280,95 @@ mod tests {
 
     #[test]
     fn empty_token_list_never_jumps() {
+        // A worker with no external out-neighbors observes no token
+        // queues; the decision must decline rather than panic on min().
         let skip = SkipConfig::with_max_jump(5);
         assert_eq!(jump_decision(&[], 5, &skip), None);
+        let eager = SkipConfig {
+            max_jump: 10,
+            trigger_behind: 0,
+        };
+        assert_eq!(jump_decision(&[], 5, &eager), None);
+    }
+
+    #[test]
+    fn zero_trigger_still_requires_a_real_jump() {
+        // trigger_behind = 0: the trigger never blocks the jump, but a
+        // computed jump of 0 or 1 is still a normal advance.
+        let skip = SkipConfig {
+            max_jump: 10,
+            trigger_behind: 0,
+        };
+        assert_eq!(jump_decision(&[5], 5, &skip), None, "behind 0");
+        assert_eq!(jump_decision(&[6], 5, &skip), None, "behind 1");
+        assert_eq!(jump_decision(&[7], 5, &skip), Some(2), "behind 2");
+    }
+
+    #[test]
+    fn max_jump_below_two_never_jumps() {
+        // max_jump < 2 caps every jump below the minimum useful distance;
+        // the decision degenerates to "never jump" no matter how far
+        // behind. (Config validation rejects such configs up front; the
+        // pure rule must still be total.)
+        let skip = SkipConfig {
+            max_jump: 1,
+            trigger_behind: 1,
+        };
+        assert_eq!(jump_decision(&[50], 5, &skip), None);
+        let skip = SkipConfig {
+            max_jump: 0,
+            trigger_behind: 0,
+        };
+        assert_eq!(jump_decision(&[50], 5, &skip), None);
+    }
+
+    #[test]
+    fn tokens_below_max_ig_never_jump() {
+        // Saturating subtraction: fewer tokens than max_ig means the
+        // worker is *ahead*, not behind.
+        let skip = SkipConfig {
+            max_jump: 10,
+            trigger_behind: 0,
+        };
+        assert_eq!(jump_decision(&[2, 9], 5, &skip), None);
+    }
+
+    #[test]
+    fn weighting_schemes_edge_cases() {
+        // Fresh update (age 0): every scheme gives weight >= 1... exactly
+        // s + 1 for linear, 1 for uniform and exponential.
+        assert_eq!(
+            staleness_weight_with(StalenessWeighting::Linear, 10, 10, 3),
+            4.0
+        );
+        assert_eq!(
+            staleness_weight_with(StalenessWeighting::Uniform, 10, 10, 3),
+            1.0
+        );
+        assert_eq!(
+            staleness_weight_with(StalenessWeighting::Exponential { decay: 0.5 }, 10, 10, 3),
+            1.0
+        );
+        // decay = 1.0 is legal and degenerates to uniform.
+        assert_eq!(
+            staleness_weight_with(StalenessWeighting::Exponential { decay: 1.0 }, 2, 10, 3),
+            1.0
+        );
+        // An update from the "future" (possible right after a jump, when
+        // neighbors run ahead): age saturates at 0 instead of underflowing.
+        assert_eq!(
+            staleness_weight_with(StalenessWeighting::Exponential { decay: 0.5 }, 12, 10, 3),
+            1.0
+        );
+        assert_eq!(
+            staleness_weight_with(StalenessWeighting::Linear, 12, 10, 3),
+            6.0
+        );
+        // Extreme staleness: the exponential weight floors at
+        // MIN_POSITIVE instead of flushing to zero (a zero total weight
+        // would divide by zero in the reduce).
+        let w = staleness_weight_with(StalenessWeighting::Exponential { decay: 0.1 }, 0, 200, 3);
+        assert!(w > 0.0, "weight must stay positive, got {w}");
     }
 
     #[test]

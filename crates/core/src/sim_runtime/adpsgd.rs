@@ -64,6 +64,7 @@ pub fn run(
     max_iters: u64,
     seed: u64,
     eval: EvalConfig,
+    conformance: bool,
 ) -> TrainingReport {
     let n = topology.len();
     assert_eq!(cluster.len(), n, "cluster/topology size mismatch");
@@ -82,7 +83,8 @@ pub fn run(
         max_iters,
         seed,
         eval,
-    );
+    )
+    .with_conformance(conformance);
     let workers = (0..n)
         .map(|w| WorkerSt {
             busy: false,
@@ -134,7 +136,7 @@ impl AdPsgd<'_> {
         eng.pool.release(grad);
         eng.workers[w].iter += 1;
         let k = eng.workers[w].iter;
-        eng.trace.record(w, k, now);
+        eng.record_enter(w, k, now);
         if k >= eng.max_iters {
             eng.finish_worker(w);
             return;
@@ -165,7 +167,7 @@ impl WorkerProtocol for AdPsgd<'_> {
 
     fn start(&mut self, eng: &mut SimEngine<'_, Ev>) {
         for w in 0..eng.workers.len() {
-            eng.trace.record(w, 0, 0.0);
+            eng.record_enter(w, 0, 0.0);
             let dur = eng.compute_duration(w, 0);
             eng.events.push(dur, Ev::ComputeDone { w });
         }
@@ -299,6 +301,7 @@ mod tests {
                 every: 0,
                 examples: 32,
             },
+            false,
         )
     }
 

@@ -13,6 +13,7 @@
 //! protocol state machine as a [`WorkerProtocol`] implementation.
 
 use crate::config::{ComputeOrder, HopConfig, SyncMode};
+use crate::conformance::ProtocolEvent;
 use crate::report::TrainingReport;
 use crate::semantics;
 use crate::trainer::Hyper;
@@ -116,6 +117,7 @@ pub fn run(
     max_iters: u64,
     seed: u64,
     eval: EvalConfig,
+    conformance: bool,
 ) -> TrainingReport {
     cfg.validate(topology).expect("config validated by caller");
     assert_eq!(
@@ -133,7 +135,8 @@ pub fn run(
         max_iters,
         seed,
         eval,
-    );
+    )
+    .with_conformance(conformance);
     let mut proto = Decentralized::new(cfg, topology, &engine);
     engine.drive(&mut proto)
 }
@@ -192,7 +195,7 @@ impl<'a> Decentralized<'a> {
         token_steps: u64,
     ) {
         eng.workers[w].iter = new_iter;
-        eng.trace.record(w, new_iter, now);
+        eng.record_enter(w, new_iter, now);
         if self.max_ig.is_some() && token_steps > 0 {
             self.insert_tokens(eng, w, token_steps, now);
         }
@@ -208,6 +211,10 @@ impl<'a> Decentralized<'a> {
         if self.cfg.order == ComputeOrder::Parallel {
             self.do_send(eng, w, new_iter, now);
         }
+        eng.conformance.record(|| ProtocolEvent::ComputeBegin {
+            worker: w,
+            iter: new_iter,
+        });
         let duration = eng.compute_duration(w, new_iter);
         eng.events
             .push(now + duration, Ev::ComputeDone { w, iter: new_iter });
@@ -235,6 +242,11 @@ impl<'a> Decentralized<'a> {
     /// snapshot — the wire bytes are simulated, no parameter bytes move.
     fn do_send(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
         let params = eng.workers[w].params.snapshot();
+        eng.conformance.record(|| ProtocolEvent::Send {
+            from: w,
+            to: w,
+            iter,
+        });
         self.deliver_update(eng, w, w, iter, params.snapshot(), now);
         let inquiry = self.cfg.effective_send_inquiry();
         for o in self.topology.external_out_neighbors(w) {
@@ -244,6 +256,11 @@ impl<'a> Decentralized<'a> {
                 self.skipped_sends += 1;
                 continue;
             }
+            eng.conformance.record(|| ProtocolEvent::Send {
+                from: w,
+                to: o,
+                iter,
+            });
             let arrival = eng.net.transfer(now, w, o, eng.param_bytes);
             eng.events.push(
                 arrival,
@@ -272,6 +289,24 @@ impl<'a> Decentralized<'a> {
                 .newest_from
                 .get(&from)
                 .is_none_or(|&(have, _)| iter > have);
+            let at_iter = eng.workers[to].iter;
+            eng.conformance.record(|| {
+                if newer {
+                    ProtocolEvent::StaleAdmit {
+                        worker: to,
+                        from,
+                        iter,
+                        at_iter,
+                    }
+                } else {
+                    ProtocolEvent::StaleReject {
+                        worker: to,
+                        from,
+                        iter,
+                        at_iter,
+                    }
+                }
+            });
             if newer {
                 if let Some((_, old)) = state.newest_from.insert(from, (iter, params)) {
                     eng.pool.reclaim(old);
@@ -298,6 +333,13 @@ impl<'a> Decentralized<'a> {
         count: u64,
         now: f64,
     ) {
+        // Recorded at visibility (not grant) time: the conformance view of
+        // a token queue is exactly what the consumer can observe.
+        eng.conformance.record(|| ProtocolEvent::TokenPass {
+            owner: from,
+            consumer: to,
+            count,
+        });
         *self.workers[to].tokens_from.entry(from).or_insert(0) += count;
         if self.workers[to].phase == Phase::WaitTokens {
             self.attempt_advance(eng, to, now);
@@ -315,6 +357,8 @@ impl<'a> Decentralized<'a> {
 
     fn on_compute_done(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
         debug_assert_eq!(eng.workers[w].iter, iter, "stale compute event");
+        eng.conformance
+            .record(|| ProtocolEvent::ComputeEnd { worker: w, iter });
         // Do the real gradient math at the virtual completion time.
         let state = &mut self.workers[w];
         let loss = eng.sample_grad(w, &state.compute_params, &mut state.grad);
@@ -396,6 +440,21 @@ impl<'a> Decentralized<'a> {
                 return;
             }
             let collected = self.collect_newest(w, &neighbors);
+            for (nbr, (iter, _)) in neighbors.iter().zip(&collected) {
+                let (from, iter) = (*nbr, *iter);
+                eng.conformance.record(|| ProtocolEvent::Consume {
+                    worker: w,
+                    from,
+                    iter,
+                    at_iter: k,
+                });
+            }
+            eng.conformance.record(|| ProtocolEvent::Reduce {
+                worker: w,
+                iter: k,
+                n_updates: collected.len(),
+                renew: false,
+            });
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
@@ -421,6 +480,21 @@ impl<'a> Decentralized<'a> {
             }
             // Fig. 8: the needed updates plus any extras already here.
             let entries = self.workers[w].queue.dequeue_up_to(in_deg, k);
+            for entry in &entries {
+                let tag = entry.tag;
+                eng.conformance.record(|| ProtocolEvent::Consume {
+                    worker: w,
+                    from: tag.w_id,
+                    iter: tag.iter,
+                    at_iter: k,
+                });
+            }
+            eng.conformance.record(|| ProtocolEvent::Reduce {
+                worker: w,
+                iter: k,
+                n_updates: entries.len(),
+                renew: false,
+            });
             let views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
             semantics::reduce_mean(&views, eng.workers[w].params.overwrite_mut(&mut eng.pool));
             if self.cfg.order == ComputeOrder::Parallel {
@@ -467,12 +541,24 @@ impl<'a> Decentralized<'a> {
                 .map(|j| j.min(eng.max_iters - k))
                 .filter(|&j| j >= 2);
             if let Some(jump) = jump {
+                eng.conformance.record(|| ProtocolEvent::Jump {
+                    worker: w,
+                    from_iter: k,
+                    target: k + jump,
+                    token_counts: counts.clone(),
+                });
                 // Obtain `jump` tokens from every out-going neighbor and
                 // grant the same number to in-neighbors right away so they
                 // are never starved while we renew parameters.
                 for o in &outs {
                     let c = self.workers[w].tokens_from.get_mut(o).expect("token entry");
                     *c -= jump;
+                    let owner = *o;
+                    eng.conformance.record(|| ProtocolEvent::TokenTake {
+                        owner,
+                        consumer: w,
+                        count: jump,
+                    });
                 }
                 self.insert_tokens(eng, w, jump, now);
                 let target = k + jump;
@@ -483,6 +569,12 @@ impl<'a> Decentralized<'a> {
         if counts.iter().all(|&c| c >= 1) {
             for o in &outs {
                 *self.workers[w].tokens_from.get_mut(o).expect("token entry") -= 1;
+                let owner = *o;
+                eng.conformance.record(|| ProtocolEvent::TokenTake {
+                    owner,
+                    consumer: w,
+                    count: 1,
+                });
             }
             self.enter_iteration(eng, w, k + 1, now, 1);
         } else {
@@ -502,9 +594,24 @@ impl<'a> Decentralized<'a> {
                 return;
             }
             let mut collected = self.collect_newest(w, &externals);
+            for (nbr, (iter, _)) in externals.iter().zip(&collected) {
+                let (from, iter) = (*nbr, *iter);
+                eng.conformance.record(|| ProtocolEvent::Consume {
+                    worker: w,
+                    from,
+                    iter,
+                    at_iter: renew_iter,
+                });
+            }
             // Own (stale) parameters participate with clamped weight; the
             // snapshot keeps them readable while the replica is rewritten.
             collected.push((eng.workers[w].iter, eng.workers[w].params.snapshot()));
+            eng.conformance.record(|| ProtocolEvent::Reduce {
+                worker: w,
+                iter: renew_iter,
+                n_updates: collected.len(),
+                renew: true,
+            });
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
@@ -528,6 +635,21 @@ impl<'a> Decentralized<'a> {
                 return;
             }
             let entries = self.workers[w].queue.dequeue_up_to(ext, renew_iter);
+            for entry in &entries {
+                let tag = entry.tag;
+                eng.conformance.record(|| ProtocolEvent::Consume {
+                    worker: w,
+                    from: tag.w_id,
+                    iter: tag.iter,
+                    at_iter: renew_iter,
+                });
+            }
+            eng.conformance.record(|| ProtocolEvent::Reduce {
+                worker: w,
+                iter: renew_iter,
+                n_updates: entries.len() + 1,
+                renew: true,
+            });
             let own = eng.workers[w].params.snapshot();
             let mut views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
             views.push(own.as_slice());
@@ -630,6 +752,7 @@ mod tests {
                 every: 10,
                 examples: 64,
             },
+            false,
         )
     }
 

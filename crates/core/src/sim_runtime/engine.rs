@@ -57,6 +57,7 @@
 //! handed out zero-filled — so reports are bit-identical to an
 //! implementation that deep-copied every message.
 
+use crate::conformance::{ConformanceSink, ProtocolEvent};
 use crate::report::TrainingReport;
 use crate::sim_runtime::recorder::{EvalConfig, Recorder};
 use crate::trainer::Hyper;
@@ -163,6 +164,12 @@ pub struct SimEngine<'a, E> {
     /// of events the pump will process (0 stops before the first event).
     /// Tests use tiny budgets to exercise the `budget_exhausted` path.
     pub event_budget: Option<u64>,
+    /// Protocol-conformance recorder (disabled unless
+    /// [`ConformanceSink::enable`]d before [`SimEngine::drive`]): protocols
+    /// report structured [`ProtocolEvent`]s through it, and the resulting
+    /// [`crate::conformance::ProtocolTrace`] lands in
+    /// [`TrainingReport::conformance`].
+    pub conformance: ConformanceSink,
     init_params: ParamBlock,
     aborted: bool,
 }
@@ -241,9 +248,21 @@ impl<'a, E> SimEngine<'a, E> {
             workers,
             pool: BufferPool::new(),
             event_budget: None,
+            conformance: ConformanceSink::disabled(),
             init_params,
             aborted: false,
         }
+    }
+
+    /// Enables conformance recording when `enabled` — the one place every
+    /// protocol `run` routes its `conformance` flag through, so a new
+    /// plug-in cannot ship with recording silently dead.
+    #[must_use]
+    pub fn with_conformance(mut self, enabled: bool) -> Self {
+        if enabled {
+            self.conformance.enable();
+        }
+        self
     }
 
     /// The shared initial parameter vector (for protocols keeping a global
@@ -319,6 +338,16 @@ impl<'a, E> SimEngine<'a, E> {
         self.pool.release(avg);
     }
 
+    /// The iteration-entry hook every protocol routes through: records
+    /// the timing trace entry *and* the conformance
+    /// [`ProtocolEvent::Advance`] in one place, so the two views of
+    /// "worker `w` entered iteration `iter`" can never diverge.
+    pub fn record_enter(&mut self, w: usize, iter: u64, now: f64) {
+        self.trace.record(w, iter, now);
+        self.conformance
+            .record(|| ProtocolEvent::Advance { worker: w, iter });
+    }
+
     /// Marks worker `w` finished; the pump stops once every worker is.
     pub fn finish_worker(&mut self, w: usize) {
         self.workers[w].finished = true;
@@ -333,7 +362,7 @@ impl<'a, E> SimEngine<'a, E> {
     /// terminal event covers many workers use this instead.
     pub fn finish_worker_at(&mut self, w: usize, iter: u64, now: f64) {
         self.workers[w].iter = iter;
-        self.trace.record(w, iter, now);
+        self.record_enter(w, iter, now);
         self.finish_worker(w);
     }
 
@@ -384,6 +413,7 @@ impl<'a, E> SimEngine<'a, E> {
         let deadlocked = self.aborted || !self.all_finished();
         proto.on_finish(&mut self);
         TrainingReport {
+            conformance: self.conformance.take(),
             final_params: proto.final_params(&self),
             stale_discarded: proto.stale_discarded(&self),
             bytes_sent: proto.bytes_sent(&self),
@@ -419,7 +449,7 @@ mod tests {
 
         fn start(&mut self, eng: &mut SimEngine<'_, Step>) {
             for w in 0..eng.workers.len() {
-                eng.trace.record(w, 0, 0.0);
+                eng.record_enter(w, 0, 0.0);
                 let at = eng.compute_duration(w, 0);
                 eng.events.push(at, Step { w });
             }
@@ -435,7 +465,7 @@ mod tests {
             eng.pool.release(grad);
             wc.iter += 1;
             let k = wc.iter;
-            eng.trace.record(w, k, now);
+            eng.record_enter(w, k, now);
             if k >= eng.max_iters {
                 eng.finish_worker(w);
             } else {

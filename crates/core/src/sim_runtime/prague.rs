@@ -48,6 +48,7 @@ pub fn run(
     max_iters: u64,
     seed: u64,
     eval: EvalConfig,
+    conformance: bool,
 ) -> TrainingReport {
     cfg.validate().expect("config validated by caller");
     let n = cluster.len();
@@ -61,7 +62,8 @@ pub fn run(
         max_iters,
         seed,
         eval,
-    );
+    )
+    .with_conformance(conformance);
     let mut proto = Prague {
         cfg: *cfg,
         rounds: HashMap::new(),
@@ -124,7 +126,7 @@ impl Prague {
     fn advance(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, round: u64, now: f64) {
         let new_iter = round + 1;
         eng.workers[w].iter = new_iter;
-        eng.trace.record(w, new_iter, now);
+        eng.record_enter(w, new_iter, now);
         if eng.recorder.crossed_boundary(new_iter) {
             eng.evaluate_worker_average(now, new_iter);
         }
@@ -153,7 +155,7 @@ impl WorkerProtocol for Prague {
 
     fn start(&mut self, eng: &mut SimEngine<'_, Ev>) {
         for w in 0..eng.workers.len() {
-            eng.trace.record(w, 0, 0.0);
+            eng.record_enter(w, 0, 0.0);
             let dur = eng.compute_duration(w, 0);
             eng.events.push(dur, Ev::ComputeDone { w, iter: 0 });
         }
@@ -264,6 +266,7 @@ mod tests {
                 every: 10,
                 examples: 64,
             },
+            false,
         )
     }
 

@@ -36,6 +36,7 @@ pub fn run(
     max_iters: u64,
     seed: u64,
     eval: EvalConfig,
+    conformance: bool,
 ) -> TrainingReport {
     let n = cluster.len();
     let mut spec = cluster.clone();
@@ -47,6 +48,7 @@ pub fn run(
             SimEngine::new(
                 spec, n, slowdown, model, dataset, hyper, max_iters, seed, eval,
             )
+            .with_conformance(conformance)
         };
     }
     match cfg.mode {
@@ -126,7 +128,7 @@ impl WorkerProtocol for BspServer {
             .collect();
         for (w, &a) in arrivals.iter().enumerate() {
             eng.workers[w].iter = k;
-            eng.trace.record(w, k, a);
+            eng.record_enter(w, k, a);
         }
         // Compute + push gradients; server ingress serializes the pushes.
         self.mean_grad.fill(0.0);
@@ -218,7 +220,7 @@ impl WorkerProtocol for AsyncServer {
         match ev {
             AsyncEv::ParamsArrive { w, params: snap } => {
                 let k = eng.workers[w].iter;
-                eng.trace.record(w, k, now);
+                eng.record_enter(w, k, now);
                 let compute_done = now + eng.compute_duration(w, k);
                 let mut grad = eng.pool.acquire(snap.len());
                 // The gradient is taken on the pulled (possibly stale)
@@ -332,6 +334,7 @@ mod tests {
                 every: 10,
                 examples: 64,
             },
+            false,
         )
     }
 

@@ -60,6 +60,7 @@ pub fn run(
     max_iters: u64,
     seed: u64,
     eval: EvalConfig,
+    conformance: bool,
 ) -> TrainingReport {
     cfg.validate().expect("config validated by caller");
     assert!(
@@ -81,7 +82,8 @@ pub fn run(
         max_iters,
         seed,
         eval,
-    );
+    )
+    .with_conformance(conformance);
     let dim = engine.init_params().len();
     let workers = (0..topology.len())
         .map(|_| WorkerSt {
@@ -129,7 +131,7 @@ struct Qgm<'a> {
 impl Qgm<'_> {
     fn enter_iteration(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
         eng.workers[w].iter = iter;
-        eng.trace.record(w, iter, now);
+        eng.record_enter(w, iter, now);
         if eng.recorder.crossed_boundary(iter) {
             eng.evaluate_worker_average(now, iter);
         }
@@ -266,6 +268,7 @@ mod tests {
                 every: 10,
                 examples: 64,
             },
+            false,
         )
     }
 

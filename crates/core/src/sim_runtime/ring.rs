@@ -32,6 +32,7 @@ pub fn run(
     max_iters: u64,
     seed: u64,
     eval: EvalConfig,
+    conformance: bool,
 ) -> TrainingReport {
     let n = cluster.len();
     assert!(n >= 2, "ring all-reduce needs at least 2 workers");
@@ -45,7 +46,8 @@ pub fn run(
         max_iters,
         seed,
         eval,
-    );
+    )
+    .with_conformance(conformance);
     let mut proto = RingAllReduce::new(&engine);
     engine.drive(&mut proto)
 }
@@ -112,7 +114,7 @@ impl WorkerProtocol for RingAllReduce {
         }
         for w in 0..n {
             eng.workers[w].iter = k;
-            eng.trace.record(w, k, now);
+            eng.record_enter(w, k, now);
         }
         let mut compute_max = 0.0f64;
         self.mean_grad.fill(0.0);
@@ -174,6 +176,7 @@ mod tests {
                 every: 10,
                 examples: 64,
             },
+            false,
         )
     }
 

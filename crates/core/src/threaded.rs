@@ -2,17 +2,27 @@
 //! threads with genuinely blocking queues.
 //!
 //! This runtime demonstrates that the protocol as specified — tagged
-//! update queues, token queues, backup workers, bounded staleness — runs
-//! correctly with true concurrency, complementing the deterministic
-//! simulator used for the timing figures. Workers are `std::thread`s;
-//! update queues are [`hop_queue::blocking::SharedTaggedQueue`]s and token
-//! queues are [`hop_queue::blocking::SharedTokenQueue`]s. All blocking
-//! calls carry a timeout so protocol bugs show up as errors, not hangs.
+//! update queues, token queues, backup workers, bounded staleness and
+//! skipping iterations — runs correctly with true concurrency,
+//! complementing the deterministic simulator used for the timing figures.
+//! Workers are `std::thread`s; update queues are
+//! [`hop_queue::blocking::SharedTaggedQueue`]s and token queues are
+//! [`hop_queue::blocking::SharedTokenQueue`]s. All blocking calls carry a
+//! timeout so protocol bugs show up as errors, not hangs.
 //!
-//! Skipping iterations is exercised only in the simulator; the threaded
-//! runtime covers standard / token / backup / staleness modes.
+//! # Conformance
+//!
+//! [`ThreadedExperiment::run_traced`] records the same structured
+//! [`ProtocolTrace`] the simulator emits, so both runtimes feed the same
+//! [`crate::conformance::Oracle`]. Each worker logs its events locally
+//! with a shared atomic sequence number; *grant* events (sends, token
+//! passes) take their number **before** the queue operation and *observe*
+//! events (consumes, token takes) **after** it, which makes the merged
+//! order consistent with real-time causality (see the
+//! [`crate::conformance`] module docs).
 
 use crate::config::{ComputeOrder, ConfigError, HopConfig, SyncMode};
+use crate::conformance::{ProtocolEvent, ProtocolTrace};
 use crate::semantics;
 use crate::trainer::Hyper;
 use hop_data::{BatchSampler, Dataset, InMemoryDataset};
@@ -22,6 +32,7 @@ use hop_queue::blocking::{SharedTaggedQueue, SharedTokenQueue};
 use hop_queue::tagged::{Tag, TagFilter};
 use hop_tensor::{BufferPool, ParamBlock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -30,17 +41,24 @@ use std::time::{Duration, Instant};
 pub struct ThreadedReport {
     /// Final parameters per worker.
     pub final_params: Vec<Vec<f32>>,
-    /// Per-worker minibatch losses by iteration.
+    /// Per-worker minibatch losses by iteration (skipped iterations have
+    /// no loss entry).
     pub losses: Vec<Vec<f32>>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
 
 impl ThreadedReport {
-    /// Elementwise average of the final parameters.
+    /// Elementwise average of the final parameters. Empty when the report
+    /// holds no workers (an empty worker set cannot come out of
+    /// [`ThreadedExperiment::run`] — configs validate against a non-empty
+    /// topology — but a hand-built report must not panic).
     pub fn averaged_params(&self) -> Vec<f32> {
         let views: Vec<&[f32]> = self.final_params.iter().map(Vec::as_slice).collect();
-        let mut out = vec![0.0f32; views[0].len()];
+        let Some(first) = views.first() else {
+            return Vec::new();
+        };
+        let mut out = vec![0.0f32; first.len()];
         hop_tensor::ops::mean_into(&views, &mut out);
         out
     }
@@ -51,7 +69,8 @@ impl ThreadedReport {
 pub enum ThreadedError {
     /// The configuration is invalid for the topology.
     Config(ConfigError),
-    /// A blocking queue operation timed out (protocol stall).
+    /// A blocking queue operation timed out (protocol stall), with enough
+    /// queue state to debug the failure from the error alone.
     Stalled {
         /// Worker that stalled.
         worker: usize,
@@ -59,9 +78,14 @@ pub enum ThreadedError {
         iter: u64,
         /// What it was waiting for.
         waiting_for: &'static str,
+        /// Entries sitting in the worker's update queue at stall time.
+        queue_depth: usize,
+        /// The first few pending tags in the queue (FIFO order,
+        /// truncated).
+        pending: Vec<Tag>,
+        /// Tag of the last update this worker consumed, if any.
+        last_consumed: Option<Tag>,
     },
-    /// Skipping iterations is only supported by the simulator runtime.
-    SkipUnsupported,
     /// The serial order / NOTIFY-ACK path is only exercised in the
     /// simulator runtime.
     SerialUnsupported,
@@ -75,12 +99,30 @@ impl std::fmt::Display for ThreadedError {
                 worker,
                 iter,
                 waiting_for,
-            } => write!(
-                f,
-                "worker {worker} stalled at iteration {iter} waiting for {waiting_for}"
-            ),
-            ThreadedError::SkipUnsupported => {
-                write!(f, "skipping iterations is simulator-only")
+                queue_depth,
+                pending,
+                last_consumed,
+            } => {
+                write!(
+                    f,
+                    "worker {worker} stalled at iteration {iter} waiting for {waiting_for} \
+                     (update-queue depth {queue_depth}, pending"
+                )?;
+                if pending.is_empty() {
+                    write!(f, " none")?;
+                } else {
+                    for tag in pending {
+                        write!(f, " (iter {}, w {})", tag.iter, tag.w_id)?;
+                    }
+                }
+                match last_consumed {
+                    Some(tag) => write!(
+                        f,
+                        ", last consumed iter {} from worker {})",
+                        tag.iter, tag.w_id
+                    ),
+                    None => write!(f, ", nothing consumed yet)"),
+                }
             }
             ThreadedError::SerialUnsupported => {
                 write!(f, "threaded runtime implements the parallel order only")
@@ -100,7 +142,8 @@ impl From<ConfigError> for ThreadedError {
 /// A threaded decentralized training run.
 #[derive(Debug, Clone)]
 pub struct ThreadedExperiment {
-    /// Protocol configuration (parallel order, queue-based sync).
+    /// Protocol configuration (parallel order, queue-based sync; skip mode
+    /// runs over the real blocking token queues).
     pub config: HopConfig,
     /// Communication graph.
     pub topology: Topology,
@@ -113,12 +156,41 @@ pub struct ThreadedExperiment {
     /// Artificial per-iteration sleep (simulating compute) — keep small in
     /// tests; `Duration::ZERO` disables.
     pub compute_sleep: Duration,
+    /// Makes one worker a deterministic straggler: `(worker, factor)`
+    /// multiplies its `compute_sleep`. The threaded analogue of the
+    /// simulator's `paper_straggler` model; what makes skip-mode jumps
+    /// actually fire on real threads.
+    pub slow_worker: Option<(usize, u32)>,
     /// Timeout for any single blocking operation before declaring a stall.
     pub stall_timeout: Duration,
 }
 
-/// Final `(params, train-loss curve)` of one worker thread.
-type WorkerOutcome = Result<(Vec<f32>, Vec<f32>), ThreadedError>;
+/// Per-worker conformance log: events tagged with a shared atomic
+/// sequence, merged and sorted after the join.
+struct ConfLog<'a> {
+    seq: &'a AtomicU64,
+    events: Vec<(u64, ProtocolEvent)>,
+}
+
+impl ConfLog<'_> {
+    #[inline]
+    fn record(&mut self, ev: ProtocolEvent) {
+        let s = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.events.push((s, ev));
+    }
+}
+
+/// Records lazily: `f` never runs on untraced runs.
+#[inline]
+fn log(conf: &mut Option<ConfLog<'_>>, f: impl FnOnce() -> ProtocolEvent) {
+    if let Some(c) = conf.as_mut() {
+        c.record(f());
+    }
+}
+
+/// Final `(params, train-loss curve, conformance events)` of one worker
+/// thread.
+type WorkerOutcome = Result<(Vec<f32>, Vec<f32>, Vec<(u64, ProtocolEvent)>), ThreadedError>;
 
 impl ThreadedExperiment {
     /// Runs the experiment with one OS thread per worker.
@@ -126,20 +198,39 @@ impl ThreadedExperiment {
     /// # Errors
     ///
     /// Returns [`ThreadedError::Config`] for invalid configurations,
-    /// [`ThreadedError::SkipUnsupported`] / [`SerialUnsupported`] for the
-    /// simulator-only features, and [`ThreadedError::Stalled`] if any
+    /// [`ThreadedError::SerialUnsupported`] for the simulator-only serial
+    /// order / NOTIFY-ACK path, and [`ThreadedError::Stalled`] if any
     /// blocking step exceeds `stall_timeout`.
-    ///
-    /// [`SerialUnsupported`]: ThreadedError::SerialUnsupported
     pub fn run(
         &self,
         model: Arc<dyn Model>,
         dataset: Arc<InMemoryDataset>,
     ) -> Result<ThreadedReport, ThreadedError> {
+        Ok(self.run_inner(model, dataset, false)?.0)
+    }
+
+    /// [`Self::run`] with conformance recording: also returns the merged
+    /// [`ProtocolTrace`], ready for [`crate::conformance::Oracle::check`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::run`]'s errors.
+    pub fn run_traced(
+        &self,
+        model: Arc<dyn Model>,
+        dataset: Arc<InMemoryDataset>,
+    ) -> Result<(ThreadedReport, ProtocolTrace), ThreadedError> {
+        let (report, trace) = self.run_inner(model, dataset, true)?;
+        Ok((report, trace.expect("tracing was enabled")))
+    }
+
+    fn run_inner(
+        &self,
+        model: Arc<dyn Model>,
+        dataset: Arc<InMemoryDataset>,
+        traced: bool,
+    ) -> Result<(ThreadedReport, Option<ProtocolTrace>), ThreadedError> {
         self.config.validate(&self.topology)?;
-        if self.config.skip.is_some() {
-            return Err(ThreadedError::SkipUnsupported);
-        }
         if self.config.order != ComputeOrder::Parallel || self.config.sync == SyncMode::NotifyAck {
             return Err(ThreadedError::SerialUnsupported);
         }
@@ -148,10 +239,9 @@ impl ThreadedExperiment {
         // a refcount bump on the sender's current block.
         let update_queues: Vec<SharedTaggedQueue<ParamBlock>> =
             (0..n).map(|_| SharedTaggedQueue::new()).collect();
-        // TokenQ(owner -> consumer) for every external edge owner->consumer
-        // in the *reverse* direction of updates: the consumer of tokens is
-        // the in-neighbor... precisely: worker i owns TokenQ(i -> j) for
-        // each in-coming neighbor j; j removes from it to advance.
+        // TokenQ(owner -> consumer) for every external edge: worker `i`
+        // owns TokenQ(i -> j) for each in-coming neighbor `j`; `j` removes
+        // from it to advance.
         let max_ig = self.config.max_ig();
         let mut token_queues: HashMap<(usize, usize), SharedTokenQueue> = HashMap::new();
         if let Some(ig) = max_ig {
@@ -162,6 +252,7 @@ impl ThreadedExperiment {
             }
         }
         let token_queues = Arc::new(token_queues);
+        let seq = AtomicU64::new(0);
         let mut init_rng = hop_util::Xoshiro256::seed_from_u64(self.seed);
         let init_params = ParamBlock::from_vec(model.init_params(&mut init_rng));
         let start = Instant::now();
@@ -178,8 +269,15 @@ impl ThreadedExperiment {
                 let hyper = self.hyper;
                 let max_iters = self.max_iters;
                 let seed = self.seed;
-                let sleep = self.compute_sleep;
+                let sleep = match self.slow_worker {
+                    Some((slow, factor)) if slow == w => self.compute_sleep * factor,
+                    _ => self.compute_sleep,
+                };
                 let timeout = self.stall_timeout;
+                let conf = traced.then(|| ConfLog {
+                    seq: &seq,
+                    events: Vec::new(),
+                });
                 handles.push(scope.spawn(move || {
                     worker_loop(
                         w,
@@ -195,6 +293,7 @@ impl ThreadedExperiment {
                         &init,
                         update_queues,
                         &token_queues,
+                        conf,
                     )
                 }));
             }
@@ -205,27 +304,41 @@ impl ThreadedExperiment {
         });
         let mut final_params = Vec::with_capacity(n);
         let mut losses = Vec::with_capacity(n);
+        let mut all_events = Vec::new();
         for r in results {
-            let (p, l) = r?;
+            let (p, l, ev) = r?;
             final_params.push(p);
             losses.push(l);
+            all_events.extend(ev);
         }
-        Ok(ThreadedReport {
-            final_params,
-            losses,
-            elapsed: start.elapsed(),
-        })
+        let trace = traced.then(|| {
+            all_events.sort_by_key(|&(s, _)| s);
+            let mut trace = ProtocolTrace::new();
+            for (_, ev) in all_events {
+                trace.push(ev);
+            }
+            trace
+        });
+        Ok((
+            ThreadedReport {
+                final_params,
+                losses,
+                elapsed: start.elapsed(),
+            },
+            trace,
+        ))
     }
 }
 
 /// Keeps only the newest update per sender: superseded or stale-on-arrival
 /// blocks are recycled into the worker's pool so the staleness path stays
-/// allocation-free in steady state.
+/// allocation-free in steady state. Returns whether the entry was
+/// admitted as the new newest.
 fn note_newest(
     newest_from: &mut HashMap<usize, (u64, ParamBlock)>,
     pool: &mut BufferPool,
     entry: hop_queue::tagged::TaggedEntry<ParamBlock>,
-) {
+) -> bool {
     let newer = newest_from
         .get(&entry.tag.w_id)
         .is_none_or(|&(have, _)| entry.tag.iter > have);
@@ -236,9 +349,110 @@ fn note_newest(
     } else {
         pool.reclaim(entry.value);
     }
+    newer
 }
 
-#[allow(clippy::too_many_arguments)]
+/// Shared per-worker loop state passed between the recv/renew helpers.
+struct WorkerCtx<'a> {
+    w: usize,
+    cfg: &'a HopConfig,
+    timeout: Duration,
+    pool: BufferPool,
+    newest_from: HashMap<usize, (u64, ParamBlock)>,
+    last_consumed: Option<Tag>,
+}
+
+impl WorkerCtx<'_> {
+    /// Builds the enriched stall error from the worker's live queue state.
+    fn stall(
+        &self,
+        iter: u64,
+        waiting_for: &'static str,
+        queue: &SharedTaggedQueue<ParamBlock>,
+    ) -> ThreadedError {
+        let mut pending = queue.tags();
+        pending.truncate(8);
+        ThreadedError::Stalled {
+            worker: self.w,
+            iter,
+            waiting_for,
+            queue_depth: queue.len(),
+            pending,
+            last_consumed: self.last_consumed,
+        }
+    }
+
+    /// Folds one queue arrival into `newest_from`, logging the
+    /// admit/reject event.
+    fn admit_entry(
+        &mut self,
+        entry: hop_queue::tagged::TaggedEntry<ParamBlock>,
+        at_iter: u64,
+        conf: &mut Option<ConfLog<'_>>,
+    ) {
+        let w = self.w;
+        let tag = entry.tag;
+        let admitted = note_newest(&mut self.newest_from, &mut self.pool, entry);
+        log(conf, || {
+            if admitted {
+                ProtocolEvent::StaleAdmit {
+                    worker: w,
+                    from: tag.w_id,
+                    iter: tag.iter,
+                    at_iter,
+                }
+            } else {
+                ProtocolEvent::StaleReject {
+                    worker: w,
+                    from: tag.w_id,
+                    iter: tag.iter,
+                    at_iter,
+                }
+            }
+        });
+    }
+
+    /// Drains every queued arrival into `newest_from`, logging
+    /// admit/reject events.
+    fn drain_arrivals(
+        &mut self,
+        queue: &SharedTaggedQueue<ParamBlock>,
+        at_iter: u64,
+        conf: &mut Option<ConfLog<'_>>,
+    ) {
+        for entry in queue.dequeue_up_to(usize::MAX, TagFilter::any()) {
+            self.admit_entry(entry, at_iter, conf);
+        }
+    }
+
+    /// The staleness-mode `Consume` events + snapshot collection for the
+    /// newest updates of `neighbors`.
+    fn collect_newest(
+        &mut self,
+        neighbors: &[usize],
+        at_iter: u64,
+        conf: &mut Option<ConfLog<'_>>,
+    ) -> Vec<(u64, ParamBlock)> {
+        let w = self.w;
+        neighbors
+            .iter()
+            .map(|j| {
+                let (iter, p) = &self.newest_from[j];
+                let (iter, snap) = (*iter, p.snapshot());
+                self.last_consumed = Some(Tag { iter, w_id: *j });
+                log(conf, || ProtocolEvent::Consume {
+                    worker: w,
+                    from: *j,
+                    iter,
+                    at_iter,
+                });
+                (iter, snap)
+            })
+            .collect()
+    }
+}
+
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
 fn worker_loop(
     w: usize,
     cfg: HopConfig,
@@ -253,6 +467,7 @@ fn worker_loop(
     init_params: &ParamBlock,
     update_queues: &[SharedTaggedQueue<ParamBlock>],
     token_queues: &HashMap<(usize, usize), SharedTokenQueue>,
+    mut conf: Option<ConfLog<'_>>,
 ) -> WorkerOutcome {
     // All workers start on one shared allocation; the first write
     // detaches copy-on-write.
@@ -262,72 +477,88 @@ fn worker_loop(
     let mut grad = vec![0.0f32; params.len()];
     let mut delta = vec![0.0f32; params.len()];
     let mut scratch = GradScratch::new();
-    let mut pool = BufferPool::new();
     let mut losses = Vec::with_capacity(max_iters as usize);
-    let mut newest_from: HashMap<usize, (u64, ParamBlock)> = HashMap::new();
     let in_deg = topo.in_degree(w);
+    let in_neighbors = topo.in_neighbors(w);
     let externals_in = topo.external_in_neighbors(w);
     let externals_out = topo.external_out_neighbors(w);
     let max_ig = cfg.max_ig();
-    for k in 0..max_iters {
-        // Insert tokens at iteration entry (k = 0 tokens were pre-loaded).
-        if let (Some(_), true) = (max_ig, k > 0) {
+    let mut ctx = WorkerCtx {
+        w,
+        cfg: &cfg,
+        timeout,
+        pool: BufferPool::new(),
+        newest_from: HashMap::new(),
+        last_consumed: None,
+    };
+    let mut k: u64 = 0;
+    // Tokens granted to in-neighbors at the next iteration entry: the
+    // k = 0 allotment is pre-loaded in the queues, a normal advance grants
+    // 1, and a jump grants its whole distance immediately (so neighbors
+    // are never starved during the renew) and zeroes this.
+    let mut entry_tokens: u64 = 0;
+    while k < max_iters {
+        log(&mut conf, || ProtocolEvent::Advance { worker: w, iter: k });
+        if max_ig.is_some() && entry_tokens > 0 {
             for j in &externals_in {
-                token_queues[&(w, *j)].insert(1);
+                log(&mut conf, || ProtocolEvent::TokenPass {
+                    owner: w,
+                    consumer: *j,
+                    count: entry_tokens,
+                });
+                token_queues[&(w, *j)].insert(entry_tokens);
             }
         }
         // Send (parallel order): own queue and all out-neighbors. Each
         // enqueue shares the current block — zero parameter bytes copied.
+        log(&mut conf, || ProtocolEvent::Send {
+            from: w,
+            to: w,
+            iter: k,
+        });
         update_queues[w].enqueue(params.snapshot(), Tag { iter: k, w_id: w });
         for &o in &externals_out {
+            log(&mut conf, || ProtocolEvent::Send {
+                from: w,
+                to: o,
+                iter: k,
+            });
             update_queues[o].enqueue(params.snapshot(), Tag { iter: k, w_id: w });
         }
         // Compute.
+        log(&mut conf, || ProtocolEvent::ComputeBegin {
+            worker: w,
+            iter: k,
+        });
         if !compute_sleep.is_zero() {
             std::thread::sleep(compute_sleep);
         }
         let batch = sampler.next_batch(dataset);
         let loss = model.loss_grad_with(params.as_slice(), &batch, &mut grad, &mut scratch);
+        log(&mut conf, || ProtocolEvent::ComputeEnd {
+            worker: w,
+            iter: k,
+        });
         losses.push(loss);
         opt.delta(params.as_slice(), &grad, &mut delta);
         // Recv + Reduce.
         if let Some(s) = cfg.staleness {
-            loop {
-                for entry in update_queues[w].dequeue_up_to(usize::MAX, TagFilter::any()) {
-                    note_newest(&mut newest_from, &mut pool, entry);
-                }
-                let satisfied = topo.in_neighbors(w).iter().all(|j| {
-                    newest_from
-                        .get(j)
-                        .is_some_and(|&(iter, _)| semantics::staleness_satisfied(iter, k, s))
-                });
-                if satisfied {
-                    break;
-                }
-                // Wait for at least one new arrival, then re-scan.
-                match update_queues[w].dequeue(1, TagFilter::any(), timeout) {
-                    Ok(entries) => {
-                        for entry in entries {
-                            note_newest(&mut newest_from, &mut pool, entry);
-                        }
-                    }
-                    Err(_) => {
-                        return Err(ThreadedError::Stalled {
-                            worker: w,
-                            iter: k,
-                            waiting_for: "a satisfactory update",
-                        })
-                    }
-                }
-            }
-            let collected: Vec<(u64, ParamBlock)> = topo
-                .in_neighbors(w)
-                .iter()
-                .map(|j| {
-                    let (iter, p) = &newest_from[j];
-                    (*iter, p.snapshot())
-                })
-                .collect();
+            stale_recv(
+                &mut ctx,
+                &update_queues[w],
+                in_neighbors,
+                k,
+                s,
+                "a satisfactory update",
+                &mut conf,
+            )?;
+            let collected = ctx.collect_newest(in_neighbors, k, &mut conf);
+            log(&mut conf, || ProtocolEvent::Reduce {
+                worker: w,
+                iter: k,
+                n_updates: collected.len(),
+                renew: false,
+            });
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
@@ -338,53 +569,278 @@ fn worker_loop(
                 &views,
                 k,
                 s,
-                params.overwrite_mut(&mut pool),
+                params.overwrite_mut(&mut ctx.pool),
             );
         } else {
             let quota = semantics::backup_quota(in_deg, cfg.n_backup);
             let mut entries = update_queues[w]
                 .dequeue(quota, TagFilter::iter(k), timeout)
-                .map_err(|_| ThreadedError::Stalled {
-                    worker: w,
-                    iter: k,
-                    waiting_for: "updates",
-                })?;
+                .map_err(|_| ctx.stall(k, "updates", &update_queues[w]))?;
             // Fig. 8 line 5: grab extras that happen to be here already.
             entries.extend(update_queues[w].dequeue_up_to(in_deg - quota, TagFilter::iter(k)));
+            for entry in &entries {
+                let tag = entry.tag;
+                ctx.last_consumed = Some(tag);
+                log(&mut conf, || ProtocolEvent::Consume {
+                    worker: w,
+                    from: tag.w_id,
+                    iter: tag.iter,
+                    at_iter: k,
+                });
+            }
+            log(&mut conf, || ProtocolEvent::Reduce {
+                worker: w,
+                iter: k,
+                n_updates: entries.len(),
+                renew: false,
+            });
             let views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
-            semantics::reduce_mean(&views, params.overwrite_mut(&mut pool));
+            semantics::reduce_mean(&views, params.overwrite_mut(&mut ctx.pool));
             drop(views);
             for entry in entries {
-                pool.reclaim(entry.value);
+                ctx.pool.reclaim(entry.value);
             }
         }
         semantics::apply_parallel(params.make_mut(), &delta);
-        // Advance: one token from every out-going neighbor's queue.
-        if max_ig.is_some() {
-            for &o in &externals_out {
-                token_queues[&(o, w)]
-                    .remove(1, timeout)
-                    .map_err(|_| ThreadedError::Stalled {
+        // Advance: the §5 skip decision over the real token queues, else
+        // one token from every out-going neighbor's queue.
+        let mut next = k + 1;
+        entry_tokens = 1;
+        if let (Some(ig), false) = (max_ig, externals_out.is_empty()) {
+            let mut jumped = false;
+            if let Some(skip) = &cfg.skip {
+                let counts: Vec<u64> = externals_out
+                    .iter()
+                    .map(|o| token_queues[&(*o, w)].available())
+                    .collect();
+                // Never jump past the end of training: finished neighbors
+                // flood their token queues (see below), which would
+                // otherwise inflate the jump distance.
+                let jump = semantics::jump_decision(&counts, ig, skip)
+                    .map(|j| j.min(max_iters - k))
+                    .filter(|&j| j >= 2);
+                if let Some(jump) = jump {
+                    log(&mut conf, || ProtocolEvent::Jump {
                         worker: w,
-                        iter: k,
-                        waiting_for: "tokens",
-                    })?;
+                        from_iter: k,
+                        target: k + jump,
+                        token_counts: counts.clone(),
+                    });
+                    for &o in &externals_out {
+                        // Only this worker removes from TokenQ(o -> w), so
+                        // the observed count cannot shrink under us.
+                        assert!(
+                            token_queues[&(o, w)].try_remove(jump),
+                            "observed tokens vanished from TokenQ({o} -> {w})"
+                        );
+                        log(&mut conf, || ProtocolEvent::TokenTake {
+                            owner: o,
+                            consumer: w,
+                            count: jump,
+                        });
+                    }
+                    // Grant the same number to in-neighbors right away so
+                    // they are never starved while we renew parameters.
+                    for j in &externals_in {
+                        log(&mut conf, || ProtocolEvent::TokenPass {
+                            owner: w,
+                            consumer: *j,
+                            count: jump,
+                        });
+                        token_queues[&(w, *j)].insert(jump);
+                    }
+                    entry_tokens = 0;
+                    next = k + jump;
+                    jump_renew(
+                        &mut ctx,
+                        &update_queues[w],
+                        &externals_in,
+                        &mut params,
+                        &mut opt,
+                        k,
+                        next,
+                        &mut conf,
+                    )?;
+                    jumped = true;
+                }
+            }
+            if !jumped {
+                for &o in &externals_out {
+                    token_queues[&(o, w)]
+                        .remove(1, timeout)
+                        .map_err(|_| ctx.stall(k, "tokens", &update_queues[w]))?;
+                    log(&mut conf, || ProtocolEvent::TokenTake {
+                        owner: o,
+                        consumer: w,
+                        count: 1,
+                    });
+                }
             }
         }
+        k = next;
     }
+    log(&mut conf, || ProtocolEvent::Advance {
+        worker: w,
+        iter: max_iters,
+    });
     // Final courtesy: release tokens so lagging neighbors can finish their
     // last iterations without waiting on a finished worker.
     if max_ig.is_some() {
         for j in &externals_in {
+            log(&mut conf, || ProtocolEvent::TokenPass {
+                owner: w,
+                consumer: *j,
+                count: max_iters,
+            });
             token_queues[&(w, *j)].insert(max_iters);
         }
     }
-    Ok((params.to_vec(), losses))
+    Ok((
+        params.to_vec(),
+        losses,
+        conf.map(|c| c.events).unwrap_or_default(),
+    ))
+}
+
+/// The staleness-mode Recv: block until every listed neighbor's newest
+/// update satisfies the window at `k` (the Recv's iteration, or
+/// `target - 1` for a jump renew — `waiting_for` labels the stall).
+fn stale_recv(
+    ctx: &mut WorkerCtx<'_>,
+    queue: &SharedTaggedQueue<ParamBlock>,
+    neighbors: &[usize],
+    k: u64,
+    s: u64,
+    waiting_for: &'static str,
+    conf: &mut Option<ConfLog<'_>>,
+) -> Result<(), ThreadedError> {
+    loop {
+        ctx.drain_arrivals(queue, k, conf);
+        let satisfied = neighbors.iter().all(|j| {
+            ctx.newest_from
+                .get(j)
+                .is_some_and(|&(iter, _)| semantics::staleness_satisfied(iter, k, s))
+        });
+        if satisfied {
+            return Ok(());
+        }
+        // Wait for at least one new arrival, then re-scan.
+        match queue.dequeue(1, TagFilter::any(), ctx.timeout) {
+            Ok(entries) => {
+                for entry in entries {
+                    ctx.admit_entry(entry, k, conf);
+                }
+            }
+            Err(_) => return Err(ctx.stall(k, waiting_for, queue)),
+        }
+    }
+}
+
+/// The §5 pre-jump renewal: `Recv(target - 1)` + Reduce so the
+/// straggler's future updates are not hopelessly stale, then reset the
+/// momentum (its history refers to an abandoned trajectory) and discard
+/// queued updates for the skipped iterations.
+#[allow(clippy::too_many_arguments)]
+fn jump_renew(
+    ctx: &mut WorkerCtx<'_>,
+    queue: &SharedTaggedQueue<ParamBlock>,
+    externals_in: &[usize],
+    params: &mut ParamBlock,
+    opt: &mut Sgd,
+    k: u64,
+    target: u64,
+    conf: &mut Option<ConfLog<'_>>,
+) -> Result<(), ThreadedError> {
+    let w = ctx.w;
+    let renew_iter = target - 1;
+    if let Some(s) = ctx.cfg.staleness {
+        stale_recv(
+            ctx,
+            queue,
+            externals_in,
+            renew_iter,
+            s,
+            "jump-renew updates",
+            conf,
+        )?;
+        let mut collected = ctx.collect_newest(externals_in, renew_iter, conf);
+        // Own (stale) parameters participate with clamped weight; the
+        // snapshot keeps them readable while the replica is rewritten.
+        collected.push((k, params.snapshot()));
+        log(conf, || ProtocolEvent::Reduce {
+            worker: w,
+            iter: renew_iter,
+            n_updates: collected.len(),
+            renew: true,
+        });
+        let views: Vec<(u64, &[f32])> = collected
+            .iter()
+            .map(|(iter, p)| (*iter, p.as_slice()))
+            .collect();
+        semantics::reduce_staleness_with(
+            ctx.cfg.staleness_weighting,
+            &views,
+            renew_iter,
+            s,
+            params.overwrite_mut(&mut ctx.pool),
+        );
+    } else {
+        // Backup mode: collect the quota of iteration `target - 1` updates
+        // from external in-neighbors (self never sent one).
+        let ext = externals_in.len();
+        let quota = semantics::backup_quota(ext + 1, ctx.cfg.n_backup)
+            .saturating_sub(1)
+            .max(1);
+        let mut entries = queue
+            .dequeue(quota, TagFilter::iter(renew_iter), ctx.timeout)
+            .map_err(|_| ctx.stall(k, "jump-renew updates", queue))?;
+        entries.extend(queue.dequeue_up_to(ext - quota, TagFilter::iter(renew_iter)));
+        for entry in &entries {
+            let tag = entry.tag;
+            ctx.last_consumed = Some(tag);
+            log(conf, || ProtocolEvent::Consume {
+                worker: w,
+                from: tag.w_id,
+                iter: tag.iter,
+                at_iter: renew_iter,
+            });
+        }
+        log(conf, || ProtocolEvent::Reduce {
+            worker: w,
+            iter: renew_iter,
+            n_updates: entries.len() + 1,
+            renew: true,
+        });
+        let own = params.snapshot();
+        let mut views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
+        views.push(own.as_slice());
+        semantics::reduce_mean(&views, params.overwrite_mut(&mut ctx.pool));
+        drop(views);
+        ctx.pool.reclaim(own);
+        for entry in entries {
+            ctx.pool.reclaim(entry.value);
+        }
+        // Updates for the skipped iterations will never be consumed;
+        // recycle them (conformance records the drops).
+        for entry in queue.drain_older_than(target) {
+            let tag = entry.tag;
+            log(conf, || ProtocolEvent::Drop {
+                worker: w,
+                from: tag.w_id,
+                iter: tag.iter,
+            });
+            ctx.pool.reclaim(entry.value);
+        }
+    }
+    // Momentum history refers to a trajectory this worker abandoned.
+    opt.reset_velocity();
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SkipConfig;
     use hop_data::webspam::SyntheticWebspam;
     use hop_model::svm::Svm;
 
@@ -396,6 +852,7 @@ mod tests {
             seed: 9,
             hyper: Hyper::svm(),
             compute_sleep: Duration::ZERO,
+            slow_worker: None,
             stall_timeout: Duration::from_secs(20),
         }
     }
@@ -438,14 +895,40 @@ mod tests {
     }
 
     #[test]
-    fn skip_is_rejected() {
-        let dataset = Arc::new(SyntheticWebspam::generate(64, 3));
+    fn skip_jumps_on_real_threads() {
+        // A 20x straggler under backup + skip: the straggler must jump
+        // (fewer loss entries than max_iters) and every worker finishes.
+        // Jumping depends on real thread timing, so allow a few attempts
+        // on a loaded machine before declaring skip mode broken.
+        let dataset = Arc::new(SyntheticWebspam::generate(256, 3));
         let model = Arc::new(Svm::log_loss(hop_data::Dataset::feature_dim(
             dataset.as_ref(),
         )));
-        let cfg = HopConfig::backup(1, 4).with_skip(crate::config::SkipConfig::with_max_jump(4));
-        let err = experiment(cfg).run(model, dataset).unwrap_err();
-        assert!(matches!(err, ThreadedError::SkipUnsupported));
+        let mut exp = experiment(HopConfig::backup(1, 4).with_skip(SkipConfig {
+            max_jump: 6,
+            trigger_behind: 2,
+        }));
+        exp.compute_sleep = Duration::from_micros(500);
+        exp.slow_worker = Some((0, 20));
+        exp.max_iters = 40;
+        let mut straggler_iters = usize::MAX;
+        for _ in 0..3 {
+            let report = exp
+                .run(Arc::clone(&model) as Arc<dyn Model>, Arc::clone(&dataset))
+                .expect("skip-mode run succeeds");
+            assert_eq!(report.final_params.len(), 4);
+            for w in 1..4 {
+                assert_eq!(report.losses[w].len(), 40, "worker {w}");
+            }
+            straggler_iters = straggler_iters.min(report.losses[0].len());
+            if straggler_iters < 40 {
+                break;
+            }
+        }
+        assert!(
+            straggler_iters < 40,
+            "straggler computed all {straggler_iters} iterations despite skipping"
+        );
     }
 
     #[test]
@@ -458,5 +941,33 @@ mod tests {
             .run(model, dataset)
             .unwrap_err();
         assert!(matches!(err, ThreadedError::SerialUnsupported));
+    }
+
+    #[test]
+    fn averaged_params_of_empty_report_is_empty() {
+        // Regression: this used to index `views[0]` and panic.
+        let report = ThreadedReport {
+            final_params: Vec::new(),
+            losses: Vec::new(),
+            elapsed: Duration::ZERO,
+        };
+        assert!(report.averaged_params().is_empty());
+    }
+
+    #[test]
+    fn stalled_error_is_debuggable() {
+        let e = ThreadedError::Stalled {
+            worker: 2,
+            iter: 7,
+            waiting_for: "updates",
+            queue_depth: 3,
+            pending: vec![Tag { iter: 6, w_id: 1 }],
+            last_consumed: Some(Tag { iter: 6, w_id: 3 }),
+        };
+        let s = format!("{e}");
+        assert!(s.contains("worker 2"), "{s}");
+        assert!(s.contains("depth 3"), "{s}");
+        assert!(s.contains("(iter 6, w 1)"), "{s}");
+        assert!(s.contains("last consumed iter 6 from worker 3"), "{s}");
     }
 }

@@ -150,6 +150,36 @@ impl SimExperiment {
         model: &dyn Model,
         dataset: &InMemoryDataset,
     ) -> Result<TrainingReport, ConfigError> {
+        self.run_with(model, dataset, false)
+    }
+
+    /// [`Self::run`] with conformance recording enabled: the returned
+    /// report carries the structured protocol-event trace in
+    /// [`TrainingReport::conformance`], ready for
+    /// [`crate::conformance::Oracle::check`]. Recording changes nothing
+    /// about the run itself — same seed, same digest.
+    ///
+    /// The Hop family emits the full event vocabulary (sends, consumes,
+    /// tokens, staleness admissions, jumps); the baseline protocols emit
+    /// iteration entries through the same engine hook.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`Self::validate`]'s errors.
+    pub fn run_conformance(
+        &self,
+        model: &dyn Model,
+        dataset: &InMemoryDataset,
+    ) -> Result<TrainingReport, ConfigError> {
+        self.run_with(model, dataset, true)
+    }
+
+    fn run_with(
+        &self,
+        model: &dyn Model,
+        dataset: &InMemoryDataset,
+        conformance: bool,
+    ) -> Result<TrainingReport, ConfigError> {
         self.validate()?;
         let eval = EvalConfig {
             every: self.eval_every,
@@ -167,6 +197,7 @@ impl SimExperiment {
                 self.max_iters,
                 self.seed,
                 eval,
+                conformance,
             )),
             Protocol::Ps(cfg) => Ok(ps::run(
                 cfg,
@@ -178,6 +209,7 @@ impl SimExperiment {
                 self.max_iters,
                 self.seed,
                 eval,
+                conformance,
             )),
             Protocol::RingAllReduce => Ok(ring::run(
                 &self.cluster,
@@ -188,6 +220,7 @@ impl SimExperiment {
                 self.max_iters,
                 self.seed,
                 eval,
+                conformance,
             )),
             Protocol::AdPsgd(cfg) => Ok(adpsgd::run(
                 cfg,
@@ -200,6 +233,7 @@ impl SimExperiment {
                 self.max_iters,
                 self.seed,
                 eval,
+                conformance,
             )),
             Protocol::Prague(cfg) => Ok(prague::run(
                 cfg,
@@ -211,6 +245,7 @@ impl SimExperiment {
                 self.max_iters,
                 self.seed,
                 eval,
+                conformance,
             )),
             Protocol::Qgm(cfg) => Ok(qgm::run(
                 cfg,
@@ -223,6 +258,7 @@ impl SimExperiment {
                 self.max_iters,
                 self.seed,
                 eval,
+                conformance,
             )),
         }
     }

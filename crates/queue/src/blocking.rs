@@ -136,6 +136,20 @@ impl<T> SharedTaggedQueue<T> {
         let (lock, _) = &*self.inner;
         lock.lock().discard_older_than(min_iter)
     }
+
+    /// Removes and returns all entries older than `min_iter` (see
+    /// [`TaggedQueue::drain_older_than`]).
+    pub fn drain_older_than(&self, min_iter: u64) -> Vec<TaggedEntry<T>> {
+        let (lock, _) = &*self.inner;
+        lock.lock().drain_older_than(min_iter)
+    }
+
+    /// Snapshot of the tags currently queued, in FIFO order — stall
+    /// diagnostics for the threaded runtime.
+    pub fn tags(&self) -> Vec<Tag> {
+        let (lock, _) = &*self.inner;
+        lock.lock().iter().map(|e| e.tag).collect()
+    }
 }
 
 /// A shareable blocking token queue (§4.2) for the threaded runtime.

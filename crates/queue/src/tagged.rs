@@ -218,6 +218,24 @@ impl<T> TaggedQueue<T> {
         before - self.entries.len()
     }
 
+    /// Removes and returns all entries with `tag.iter < min_iter` — the
+    /// attributable variant of [`Self::discard_older_than`], used when the
+    /// caller needs the dropped tags (conformance `Drop` events) or the
+    /// payloads (buffer recycling).
+    pub fn drain_older_than(&mut self, min_iter: u64) -> Vec<TaggedEntry<T>> {
+        let mut taken = Vec::new();
+        let mut kept = VecDeque::with_capacity(self.entries.len());
+        while let Some(entry) = self.entries.pop_front() {
+            if entry.tag.iter < min_iter {
+                taken.push(entry);
+            } else {
+                kept.push_back(entry);
+            }
+        }
+        self.entries = kept;
+        taken
+    }
+
     /// Iterates over entries in FIFO order without removing them.
     pub fn iter(&self) -> impl Iterator<Item = &TaggedEntry<T>> {
         self.entries.iter()

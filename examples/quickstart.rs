@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 7,
         hyper: Hyper::svm(),
         compute_sleep: Duration::from_micros(200),
+        slow_worker: None,
         stall_timeout: Duration::from_secs(30),
     };
     println!("running 4 worker threads on a ring, 100 iterations each...");

@@ -1,6 +1,9 @@
 //! Property-based tests of the iteration-gap theory (Theorems 1 and 2,
-//! Table 1) on randomized topologies, slowdowns and protocol settings.
+//! Table 1) on randomized topologies, slowdowns and protocol settings —
+//! for the Hop family and for the Prague / QGM runtime families, so every
+//! protocol sits under the same property net.
 
+use hop::core::config::{PragueConfig, QgmConfig};
 use hop::core::{HopConfig, Hyper, Protocol, SimExperiment};
 use hop::data::webspam::SyntheticWebspam;
 use hop::data::Dataset;
@@ -11,9 +14,9 @@ use hop::sim::{ClusterSpec, LinkModel, SlowdownModel};
 use hop::util::Xoshiro256;
 use proptest::prelude::*;
 
-fn run_experiment(
+fn run_protocol(
     topo: &Topology,
-    cfg: HopConfig,
+    protocol: Protocol,
     slowdown: SlowdownModel,
     seed: u64,
 ) -> hop::core::TrainingReport {
@@ -23,7 +26,7 @@ fn run_experiment(
         topology: topo.clone(),
         cluster: ClusterSpec::uniform(topo.len(), 2, 0.01, LinkModel::ethernet_1gbps()),
         slowdown,
-        protocol: Protocol::Hop(cfg),
+        protocol,
         hyper: Hyper::svm(),
         max_iters: 40,
         seed,
@@ -32,6 +35,15 @@ fn run_experiment(
     }
     .run(&model, &dataset)
     .expect("valid config")
+}
+
+fn run_experiment(
+    topo: &Topology,
+    cfg: HopConfig,
+    slowdown: SlowdownModel,
+    seed: u64,
+) -> hop::core::TrainingReport {
+    run_protocol(topo, Protocol::Hop(cfg), slowdown, seed)
 }
 
 proptest! {
@@ -125,6 +137,83 @@ proptest! {
                     s + 1
                 );
             }
+        }
+    }
+
+    /// QGM is synchronous gossip over the topology: a worker only enters
+    /// iteration `k + 1` after every in-neighbor's iteration-`k`
+    /// half-step, so the Theorem 1 bound applies verbatim — whatever the
+    /// (strongly connected) topology and slowdown pattern.
+    #[test]
+    fn qgm_gap_respects_theorem_1(seed in 0u64..200, n in 3usize..8, extra in 0usize..5) {
+        let mut rng = Xoshiro256::seed_from_u64(seed ^ 0xA5A5);
+        let topo = Topology::random_connected(n, extra, &mut rng);
+        let report = run_protocol(
+            &topo,
+            Protocol::Qgm(QgmConfig::default()),
+            SlowdownModel::paper_random(n),
+            seed,
+        );
+        prop_assert!(!report.deadlocked);
+        let sp = ShortestPaths::new(&topo);
+        let gaps = report.trace.max_pairwise_gap();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    prop_assert!(
+                        bounds::standard(sp.dist(j, i)).admits(gaps[i][j]),
+                        "QGM gap({i},{j}) = {} exceeds Theorem 1 on {topo}",
+                        gaps[i][j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Prague's group-barrier invariant: a worker enters round `r + 1`
+    /// only after every member of its round-`r` group (the deterministic
+    /// `(seed, epoch)` partition) has entered round `r`. Checked by
+    /// replaying the timing trace against the recomputed partitions.
+    #[test]
+    fn prague_group_barrier_holds(
+        seed in 0u64..200,
+        group_size in 1usize..5,
+        regen_every in 1u64..3,
+    ) {
+        let n = 6;
+        let topo = Topology::ring(n);
+        let cfg = PragueConfig { group_size, regen_every };
+        let report = run_protocol(
+            &topo,
+            Protocol::Prague(cfg),
+            SlowdownModel::Compose(
+                Box::new(SlowdownModel::paper_random(n)),
+                Box::new(SlowdownModel::paper_straggler(n, (seed % n as u64) as usize, 4.0)),
+            ),
+            seed,
+        );
+        prop_assert!(!report.deadlocked);
+        let mut iters = vec![0u64; n];
+        for rec in report.trace.records() {
+            if rec.iter > 0 {
+                let round = rec.iter - 1;
+                let epoch = round / regen_every;
+                let groups = hop::graph::groups::partition(n, group_size, seed, epoch);
+                let membership = hop::graph::groups::membership(&groups);
+                for &member in &groups[membership[rec.worker]] {
+                    prop_assert!(
+                        iters[member] >= round,
+                        "worker {} entered round {} before group member {} reached round {} \
+                         (member at {})",
+                        rec.worker, rec.iter, member, round, iters[member]
+                    );
+                }
+            }
+            iters[rec.worker] = iters[rec.worker].max(rec.iter);
+        }
+        // Everyone finished all 40 rounds.
+        for (w, &it) in iters.iter().enumerate() {
+            prop_assert!(it == 40, "worker {w} stopped at round {it}");
         }
     }
 

@@ -20,6 +20,7 @@ fn experiment(config: HopConfig, topology: Topology) -> ThreadedExperiment {
         seed: 21,
         hyper: Hyper::svm(),
         compute_sleep: Duration::ZERO,
+        slow_worker: None,
         stall_timeout: Duration::from_secs(30),
     }
 }
