@@ -1,0 +1,209 @@
+//! Event-pump scaling trajectory: the same Hop token-mode experiment at
+//! 1k/4k/10k simulated workers on ring, torus and expander topologies,
+//! reporting events/sec and worker-iterations/sec per cell — the numbers
+//! the calendar-queue scheduler, SIMD kernels and SoA worker state are
+//! accountable to.
+//!
+//! Two measurements:
+//!
+//! 1. **Queue before/after** — the pump's churn pattern (pop the earliest
+//!    event, schedule a successor a short virtual delay later) replayed
+//!    against both schedulers at a 1k-event steady-state population:
+//!    [`HeapEventQueue`] is the `BinaryHeap` scheduler the engine used
+//!    before the calendar queue replaced it, kept as the differential
+//!    oracle, so the speedup column is a true before/after.
+//! 2. **End-to-end scaling** — full simulated training runs through
+//!    [`SimExperiment`], sized so the 10k-worker ring fits the CI smoke
+//!    budget: a small-dimension webspam stand-in and a handful of
+//!    iterations. Token mode (`standard_with_tokens`) keeps setup linear
+//!    in workers; the tokenless default would compute an all-pairs graph
+//!    diameter for the rotation window, which is quadratic at 10k.
+//!
+//! The machine-readable trajectory line
+//!
+//! ```text
+//! SCALE_SUMMARY {"smoke":…,"queue":{…},"cells":[{"topology":"ring","workers":10000,…},…]}
+//! ```
+//!
+//! lands in CI logs (smoke mode) and is extracted into the
+//! `BENCH_scale.json` artifact, seeding the pump-throughput perf
+//! trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hop_bench::{emit_summary_line, sized, smoke, Workload, SEED};
+use hop_core::trainer::SimExperiment;
+use hop_core::{HopConfig, Protocol};
+use hop_data::webspam::{SyntheticWebspam, WebspamConfig};
+use hop_graph::Topology;
+use hop_model::svm::Svm;
+use hop_sim::{ClusterSpec, EventQueue, HeapEventQueue, LinkModel, SlowdownModel};
+use hop_util::Xoshiro256;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Steady-state pending-event population for the queue churn measurement:
+/// one in-flight event per simulated worker at the 1k scale point.
+const QUEUE_POPULATION: usize = 1024;
+
+/// Iteration gap bound for the token-mode runs (any small value works;
+/// what matters for the benchmark is that it is `Some`, keeping setup
+/// free of the quadratic diameter computation).
+const MAX_IG: u64 = 4;
+
+/// Pseudo-random virtual delay for the churn loop, strictly positive so
+/// time advances and the calendar rotates through its buckets.
+fn churn_delay(rng: &mut Xoshiro256) -> f64 {
+    0.001 + rng.next_f64() * 0.1
+}
+
+/// Replays the pump's pop-one/push-one churn pattern: seed `population`
+/// pending events, then pop the earliest and schedule a successor
+/// `churn` times. Generic so the heap oracle and the calendar queue run
+/// byte-identical workloads.
+fn churn_events_per_sec(use_heap: bool, population: usize, churn: usize) -> f64 {
+    let mut rng = Xoshiro256::seed_from_u64(SEED);
+    let mut heap = HeapEventQueue::new();
+    let mut calendar = EventQueue::with_capacity(population);
+    for i in 0..population {
+        let t = churn_delay(&mut rng);
+        if use_heap {
+            heap.push(t, i);
+        } else {
+            calendar.push(t, i);
+        }
+    }
+    let start = Instant::now();
+    for _ in 0..churn {
+        if use_heap {
+            let (now, ev) = heap.pop().expect("population stays constant");
+            heap.push(now + churn_delay(&mut rng), black_box(ev));
+        } else {
+            let (now, ev) = calendar.pop().expect("population stays constant");
+            calendar.push(now + churn_delay(&mut rng), black_box(ev));
+        }
+    }
+    churn as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The benchmark workload: webspam stand-in at a deliberately small
+/// feature dimension, so host time measures the event pump rather than
+/// gradient arithmetic, and 10k parameter replicas stay cheap.
+fn scale_workload() -> (Svm, hop_data::InMemoryDataset) {
+    let config = WebspamConfig {
+        dim: 64,
+        nnz_per_example: 8,
+        label_noise: 0.05,
+    };
+    let dataset = SyntheticWebspam::generate_with(512, SEED, config);
+    (Svm::log_loss(64), dataset)
+}
+
+fn topology(kind: &str, n: usize) -> Topology {
+    match kind {
+        "ring" => Topology::ring(n),
+        // The scale points are perfect squares, so the torus is n-exact.
+        "torus" => {
+            let side = (n as f64).sqrt().round() as usize;
+            assert_eq!(side * side, n, "scale points must be perfect squares");
+            Topology::torus(side, side)
+        }
+        "expander" => Topology::expander(n, 4, SEED),
+        other => panic!("unknown topology kind {other}"),
+    }
+}
+
+fn experiment(topo: Topology, max_iters: u64) -> SimExperiment {
+    let n = topo.len();
+    SimExperiment {
+        cluster: ClusterSpec::uniform(n, 4, 0.05, LinkModel::ethernet_1gbps()),
+        topology: topo,
+        slowdown: SlowdownModel::None,
+        protocol: Protocol::Hop(HopConfig::standard_with_tokens(MAX_IG)),
+        hyper: Workload::Svm.hyper(),
+        max_iters,
+        seed: SEED,
+        // Periodic evaluation disabled: at 10k workers an eval pass
+        // averages every replica, which would dominate the measurement.
+        eval_every: 0,
+        eval_examples: 32,
+    }
+}
+
+fn emit_summary() {
+    hop_bench::banner(
+        "scale_pump",
+        "the event pump sustains its throughput from 1k to 10k simulated workers",
+    );
+
+    // Before/after: the heap scheduler the engine used to run on vs the
+    // calendar queue it runs on now, on identical churn.
+    let churn = sized(2_000_000, 200_000);
+    let heap_eps = churn_events_per_sec(true, QUEUE_POPULATION, churn);
+    let calendar_eps = churn_events_per_sec(false, QUEUE_POPULATION, churn);
+    println!(
+        "queue churn @ {QUEUE_POPULATION} pending: heap {heap_eps:>12.0} ev/s  \
+         calendar {calendar_eps:>12.0} ev/s  speedup {:>5.2}x",
+        calendar_eps / heap_eps
+    );
+
+    let topologies: Vec<&str> = sized(vec!["ring", "torus", "expander"], vec!["ring"]);
+    let scales: Vec<usize> = sized(vec![1_024, 4_096, 10_000], vec![1_024, 10_000]);
+    let max_iters = sized(5, 3);
+    let (model, dataset) = scale_workload();
+    let mut cells = Vec::new();
+    for kind in &topologies {
+        for &n in &scales {
+            let exp = experiment(topology(kind, n), max_iters);
+            let start = Instant::now();
+            let report = exp
+                .run(&model, &dataset)
+                .expect("scale experiment must be valid");
+            let elapsed = start.elapsed().as_secs_f64();
+            assert!(
+                !report.deadlocked,
+                "{kind} @ {n}: scale run must complete, not stall"
+            );
+            let events_per_sec = report.events_processed as f64 / elapsed;
+            let worker_iters_per_sec = (n as u64 * max_iters) as f64 / elapsed;
+            println!(
+                "{kind:>8} @ {n:>6} workers: {:>9} events in {elapsed:>7.3}s  \
+                 {events_per_sec:>10.0} ev/s  {worker_iters_per_sec:>9.0} worker-iters/s",
+                report.events_processed
+            );
+            cells.push(format!(
+                "{{\"topology\":\"{kind}\",\"workers\":{n},\"iters\":{max_iters},\
+                 \"events\":{},\"elapsed_s\":{elapsed:.6},\
+                 \"events_per_sec\":{events_per_sec:.1},\
+                 \"worker_iters_per_sec\":{worker_iters_per_sec:.1}}}",
+                report.events_processed
+            ));
+        }
+    }
+    emit_summary_line(
+        "SCALE",
+        &format!(
+            "{{\"smoke\":{},\"queue\":{{\"population\":{QUEUE_POPULATION},\
+             \"heap_events_per_sec\":{heap_eps:.1},\
+             \"calendar_events_per_sec\":{calendar_eps:.1},\
+             \"speedup\":{:.3}}},\"cells\":[{}]}}",
+            smoke(),
+            calendar_eps / heap_eps,
+            cells.join(","),
+        ),
+    );
+}
+
+fn bench_queue_churn(c: &mut Criterion) {
+    // Host-time cost of the churn unit criterion can time tightly; the
+    // full scale trajectory runs once in `bench_summary`.
+    c.bench_function("scale_pump/calendar_churn_1k", |b| {
+        b.iter(|| churn_events_per_sec(false, QUEUE_POPULATION, 10_000))
+    });
+}
+
+fn bench_summary(_c: &mut Criterion) {
+    emit_summary();
+}
+
+criterion_group!(scale_pump, bench_queue_churn, bench_summary);
+criterion_main!(scale_pump);

@@ -937,7 +937,7 @@ impl<'a> Replay<'a> {
         let mut tokens = HashMap::new();
         if let Some(ig) = cfg.max_ig() {
             for owner in 0..n {
-                for consumer in topology.external_in_neighbors(owner) {
+                for &consumer in topology.external_in_neighbors(owner) {
                     tokens.insert((owner, consumer), ig);
                 }
             }
@@ -1301,7 +1301,7 @@ impl<'a> Replay<'a> {
                 }
                 // §5's "intuitive upper-bound": never overtake an
                 // out-going neighbor.
-                for &o in &outs {
+                for &o in outs {
                     if target > self.logical[o] {
                         return Err(ViolationKind::JumpOvertakes {
                             worker,
@@ -1346,10 +1346,10 @@ impl<'a> Replay<'a> {
             }
             seen.push(c.from);
         }
-        let allowed: Vec<usize> = if renew {
+        let allowed: &[usize] = if renew {
             self.topology.external_in_neighbors(worker)
         } else {
-            self.topology.in_neighbors(worker).to_vec()
+            self.topology.in_neighbors(worker)
         };
         for c in consumed {
             if !allowed.contains(&c.from) {

@@ -39,6 +39,13 @@ pub struct TrainingReport {
     /// runaway event storm) rather than a genuine stall. When set,
     /// `deadlocked` is also set: the run did not complete.
     pub budget_exhausted: bool,
+    /// Total events the pump processed — throughput denominator for
+    /// scaling benchmarks. Deliberately excluded from
+    /// [`TrainingReport::digest`]: it is a property of the engine's
+    /// scheduling, not of anything the paper's figures consume, and
+    /// digests must stay comparable across engine-internal changes that
+    /// alter event counts without altering results.
+    pub events_processed: u64,
 }
 
 impl TrainingReport {

@@ -134,8 +134,8 @@ impl AdPsgd<'_> {
         // averaged block.
         opt.step_block(params, &grad);
         eng.pool.release(grad);
-        eng.workers[w].iter += 1;
-        let k = eng.workers[w].iter;
+        eng.iters[w] += 1;
+        let k = eng.iters[w];
         eng.record_enter(w, k, now);
         if k >= eng.max_iters {
             eng.finish_worker(w);
@@ -181,7 +181,7 @@ impl WorkerProtocol for AdPsgd<'_> {
                 self.workers[w].pending_grad = Some(grad);
                 if self.workers[w].initiates {
                     let neighbors = self.topology.external_out_neighbors(w);
-                    let partner = *eng.workers[w].rng.choose(&neighbors);
+                    let partner = *eng.workers[w].rng.choose(neighbors);
                     self.workers[w].busy = true;
                     if self.workers[partner].busy {
                         self.workers[partner].wait_queue.push_back(w);
@@ -237,7 +237,7 @@ impl WorkerProtocol for AdPsgd<'_> {
         // Always record one final evaluation of the parameter averages so
         // even eval-disabled runs report a terminal loss.
         let now = eng.events.now();
-        let min_iter = eng.workers.iter().map(|s| s.iter).min().unwrap_or(0);
+        let min_iter = eng.iters.iter().copied().min().unwrap_or(0);
         eng.evaluate_worker_average(now, min_iter);
     }
 
@@ -259,7 +259,7 @@ fn two_color(topology: &Topology) -> Option<Vec<u8>> {
         color[start] = 0;
         let mut queue = VecDeque::from([start]);
         while let Some(u) = queue.pop_front() {
-            for v in topology.external_out_neighbors(u) {
+            for &v in topology.external_out_neighbors(u) {
                 if color[v] == u8::MAX {
                     color[v] = 1 - color[u];
                     queue.push_back(v);

@@ -23,7 +23,6 @@ use hop_model::Model;
 use hop_queue::{RotatingQueues, Tag};
 use hop_sim::{ClusterSpec, SlowdownModel};
 use hop_tensor::ParamBlock;
-use std::collections::HashMap;
 
 use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
 use super::recorder::EvalConfig;
@@ -90,10 +89,15 @@ struct WorkerSt {
     grad: Vec<f32>,
     delta: Vec<f32>,
     queue: RotatingQueues<ParamBlock>,
-    /// Newest update seen per in-neighbor (staleness mode, incl. self).
-    newest_from: HashMap<usize, (u64, ParamBlock)>,
-    /// Tokens visible from each external out-neighbor's `TokenQ(o -> w)`.
-    tokens_from: HashMap<usize, u64>,
+    /// Newest update seen per in-neighbor (staleness mode, incl. self),
+    /// dense: slot `p` is the update from `topology.in_neighbors(w)[p]`.
+    newest_from: Vec<Option<(u64, ParamBlock)>>,
+    /// Tokens visible from each external out-neighbor's `TokenQ(o -> w)`,
+    /// dense: slot `p` counts tokens from
+    /// `topology.external_out_neighbors(w)[p]` — exactly the order the
+    /// token-mode advance logic and the conformance `Jump` event use, so
+    /// the per-event count vector needs no re-gathering.
+    tokens_from: Vec<u64>,
     /// NOTIFY-ACK: ACKs received for the last sent iteration.
     acks_received: usize,
     phase: Phase,
@@ -157,18 +161,16 @@ impl<'a> Decentralized<'a> {
         let dim = eng.init_params().len();
         let workers = (0..topology.len())
             .map(|w| {
-                let mut tokens_from = HashMap::new();
-                if let Some(ig) = max_ig {
-                    for o in topology.external_out_neighbors(w) {
-                        tokens_from.insert(o, ig);
-                    }
-                }
+                let tokens_from = match max_ig {
+                    Some(ig) => vec![ig; topology.external_out_neighbors(w).len()],
+                    None => Vec::new(),
+                };
                 WorkerSt {
                     compute_params: eng.init_block(),
                     grad: vec![0.0; dim],
                     delta: vec![0.0; dim],
                     queue: RotatingQueues::new(window),
-                    newest_from: HashMap::new(),
+                    newest_from: vec![None; topology.in_neighbors(w).len()],
                     tokens_from,
                     acks_received: 0,
                     phase: Phase::Computing,
@@ -194,7 +196,7 @@ impl<'a> Decentralized<'a> {
         now: f64,
         token_steps: u64,
     ) {
-        eng.workers[w].iter = new_iter;
+        eng.iters[w] = new_iter;
         eng.record_enter(w, new_iter, now);
         if self.max_ig.is_some() && token_steps > 0 {
             self.insert_tokens(eng, w, token_steps, now);
@@ -220,10 +222,28 @@ impl<'a> Decentralized<'a> {
             .push(now + duration, Ev::ComputeDone { w, iter: new_iter });
     }
 
+    /// Dense slot of sender `from` in `w`'s `newest_from`: its position
+    /// in the sorted `in_neighbors(w)` list.
+    fn in_slot(&self, w: usize, from: usize) -> usize {
+        self.topology
+            .in_neighbors(w)
+            .binary_search(&from)
+            .expect("sender is not an in-neighbor")
+    }
+
+    /// Dense slot of token owner `owner` in `w`'s `tokens_from`: its
+    /// position in the sorted `external_out_neighbors(w)` list.
+    fn out_slot(&self, w: usize, owner: usize) -> usize {
+        self.topology
+            .external_out_neighbors(w)
+            .binary_search(&owner)
+            .expect("token owner is not an out-neighbor")
+    }
+
     /// Grants `count` tokens to every external in-neighbor (they consume
     /// from `TokenQ(w -> j)`); visibility is delayed by a control message.
     fn insert_tokens(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, count: u64, now: f64) {
-        for j in self.topology.external_in_neighbors(w) {
+        for &j in self.topology.external_in_neighbors(w) {
             let at = eng.net.control(now, w, j);
             eng.events.push(
                 at,
@@ -249,8 +269,8 @@ impl<'a> Decentralized<'a> {
         });
         self.deliver_update(eng, w, w, iter, params.snapshot(), now);
         let inquiry = self.cfg.effective_send_inquiry();
-        for o in self.topology.external_out_neighbors(w) {
-            if inquiry && eng.workers[o].iter > iter {
+        for &o in self.topology.external_out_neighbors(w) {
+            if inquiry && eng.iters[o] > iter {
                 // The receiver has already passed this iteration; the
                 // update would be dropped as stale on arrival (§6.2b).
                 self.skipped_sends += 1;
@@ -283,13 +303,13 @@ impl<'a> Decentralized<'a> {
         params: ParamBlock,
         now: f64,
     ) {
+        let slot = self.in_slot(to, from);
         let state = &mut self.workers[to];
         if self.cfg.staleness.is_some() {
-            let newer = state
-                .newest_from
-                .get(&from)
+            let newer = state.newest_from[slot]
+                .as_ref()
                 .is_none_or(|&(have, _)| iter > have);
-            let at_iter = eng.workers[to].iter;
+            let at_iter = eng.iters[to];
             eng.conformance.record(|| {
                 if newer {
                     ProtocolEvent::StaleAdmit {
@@ -308,7 +328,7 @@ impl<'a> Decentralized<'a> {
                 }
             });
             if newer {
-                if let Some((_, old)) = state.newest_from.insert(from, (iter, params)) {
+                if let Some((_, old)) = state.newest_from[slot].replace((iter, params)) {
                     eng.pool.reclaim(old);
                 }
             }
@@ -340,7 +360,8 @@ impl<'a> Decentralized<'a> {
             consumer: to,
             count,
         });
-        *self.workers[to].tokens_from.entry(from).or_insert(0) += count;
+        let slot = self.out_slot(to, from);
+        self.workers[to].tokens_from[slot] += count;
         if self.workers[to].phase == Phase::WaitTokens {
             self.attempt_advance(eng, to, now);
         }
@@ -356,7 +377,7 @@ impl<'a> Decentralized<'a> {
     }
 
     fn on_compute_done(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
-        debug_assert_eq!(eng.workers[w].iter, iter, "stale compute event");
+        debug_assert_eq!(eng.iters[w], iter, "stale compute event");
         eng.conformance
             .record(|| ProtocolEvent::ComputeEnd { worker: w, iter });
         // Do the real gradient math at the virtual completion time.
@@ -396,7 +417,7 @@ impl<'a> Decentralized<'a> {
     }
 
     fn serial_send_then_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
-        let iter = eng.workers[w].iter;
+        let iter = eng.iters[w];
         self.workers[w].acks_received = 0;
         self.do_send(eng, w, iter, now);
         self.try_recv(eng, w, now);
@@ -405,10 +426,9 @@ impl<'a> Decentralized<'a> {
     /// Whether every neighbor in `neighbors` has a satisfactory newest
     /// update for a worker renewing at iteration `k` (staleness mode).
     fn newest_satisfied(&self, w: usize, neighbors: &[usize], k: u64, s: u64) -> bool {
-        neighbors.iter().all(|j| {
-            self.workers[w]
-                .newest_from
-                .get(j)
+        neighbors.iter().all(|&j| {
+            self.workers[w].newest_from[self.in_slot(w, j)]
+                .as_ref()
                 .is_some_and(|&(iter, _)| semantics::staleness_satisfied(iter, k, s))
         })
     }
@@ -420,8 +440,10 @@ impl<'a> Decentralized<'a> {
     fn collect_newest(&self, w: usize, neighbors: &[usize]) -> Vec<(u64, ParamBlock)> {
         neighbors
             .iter()
-            .map(|j| {
-                let (iter, params) = &self.workers[w].newest_from[j];
+            .map(|&j| {
+                let (iter, params) = self.workers[w].newest_from[self.in_slot(w, j)]
+                    .as_ref()
+                    .expect("newest update missing for a satisfied neighbor");
                 (*iter, params.snapshot())
             })
             .collect()
@@ -430,7 +452,7 @@ impl<'a> Decentralized<'a> {
     /// The Recv + Reduce + Apply of the current iteration. Blocks (phase
     /// `WaitUpdates`) until the mode's condition is met.
     fn try_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
-        let k = eng.workers[w].iter;
+        let k = eng.iters[w];
         let in_deg = self.topology.in_degree(w);
         if let Some(s) = self.cfg.staleness {
             // Fig. 9: newest satisfactory update per in-neighbor.
@@ -508,7 +530,7 @@ impl<'a> Decentralized<'a> {
         }
         // NOTIFY-ACK: confirm consumption to every external in-neighbor.
         if self.cfg.sync == SyncMode::NotifyAck {
-            for j in self.topology.external_in_neighbors(w) {
+            for &j in self.topology.external_in_neighbors(w) {
                 let at = eng.net.control(now, w, j);
                 eng.events.push(at, Ev::Ack { to: j });
             }
@@ -518,7 +540,7 @@ impl<'a> Decentralized<'a> {
 
     /// Token acquisition, the §5 skip decision, and the actual advance.
     fn attempt_advance(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
-        let k = eng.workers[w].iter;
+        let k = eng.iters[w];
         let Some(max_ig) = self.max_ig else {
             self.enter_iteration(eng, w, k + 1, now, 1);
             return;
@@ -528,16 +550,14 @@ impl<'a> Decentralized<'a> {
             self.enter_iteration(eng, w, k + 1, now, 1);
             return;
         }
-        let counts: Vec<u64> = outs
-            .iter()
-            .map(|o| *self.workers[w].tokens_from.get(o).expect("token entry"))
-            .collect();
+        // `tokens_from` is dense in `outs` order, so it *is* the count
+        // vector — no per-event gather allocation.
         if let Some(skip) = &self.cfg.skip {
             // Never jump past the end of training: finished neighbors
             // flood their token queues, which would otherwise inflate the
             // jump distance beyond any iteration they ever sent updates
             // for.
-            let jump = semantics::jump_decision(&counts, max_ig, skip)
+            let jump = semantics::jump_decision(&self.workers[w].tokens_from, max_ig, skip)
                 .map(|j| j.min(eng.max_iters - k))
                 .filter(|&j| j >= 2);
             if let Some(jump) = jump {
@@ -545,15 +565,13 @@ impl<'a> Decentralized<'a> {
                     worker: w,
                     from_iter: k,
                     target: k + jump,
-                    token_counts: counts.clone(),
+                    token_counts: self.workers[w].tokens_from.clone(),
                 });
                 // Obtain `jump` tokens from every out-going neighbor and
                 // grant the same number to in-neighbors right away so they
                 // are never starved while we renew parameters.
-                for o in &outs {
-                    let c = self.workers[w].tokens_from.get_mut(o).expect("token entry");
-                    *c -= jump;
-                    let owner = *o;
+                for (slot, &owner) in outs.iter().enumerate() {
+                    self.workers[w].tokens_from[slot] -= jump;
                     eng.conformance.record(|| ProtocolEvent::TokenTake {
                         owner,
                         consumer: w,
@@ -566,10 +584,9 @@ impl<'a> Decentralized<'a> {
                 return;
             }
         }
-        if counts.iter().all(|&c| c >= 1) {
-            for o in &outs {
-                *self.workers[w].tokens_from.get_mut(o).expect("token entry") -= 1;
-                let owner = *o;
+        if self.workers[w].tokens_from.iter().all(|&c| c >= 1) {
+            for (slot, &owner) in outs.iter().enumerate() {
+                self.workers[w].tokens_from[slot] -= 1;
                 eng.conformance.record(|| ProtocolEvent::TokenTake {
                     owner,
                     consumer: w,
@@ -589,11 +606,11 @@ impl<'a> Decentralized<'a> {
         let renew_iter = target - 1;
         if let Some(s) = self.cfg.staleness {
             let externals = self.topology.external_in_neighbors(w);
-            if !self.newest_satisfied(w, &externals, renew_iter, s) {
+            if !self.newest_satisfied(w, externals, renew_iter, s) {
                 self.workers[w].phase = Phase::JumpRecv { target };
                 return;
             }
-            let mut collected = self.collect_newest(w, &externals);
+            let mut collected = self.collect_newest(w, externals);
             for (nbr, (iter, _)) in externals.iter().zip(&collected) {
                 let (from, iter) = (*nbr, *iter);
                 eng.conformance.record(|| ProtocolEvent::Consume {
@@ -605,7 +622,7 @@ impl<'a> Decentralized<'a> {
             }
             // Own (stale) parameters participate with clamped weight; the
             // snapshot keeps them readable while the replica is rewritten.
-            collected.push((eng.workers[w].iter, eng.workers[w].params.snapshot()));
+            collected.push((eng.iters[w], eng.workers[w].params.snapshot()));
             eng.conformance.record(|| ProtocolEvent::Reduce {
                 worker: w,
                 iter: renew_iter,
@@ -826,7 +843,7 @@ mod tests {
         // §3.3: adjacent gap bounded by 2 under NOTIFY-ACK.
         let topo = Topology::ring(4);
         for i in 0..4 {
-            for j in topo.external_in_neighbors(i) {
+            for &j in topo.external_in_neighbors(i) {
                 assert!(
                     gaps[i][j] <= 2,
                     "notify-ack adjacent gap {} too large",

@@ -68,12 +68,16 @@ use hop_tensor::{BufferPool, ParamBlock};
 use hop_util::Xoshiro256;
 
 /// Protocol-independent per-worker state owned by the engine.
+///
+/// The event-pump-hot scalars live *outside* this struct, in dense
+/// (structure-of-arrays) engine fields: iteration counters in
+/// [`SimEngine::iters`] and the finished flags in a bitset behind
+/// [`SimEngine::is_finished`]/[`SimEngine::all_finished`]. Protocols that
+/// scan "every worker's iteration" each event (SSP's staleness gate,
+/// AD-PSGD's gap metric) walk a flat `u64` array instead of striding
+/// over these multi-hundred-byte structs, and the pump's every-event
+/// finish check is O(1) instead of O(workers).
 pub struct WorkerCommon {
-    /// Current iteration counter.
-    pub iter: u64,
-    /// Whether this worker reached `max_iters` (set via
-    /// [`SimEngine::finish_worker`]).
-    pub finished: bool,
     /// The worker's parameter replica, shared zero-copy with in-flight
     /// messages (see the [module docs](self)). Protocols with a single
     /// global parameter vector (parameter server, ring all-reduce) keep
@@ -156,6 +160,14 @@ pub struct SimEngine<'a, E> {
     pub recorder: Recorder,
     /// Protocol-independent per-worker state.
     pub workers: Vec<WorkerCommon>,
+    /// Per-worker iteration counters, dense. Kept apart from
+    /// [`SimEngine::workers`] (SoA) so per-event scans stay in cache at
+    /// 10k+ workers.
+    pub iters: Vec<u64>,
+    /// Finished flags, one bit per worker.
+    finished: Vec<u64>,
+    /// Number of set bits in `finished` (O(1) [`SimEngine::all_finished`]).
+    finished_count: usize,
     /// Recycled scratch buffers for per-event temporaries and
     /// full-overwrite parameter writes (see the [module docs](self)).
     pub pool: BufferPool,
@@ -205,8 +217,6 @@ impl<'a, E> SimEngine<'a, E> {
         let init_params = ParamBlock::from_vec(model.init_params(&mut init_rng));
         let workers = (0..n_workers)
             .map(|w| WorkerCommon {
-                iter: 0,
-                finished: false,
                 // All replicas share the init allocation until first write.
                 params: init_params.snapshot(),
                 opt: Sgd::new(
@@ -243,9 +253,20 @@ impl<'a, E> SimEngine<'a, E> {
                     .min(n_workers.saturating_mul((max_iters as usize).saturating_add(2)))
                     .max(64),
             ),
-            trace: Trace::new(n_workers),
+            // One record per worker per iteration entered (0..=max_iters),
+            // capped so absurd `max_iters` values cannot pre-allocate
+            // gigabytes; past the cap the Vec grows normally.
+            trace: Trace::with_capacity(
+                n_workers,
+                n_workers
+                    .saturating_mul((max_iters as usize).saturating_add(1))
+                    .min(1 << 22),
+            ),
             recorder: Recorder::new(n_workers, eval, dataset),
             workers,
+            iters: vec![0; n_workers],
+            finished: vec![0; n_workers.div_ceil(64)],
+            finished_count: 0,
             pool: BufferPool::new(),
             event_budget: None,
             conformance: ConformanceSink::disabled(),
@@ -317,7 +338,7 @@ impl<'a, E> SimEngine<'a, E> {
         let loss = self
             .model
             .loss_grad_with(params.as_slice(), &batch, grad_out, scratch);
-        self.recorder.train_loss(w, wc.iter, now, loss);
+        self.recorder.train_loss(w, self.iters[w], now, loss);
         loss
     }
 
@@ -349,8 +370,18 @@ impl<'a, E> SimEngine<'a, E> {
     }
 
     /// Marks worker `w` finished; the pump stops once every worker is.
+    /// Idempotent: finishing a finished worker is a no-op.
     pub fn finish_worker(&mut self, w: usize) {
-        self.workers[w].finished = true;
+        let (word, bit) = (w / 64, 1u64 << (w % 64));
+        if self.finished[word] & bit == 0 {
+            self.finished[word] |= bit;
+            self.finished_count += 1;
+        }
+    }
+
+    /// Whether worker `w` reached `max_iters`.
+    pub fn is_finished(&self, w: usize) -> bool {
+        self.finished[w / 64] & (1u64 << (w % 64)) != 0
     }
 
     /// [`Self::finish_worker`] plus the per-worker report convention:
@@ -361,14 +392,16 @@ impl<'a, E> SimEngine<'a, E> {
     /// [`Self::finish_worker`] directly; round-driven protocols whose
     /// terminal event covers many workers use this instead.
     pub fn finish_worker_at(&mut self, w: usize, iter: u64, now: f64) {
-        self.workers[w].iter = iter;
+        self.iters[w] = iter;
         self.record_enter(w, iter, now);
         self.finish_worker(w);
     }
 
-    /// Whether every worker reached `max_iters`.
+    /// Whether every worker reached `max_iters`. O(1): a counter
+    /// maintained by [`SimEngine::finish_worker`], not a scan — this runs
+    /// after every event.
     pub fn all_finished(&self) -> bool {
-        self.workers.iter().all(|s| s.finished)
+        self.finished_count == self.workers.len()
     }
 
     /// Aborts the pump at the end of the current event; the report comes
@@ -399,10 +432,12 @@ impl<'a, E> SimEngine<'a, E> {
         // budget never drops a popped event half-processed — and a budget
         // of 0 stops before the protocol mutates anything.
         let mut budget_exhausted = budget == 0;
+        let mut events_processed = 0u64;
         while !budget_exhausted {
             let Some((now, ev)) = self.events.pop() else {
                 break;
             };
+            events_processed += 1;
             proto.on_event(&mut self, now, ev);
             if self.aborted || self.all_finished() {
                 break;
@@ -425,6 +460,7 @@ impl<'a, E> SimEngine<'a, E> {
             eval_steps: self.recorder.eval_steps,
             deadlocked,
             budget_exhausted,
+            events_processed,
         }
     }
 }
@@ -463,8 +499,8 @@ mod tests {
             let WorkerCommon { opt, params, .. } = wc;
             opt.step_block(params, &grad);
             eng.pool.release(grad);
-            wc.iter += 1;
-            let k = wc.iter;
+            eng.iters[w] += 1;
+            let k = eng.iters[w];
             eng.record_enter(w, k, now);
             if k >= eng.max_iters {
                 eng.finish_worker(w);

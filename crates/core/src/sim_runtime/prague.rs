@@ -125,7 +125,7 @@ impl Prague {
     /// immediately for a singleton group).
     fn advance(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, round: u64, now: f64) {
         let new_iter = round + 1;
-        eng.workers[w].iter = new_iter;
+        eng.iters[w] = new_iter;
         eng.record_enter(w, new_iter, now);
         if eng.recorder.crossed_boundary(new_iter) {
             eng.evaluate_worker_average(now, new_iter);

@@ -127,7 +127,7 @@ impl WorkerProtocol for BspServer {
             .map(|w| eng.net.transfer(t, self.server, w, eng.param_bytes))
             .collect();
         for (w, &a) in arrivals.iter().enumerate() {
-            eng.workers[w].iter = k;
+            eng.iters[w] = k;
             eng.record_enter(w, k, a);
         }
         // Compute + push gradients; server ingress serializes the pushes.
@@ -219,7 +219,7 @@ impl WorkerProtocol for AsyncServer {
     fn on_event(&mut self, eng: &mut SimEngine<'_, AsyncEv>, now: f64, ev: AsyncEv) {
         match ev {
             AsyncEv::ParamsArrive { w, params: snap } => {
-                let k = eng.workers[w].iter;
+                let k = eng.iters[w];
                 eng.record_enter(w, k, now);
                 let compute_done = now + eng.compute_duration(w, k);
                 let mut grad = eng.pool.acquire(snap.len());
@@ -251,34 +251,31 @@ impl WorkerProtocol for AsyncServer {
                 // asynchronous coordination).
                 self.opt.step_block(&mut self.params, &grad);
                 eng.pool.release(grad);
-                eng.recorder
-                    .train_loss(w, eng.workers[w].iter, compute_done, loss);
-                eng.workers[w].iter += 1;
-                if w == 0 && eng.recorder.eval_due(eng.workers[0].iter) {
+                eng.recorder.train_loss(w, eng.iters[w], compute_done, loss);
+                eng.iters[w] += 1;
+                if w == 0 && eng.recorder.eval_due(eng.iters[0]) {
                     let view: Vec<&[f32]> = vec![self.params.as_slice()];
-                    let iter0 = eng.workers[0].iter;
+                    let iter0 = eng.iters[0];
                     eng.recorder
                         .evaluate(eng.model, eng.dataset, &view, now, iter0);
                 }
-                if eng.workers[w].iter >= eng.max_iters {
-                    eng.finish_worker_at(w, eng.workers[w].iter, now);
+                if eng.iters[w] >= eng.max_iters {
+                    eng.finish_worker_at(w, eng.iters[w], now);
                 } else {
                     self.blocked[w] = true;
                 }
                 // Unblock every worker whose staleness constraint now holds.
-                let min_iter = eng
-                    .workers
-                    .iter()
-                    .filter(|s| !s.finished)
-                    .map(|s| s.iter)
+                let min_iter = (0..eng.workers.len())
+                    .filter(|&v| !eng.is_finished(v))
+                    .map(|v| eng.iters[v])
                     .min()
                     .unwrap_or(eng.max_iters);
                 for v in 0..eng.workers.len() {
-                    if !self.blocked[v] || eng.workers[v].finished {
+                    if !self.blocked[v] || eng.is_finished(v) {
                         continue;
                     }
                     let ok = match self.staleness {
-                        Some(s) => eng.workers[v].iter <= min_iter + s,
+                        Some(s) => eng.iters[v] <= min_iter + s,
                         None => true,
                     };
                     if ok {

@@ -130,7 +130,7 @@ struct Qgm<'a> {
 
 impl Qgm<'_> {
     fn enter_iteration(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
-        eng.workers[w].iter = iter;
+        eng.iters[w] = iter;
         eng.record_enter(w, iter, now);
         if eng.recorder.crossed_boundary(iter) {
             eng.evaluate_worker_average(now, iter);
@@ -146,7 +146,7 @@ impl Qgm<'_> {
     }
 
     fn on_compute_done(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
-        debug_assert_eq!(eng.workers[w].iter, iter, "stale compute event");
+        debug_assert_eq!(eng.iters[w], iter, "stale compute event");
         // Gradient on x_t, then the QGM local half-step.
         let mut grad = eng.pool.acquire(eng.workers[w].params.len());
         eng.local_grad(w, now, &mut grad);
@@ -160,7 +160,7 @@ impl Qgm<'_> {
         eng.pool.release(grad);
         // Gossip the half-step to out-neighbors as zero-copy snapshots.
         let half = eng.workers[w].params.snapshot();
-        for o in self.topology.external_out_neighbors(w) {
+        for &o in self.topology.external_out_neighbors(w) {
             let arrival = eng.net.transfer(now, w, o, eng.param_bytes);
             eng.events.push(
                 arrival,
@@ -177,7 +177,7 @@ impl Qgm<'_> {
     /// The Recv + Reduce + momentum update; blocks (`waiting`) until every
     /// external in-neighbor's half-step of the current iteration is here.
     fn try_reduce(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
-        let k = eng.workers[w].iter;
+        let k = eng.iters[w];
         let need = self.topology.external_in_neighbors(w).len();
         let have = self.workers[w].inbox.get(&k).map_or(0, Vec::len);
         if have < need {
@@ -224,7 +224,7 @@ impl WorkerProtocol for Qgm<'_> {
             Ev::ComputeDone { w, iter } => self.on_compute_done(eng, w, iter, now),
             Ev::Update { to, iter, params } => {
                 self.workers[to].inbox.entry(iter).or_default().push(params);
-                if self.workers[to].waiting && eng.workers[to].iter == iter {
+                if self.workers[to].waiting && eng.iters[to] == iter {
                     self.try_reduce(eng, to, now);
                 }
             }

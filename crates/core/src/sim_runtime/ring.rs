@@ -113,7 +113,7 @@ impl WorkerProtocol for RingAllReduce {
             return;
         }
         for w in 0..n {
-            eng.workers[w].iter = k;
+            eng.iters[w] = k;
             eng.record_enter(w, k, now);
         }
         let mut compute_max = 0.0f64;

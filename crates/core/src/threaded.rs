@@ -246,7 +246,7 @@ impl ThreadedExperiment {
         let mut token_queues: HashMap<(usize, usize), SharedTokenQueue> = HashMap::new();
         if let Some(ig) = max_ig {
             for i in 0..n {
-                for j in self.topology.external_in_neighbors(i) {
+                for &j in self.topology.external_in_neighbors(i) {
                     token_queues.insert((i, j), SharedTokenQueue::new(ig));
                 }
             }
@@ -500,7 +500,7 @@ fn worker_loop(
     while k < max_iters {
         log(&mut conf, || ProtocolEvent::Advance { worker: w, iter: k });
         if max_ig.is_some() && entry_tokens > 0 {
-            for j in &externals_in {
+            for j in externals_in {
                 log(&mut conf, || ProtocolEvent::TokenPass {
                     owner: w,
                     consumer: *j,
@@ -517,7 +517,7 @@ fn worker_loop(
             iter: k,
         });
         update_queues[w].enqueue(params.snapshot(), Tag { iter: k, w_id: w });
-        for &o in &externals_out {
+        for &o in externals_out {
             log(&mut conf, || ProtocolEvent::Send {
                 from: w,
                 to: o,
@@ -626,7 +626,7 @@ fn worker_loop(
                         target: k + jump,
                         token_counts: counts.clone(),
                     });
-                    for &o in &externals_out {
+                    for &o in externals_out {
                         // Only this worker removes from TokenQ(o -> w), so
                         // the observed count cannot shrink under us.
                         assert!(
@@ -641,7 +641,7 @@ fn worker_loop(
                     }
                     // Grant the same number to in-neighbors right away so
                     // they are never starved while we renew parameters.
-                    for j in &externals_in {
+                    for j in externals_in {
                         log(&mut conf, || ProtocolEvent::TokenPass {
                             owner: w,
                             consumer: *j,
@@ -654,7 +654,7 @@ fn worker_loop(
                     jump_renew(
                         &mut ctx,
                         &update_queues[w],
-                        &externals_in,
+                        externals_in,
                         &mut params,
                         &mut opt,
                         k,
@@ -665,7 +665,7 @@ fn worker_loop(
                 }
             }
             if !jumped {
-                for &o in &externals_out {
+                for &o in externals_out {
                     token_queues[&(o, w)]
                         .remove(1, timeout)
                         .map_err(|_| ctx.stall(k, "tokens", &update_queues[w]))?;
@@ -686,7 +686,7 @@ fn worker_loop(
     // Final courtesy: release tokens so lagging neighbors can finish their
     // last iterations without waiting on a finished worker.
     if max_ig.is_some() {
-        for j in &externals_in {
+        for j in externals_in {
             log(&mut conf, || ProtocolEvent::TokenPass {
                 owner: w,
                 consumer: *j,

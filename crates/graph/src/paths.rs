@@ -33,7 +33,7 @@ impl ShortestPaths {
             row[start] = 0;
             let mut queue = VecDeque::from([start]);
             while let Some(u) = queue.pop_front() {
-                for v in topology.external_out_neighbors(u) {
+                for &v in topology.external_out_neighbors(u) {
                     if row[v] == usize::MAX {
                         row[v] = row[u] + 1;
                         queue.push_back(v);

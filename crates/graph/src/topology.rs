@@ -10,10 +10,16 @@ use std::fmt;
 
 /// A directed graph over workers `0..n` with mandatory self-loops.
 ///
-/// Neighbor lists are kept sorted for determinism. `in_neighbors`/
+/// Neighbor lists are kept sorted for determinism and stored in CSR
+/// (compressed sparse row) form: one flat adjacency array plus `n + 1`
+/// offsets per direction, so a 10k-worker topology is a handful of
+/// allocations instead of tens of thousands. `in_neighbors`/
 /// `out_neighbors` include the node itself (the paper's `Nin`/`Nout`);
 /// the `external_*` variants exclude it, which is what actually crosses
-/// the network.
+/// the network. The external views and the global external edge list are
+/// precomputed at construction, so every accessor returns a borrowed
+/// slice — the per-event hot paths in `hop-core` never allocate to ask
+/// who their neighbors are.
 ///
 /// # Examples
 ///
@@ -27,10 +33,24 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Topology {
     n: usize,
-    /// Sorted in-neighbor lists, including self.
-    in_nbrs: Vec<Vec<usize>>,
-    /// Sorted out-neighbor lists, including self.
-    out_nbrs: Vec<Vec<usize>>,
+    /// Flattened sorted in-neighbor lists, including self.
+    in_adj: Vec<usize>,
+    /// `in_adj` row offsets, length `n + 1`.
+    in_off: Vec<usize>,
+    /// Flattened sorted out-neighbor lists, including self.
+    out_adj: Vec<usize>,
+    /// `out_adj` row offsets, length `n + 1`.
+    out_off: Vec<usize>,
+    /// Flattened sorted in-neighbor lists, excluding self.
+    ext_in_adj: Vec<usize>,
+    /// `ext_in_adj` row offsets, length `n + 1`.
+    ext_in_off: Vec<usize>,
+    /// Flattened sorted out-neighbor lists, excluding self.
+    ext_out_adj: Vec<usize>,
+    /// `ext_out_adj` row offsets, length `n + 1`.
+    ext_out_off: Vec<usize>,
+    /// All directed edges excluding self-loops, sorted.
+    ext_edges: Vec<(usize, usize)>,
 }
 
 impl Topology {
@@ -50,17 +70,56 @@ impl Topology {
             out_sets[u].insert(v);
             in_sets[v].insert(u);
         }
-        Self {
+        Self::from_sorted_sets(n, &in_sets, &out_sets)
+    }
+
+    /// Flattens per-node sorted neighbor sets (self-loops already present)
+    /// into the CSR arrays, deriving the external views and edge list.
+    fn from_sorted_sets(
+        n: usize,
+        in_sets: &[BTreeSet<usize>],
+        out_sets: &[BTreeSet<usize>],
+    ) -> Self {
+        let total_in: usize = in_sets.iter().map(BTreeSet::len).sum();
+        let total_out: usize = out_sets.iter().map(BTreeSet::len).sum();
+        let mut t = Self {
             n,
-            in_nbrs: in_sets
-                .into_iter()
-                .map(|s| s.into_iter().collect())
-                .collect(),
-            out_nbrs: out_sets
-                .into_iter()
-                .map(|s| s.into_iter().collect())
-                .collect(),
+            in_adj: Vec::with_capacity(total_in),
+            in_off: Vec::with_capacity(n + 1),
+            out_adj: Vec::with_capacity(total_out),
+            out_off: Vec::with_capacity(n + 1),
+            ext_in_adj: Vec::with_capacity(total_in - n),
+            ext_in_off: Vec::with_capacity(n + 1),
+            ext_out_adj: Vec::with_capacity(total_out - n),
+            ext_out_off: Vec::with_capacity(n + 1),
+            ext_edges: Vec::with_capacity(total_out - n),
+        };
+        t.in_off.push(0);
+        t.out_off.push(0);
+        t.ext_in_off.push(0);
+        t.ext_out_off.push(0);
+        for u in 0..n {
+            // BTreeSet iteration is ascending, so each CSR row is sorted
+            // and (with u ascending) `ext_edges` is globally sorted.
+            for &v in &in_sets[u] {
+                t.in_adj.push(v);
+                if v != u {
+                    t.ext_in_adj.push(v);
+                }
+            }
+            for &v in &out_sets[u] {
+                t.out_adj.push(v);
+                if v != u {
+                    t.ext_out_adj.push(v);
+                    t.ext_edges.push((u, v));
+                }
+            }
+            t.in_off.push(t.in_adj.len());
+            t.out_off.push(t.out_adj.len());
+            t.ext_in_off.push(t.ext_in_adj.len());
+            t.ext_out_off.push(t.ext_out_adj.len());
         }
+        t
     }
 
     /// Builds from *undirected* edges: each pair becomes two directed edges.
@@ -265,6 +324,40 @@ impl Topology {
         Self::from_undirected_edges(n, &edges)
     }
 
+    /// Random `degree`-regular expander over `n` nodes: `degree / 2`
+    /// independent random Hamiltonian cycles superimposed. Each cycle
+    /// visits every node, so the union is connected by construction, and
+    /// superimposed random cycles are expanders with high probability —
+    /// logarithmic diameter at constant degree, which is what keeps
+    /// gossip rounds cheap at 10k+ workers where a ring's diameter
+    /// (n/2) would dominate convergence.
+    ///
+    /// Distinct cycles can occasionally share an edge (the duplicate is
+    /// deduped), so external degrees are bounded by `degree` rather than
+    /// exactly equal to it; every node keeps degree >= 2 from its own
+    /// cycle edges. Deterministic in `(n, degree, seed)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 3` and `degree` is even with `2 <= degree < n`.
+    pub fn expander(n: usize, degree: usize, seed: u64) -> Self {
+        assert!(n >= 3, "expander needs at least 3 nodes");
+        assert!(
+            degree >= 2 && degree < n && degree.is_multiple_of(2),
+            "expander degree must be even with 2 <= degree < n, got {degree} for n={n}"
+        );
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut edges = Vec::with_capacity(n * degree / 2);
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..degree / 2 {
+            rng.shuffle(&mut order);
+            for i in 0..n {
+                edges.push((order[i], order[(i + 1) % n]));
+            }
+        }
+        Self::from_undirected_edges(n, &edges)
+    }
+
     /// Random connected undirected graph: a random spanning tree plus
     /// `extra_edges` random chords. Used by property tests.
     ///
@@ -309,78 +402,68 @@ impl Topology {
 
     /// In-neighbors of `i`, including `i` itself (the paper's `Nin(i)`).
     pub fn in_neighbors(&self, i: usize) -> &[usize] {
-        &self.in_nbrs[i]
+        &self.in_adj[self.in_off[i]..self.in_off[i + 1]]
     }
 
     /// Out-neighbors of `i`, including `i` itself (the paper's `Nout(i)`).
     pub fn out_neighbors(&self, i: usize) -> &[usize] {
-        &self.out_nbrs[i]
+        &self.out_adj[self.out_off[i]..self.out_off[i + 1]]
     }
 
     /// In-neighbors excluding the self-loop: senders whose updates arrive
-    /// over the network.
-    pub fn external_in_neighbors(&self, i: usize) -> Vec<usize> {
-        self.in_nbrs[i]
-            .iter()
-            .copied()
-            .filter(|&j| j != i)
-            .collect()
+    /// over the network. Precomputed — a borrow, not an allocation.
+    pub fn external_in_neighbors(&self, i: usize) -> &[usize] {
+        &self.ext_in_adj[self.ext_in_off[i]..self.ext_in_off[i + 1]]
     }
 
     /// Out-neighbors excluding the self-loop: receivers of network sends.
-    pub fn external_out_neighbors(&self, i: usize) -> Vec<usize> {
-        self.out_nbrs[i]
-            .iter()
-            .copied()
-            .filter(|&j| j != i)
-            .collect()
+    /// Precomputed — a borrow, not an allocation.
+    pub fn external_out_neighbors(&self, i: usize) -> &[usize] {
+        &self.ext_out_adj[self.ext_out_off[i]..self.ext_out_off[i + 1]]
     }
 
     /// `|Nin(i)|`, including the self-loop.
     pub fn in_degree(&self, i: usize) -> usize {
-        self.in_nbrs[i].len()
+        self.in_off[i + 1] - self.in_off[i]
     }
 
     /// `|Nout(i)|`, including the self-loop.
     pub fn out_degree(&self, i: usize) -> usize {
-        self.out_nbrs[i].len()
+        self.out_off[i + 1] - self.out_off[i]
     }
 
     /// Whether the directed edge `(u, v)` exists (self-loops always do).
     pub fn has_edge(&self, u: usize, v: usize) -> bool {
-        self.out_nbrs[u].binary_search(&v).is_ok()
+        self.out_neighbors(u).binary_search(&v).is_ok()
     }
 
-    /// All directed edges excluding self-loops, sorted.
-    pub fn external_edges(&self) -> Vec<(usize, usize)> {
-        let mut edges = Vec::new();
-        for u in 0..self.n {
-            for &v in &self.out_nbrs[u] {
-                if u != v {
-                    edges.push((u, v));
+    /// All directed edges excluding self-loops, sorted. Precomputed — a
+    /// borrow, not an allocation.
+    pub fn external_edges(&self) -> &[(usize, usize)] {
+        &self.ext_edges
+    }
+
+    /// Depth-first reachability of every node from node 0 along one
+    /// direction of the CSR adjacency.
+    fn all_reachable(&self, adj: &[usize], off: &[usize]) -> bool {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[off[u]..off[u + 1]] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
                 }
             }
         }
-        edges
+        seen.into_iter().all(|s| s)
     }
 
     /// Whether every ordered pair of nodes is connected by a directed path.
     pub fn is_strongly_connected(&self) -> bool {
-        let reach = |nbrs: &Vec<Vec<usize>>| {
-            let mut seen = vec![false; self.n];
-            let mut stack = vec![0usize];
-            seen[0] = true;
-            while let Some(u) = stack.pop() {
-                for &v in &nbrs[u] {
-                    if !seen[v] {
-                        seen[v] = true;
-                        stack.push(v);
-                    }
-                }
-            }
-            seen.into_iter().all(|s| s)
-        };
-        reach(&self.out_nbrs) && reach(&self.in_nbrs)
+        self.all_reachable(&self.out_adj, &self.out_off)
+            && self.all_reachable(&self.in_adj, &self.in_off)
     }
 
     /// Whether the *external* graph (ignoring self-loops, treating edges as
@@ -395,13 +478,11 @@ impl Topology {
             color[start] = 0;
             let mut queue = std::collections::VecDeque::from([start]);
             while let Some(u) = queue.pop_front() {
-                let nbrs: Vec<usize> = self.out_nbrs[u]
+                let nbrs = self
+                    .external_out_neighbors(u)
                     .iter()
-                    .chain(self.in_nbrs[u].iter())
-                    .copied()
-                    .filter(|&v| v != u)
-                    .collect();
-                for v in nbrs {
+                    .chain(self.external_in_neighbors(u));
+                for &v in nbrs {
                     if color[v] == -1 {
                         color[v] = 1 - color[u];
                         queue.push_back(v);
@@ -421,7 +502,7 @@ impl fmt::Display for Topology {
             f,
             "Topology(n={}, external_edges={})",
             self.n,
-            self.external_edges().len()
+            self.ext_edges.len()
         )
     }
 }
@@ -567,7 +648,49 @@ mod tests {
     fn from_edges_dedups() {
         let t = Topology::from_edges(3, &[(0, 1), (0, 1), (1, 2)]);
         assert_eq!(t.out_neighbors(0), &[0, 1]);
-        assert_eq!(t.external_edges(), vec![(0, 1), (1, 2)]);
+        assert_eq!(t.external_edges(), &[(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn external_edges_are_sorted_and_consistent_with_neighbors() {
+        let t = Topology::ring_based(8);
+        let edges = t.external_edges();
+        assert!(edges.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+        for &(u, v) in edges {
+            assert_ne!(u, v);
+            assert!(t.external_out_neighbors(u).contains(&v));
+            assert!(t.external_in_neighbors(v).contains(&u));
+        }
+        let total: usize = (0..8).map(|i| t.external_out_neighbors(i).len()).sum();
+        assert_eq!(edges.len(), total);
+    }
+
+    #[test]
+    fn expander_is_connected_and_degree_bounded() {
+        let t = Topology::expander(50, 4, 11);
+        assert_eq!(t.len(), 50);
+        assert!(t.is_strongly_connected());
+        for i in 0..50 {
+            let ext = t.external_in_neighbors(i).len();
+            // Two Hamiltonian cycles: 2..=4 external neighbors after dedup.
+            assert!((2..=4).contains(&ext), "node {i}: degree {ext}");
+            assert_eq!(t.in_neighbors(i), t.out_neighbors(i), "undirected");
+        }
+    }
+
+    #[test]
+    fn expander_is_deterministic_in_seed() {
+        let a = Topology::expander(40, 6, 3);
+        let b = Topology::expander(40, 6, 3);
+        let c = Topology::expander(40, 6, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "degree must be even")]
+    fn expander_rejects_odd_degree() {
+        Topology::expander(10, 3, 0);
     }
 
     #[test]

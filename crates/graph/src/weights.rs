@@ -58,7 +58,7 @@ impl WeightMatrix {
     /// exist in both directions).
     pub fn metropolis(topology: &Topology) -> Self {
         let n = topology.len();
-        for (u, v) in topology.external_edges() {
+        for &(u, v) in topology.external_edges() {
             assert!(
                 topology.has_edge(v, u),
                 "metropolis weights need a symmetric topology; missing ({v},{u})"
@@ -67,7 +67,7 @@ impl WeightMatrix {
         let mut w = vec![0.0; n * n];
         for i in 0..n {
             let mut self_weight = 1.0;
-            for j in topology.external_out_neighbors(i) {
+            for &j in topology.external_out_neighbors(i) {
                 let wij = 1.0 / topology.in_degree(i).max(topology.in_degree(j)) as f64;
                 w[i * n + j] = wij;
                 self_weight -= wij;

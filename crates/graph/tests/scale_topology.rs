@@ -1,0 +1,70 @@
+//! Large-graph invariants: the CSR [`Topology`] must stay correct and
+//! cheap at the 10k-worker scale the event pump targets.
+//!
+//! These tests run in the default (debug) profile, so they double as a
+//! guard against accidentally reintroducing per-node allocations or
+//! quadratic construction: a regression shows up as a timeout long
+//! before it shows up as a wrong answer.
+
+use hop_graph::Topology;
+
+#[test]
+fn expander_at_10k_is_connected_and_degree_bounded() {
+    let t = Topology::expander(10_000, 4, 29);
+    assert_eq!(t.len(), 10_000);
+    assert!(t.is_strongly_connected());
+    for i in 0..t.len() {
+        let ext = t.external_out_neighbors(i).len();
+        // Two Hamiltonian cycles: 2..=4 external neighbors after dedup.
+        assert!((2..=4).contains(&ext), "node {i}: external degree {ext}");
+        assert_eq!(
+            t.external_in_neighbors(i),
+            t.external_out_neighbors(i),
+            "node {i}: expander must be symmetric"
+        );
+        assert!(!t.external_out_neighbors(i).contains(&i));
+    }
+    let edges = t.external_edges();
+    assert!(edges.windows(2).all(|w| w[0] < w[1]), "sorted, no dups");
+    let degree_sum: usize = (0..t.len())
+        .map(|i| t.external_out_neighbors(i).len())
+        .sum();
+    assert_eq!(edges.len(), degree_sum);
+}
+
+#[test]
+fn ring_and_torus_at_10k_keep_their_structure() {
+    let ring = Topology::ring(10_000);
+    assert!(ring.is_strongly_connected());
+    for i in 0..ring.len() {
+        assert_eq!(ring.in_degree(i), 3, "ring node {i}: self + 2 neighbors");
+    }
+
+    let torus = Topology::torus(100, 100);
+    assert!(torus.is_strongly_connected());
+    for i in 0..torus.len() {
+        assert_eq!(torus.in_degree(i), 5, "torus node {i}: self + 4 neighbors");
+    }
+}
+
+#[test]
+fn hierarchical_handles_thousands_of_machines() {
+    // 2500 machines x 4 workers = 10k nodes, one bridge per machine.
+    let sizes = vec![4usize; 2500];
+    let t = Topology::hierarchical(&sizes, 1);
+    assert_eq!(t.len(), 10_000);
+    assert!(t.is_strongly_connected());
+    // Worker 1 of machine 0 is not a bridge: only its machine-local
+    // all-reduce plus the self-loop.
+    assert_eq!(t.in_degree(1), 4);
+    // Worker 0 of machine 0 bridges to machine 1 and is bridged from the
+    // last machine.
+    assert!(t.has_edge(0, 4) && t.has_edge(9_996, 0));
+}
+
+#[test]
+fn expander_seeds_give_distinct_graphs_at_scale() {
+    let a = Topology::expander(10_000, 4, 1);
+    let b = Topology::expander(10_000, 4, 2);
+    assert_ne!(a, b);
+}

@@ -1,10 +1,362 @@
 //! A deterministic event queue over a virtual clock.
+//!
+//! [`EventQueue`] is a calendar queue (Brown 1988): pending events hash
+//! into an array of time buckets by an integer *tick* (`time / width`),
+//! and a pop scans forward from the current tick instead of sifting a
+//! heap. With a well-estimated bucket width both operations are O(1)
+//! amortized — the property that lets the simulation pump scale to
+//! 10k+ workers — versus the O(log n) of the [`HeapEventQueue`] it
+//! replaced.
+//!
+//! # Determinism
+//!
+//! The pop order is *exactly* the heap's order: earliest time first,
+//! FIFO (insertion sequence) on ties. The calendar structure cannot
+//! perturb it because ordering decisions never consult bucket geometry:
+//!
+//! * the tick is a monotone function of time (`(time * inv_width) as
+//!   u64` — multiplication by a positive constant and the saturating
+//!   float-to-int cast are both monotone), so an event at a strictly
+//!   smaller tick has a strictly smaller time;
+//! * the scan visits ticks in increasing order and, within a tick,
+//!   selects the minimum `(time, seq)` pair — equal times always share
+//!   a tick, so FIFO ties are resolved by `seq` exactly as the heap
+//!   resolved them;
+//! * bucket width and bucket count are re-estimated only between pops
+//!   (rebuilds), and a rebuild permutes storage, never the `(time,
+//!   seq)` selection order.
+//!
+//! `hop_sim`'s differential suite (`tests/queue_differential.rs`) drives
+//! both implementations through random push/pop interleavings with heavy
+//! same-time ties and asserts identical output streams.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// Virtual time in seconds.
 pub type SimTime = f64;
+
+/// Smallest bucket count; also the table size of [`EventQueue::new`].
+const MIN_BUCKETS: usize = 16;
+
+/// Largest bucket count a constructor pre-allocates (rebuilds may grow
+/// past it if the pending population really is that large).
+const MAX_INITIAL_BUCKETS: usize = 1 << 16;
+
+/// Consecutive full-rotation scan misses tolerated before the queue
+/// re-estimates its bucket width (the pending events' time span has
+/// drifted away from the estimate the table was built with).
+const MAX_FALLBACKS: u32 = 8;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    /// `time / width` quantized at insert/rebuild time; the bucket index
+    /// is `tick & mask`, and a scan matches on the exact tick so events
+    /// a full rotation ahead are never popped early.
+    tick: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted so each bucket's `BinaryHeap` (a max-heap) pops its
+        // minimum `(time, seq)` entry first. Because the tick is a
+        // monotone function of time, the top of a bucket also carries
+        // the bucket's minimal tick — which is what lets `pop` decide
+        // bucket membership for the scanned tick from `peek()` alone.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times must not be NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Calendar queue of timestamped events with deterministic FIFO
+/// tie-breaking.
+///
+/// # Contract
+///
+/// `push` requires a non-NaN time no earlier than [`now`](Self::now)
+/// (the time of the last popped event). The requirement is enforced
+/// with debug assertions: violations panic in debug/test builds and are
+/// undefined *ordering* (never memory unsafety) in release builds.
+///
+/// # Examples
+///
+/// ```
+/// use hop_sim::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(1.0, "a");
+/// q.push(1.0, "b"); // same time: FIFO order preserved
+/// assert_eq!(q.pop().unwrap().1, "a");
+/// assert_eq!(q.pop().unwrap().1, "b");
+/// ```
+pub struct EventQueue<E> {
+    /// Power-of-two bucket table; an entry lives in `tick & mask`. Each
+    /// bucket is a min-heap on `(time, seq)`, so the heavy same-time
+    /// ties a synchronized cluster produces (10k workers finishing the
+    /// same iteration at the same virtual instant land in one bucket)
+    /// cost O(log ties) per operation instead of a linear bucket scan.
+    buckets: Vec<BinaryHeap<Entry<E>>>,
+    /// `buckets.len() - 1`.
+    mask: u64,
+    /// Bucket width in seconds.
+    width: f64,
+    /// `1.0 / width`, the quantization factor of `tick_of`.
+    inv_width: f64,
+    /// The scan cursor: no pending entry has a tick below it.
+    cur_tick: u64,
+    /// Pending event count.
+    len: usize,
+    /// Full-rotation scan misses since the last rebuild.
+    fallbacks: u32,
+    /// Rebuild watermark reported by [`capacity`](Self::capacity).
+    cap: usize,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue at time 0 sized for `capacity` pending
+    /// events, so pushes up to that watermark never trigger a bucket
+    /// table rebuild. Simulation drivers size this from the number of
+    /// workers and the protocol fan-out (pending events, not total
+    /// events: the queue holds only in-flight work).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let nbuckets = (capacity / 2)
+            .clamp(MIN_BUCKETS, MAX_INITIAL_BUCKETS)
+            .next_power_of_two();
+        let mut buckets = Vec::new();
+        buckets.resize_with(nbuckets, BinaryHeap::new);
+        Self {
+            buckets,
+            mask: (nbuckets - 1) as u64,
+            // 1 ms buckets suit the simulated compute/transfer times;
+            // the first rebuild re-estimates from the live population.
+            width: 1e-3,
+            inv_width: 1e3,
+            cur_tick: 0,
+            len: 0,
+            fallbacks: 0,
+            cap: capacity.max(nbuckets * 2),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Number of pending events the queue accommodates before it next
+    /// rebuilds (grows) its bucket table. Pushes within this watermark
+    /// reorganize nothing.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Current virtual time (the time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, time: SimTime) -> u64 {
+        // Saturating cast: monotone in `time`, so bucket order can never
+        // disagree with time order.
+        (time * self.inv_width) as u64
+    }
+
+    /// Schedules `payload` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `time` is NaN or earlier than the
+    /// current virtual time (see the type-level contract).
+    pub fn push(&mut self, time: SimTime, payload: E) {
+        debug_assert!(!time.is_nan(), "event time must not be NaN");
+        debug_assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < {}",
+            self.now
+        );
+        if self.len + 1 > 2 * self.buckets.len() {
+            self.rebuild(self.len + 1);
+        }
+        let tick = self.tick_of(time);
+        if self.len == 0 || tick < self.cur_tick {
+            self.cur_tick = tick;
+        }
+        let entry = Entry {
+            time,
+            seq: self.seq,
+            tick,
+            payload,
+        };
+        self.seq += 1;
+        self.len += 1;
+        self.buckets[(tick & self.mask) as usize].push(entry);
+    }
+
+    /// Pops the earliest event (FIFO on ties), advancing the virtual
+    /// clock to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        if self.len == 0 {
+            return None;
+        }
+        let nbuckets = self.buckets.len() as u64;
+        // Scan forward one full rotation; matching on the exact tick
+        // (not the bucket) keeps far-future events out of early pops.
+        // Each bucket answers from its heap top alone: the top carries
+        // the bucket's minimal time, hence (monotone quantization) its
+        // minimal tick — if that tick is not the scanned one, nothing
+        // in the bucket is.
+        for tick in self.cur_tick..self.cur_tick.saturating_add(nbuckets) {
+            let b = (tick & self.mask) as usize;
+            if self.buckets[b].peek().is_some_and(|e| e.tick == tick) {
+                self.cur_tick = tick;
+                return Some(self.take(b));
+            }
+        }
+        // A full rotation came up empty: the next event is more than
+        // `nbuckets` ticks ahead. Fall back to a global minimum scan and
+        // re-estimate the width once this happens persistently.
+        self.fallbacks += 1;
+        let b = self.global_min().expect("len > 0 guarantees a minimum");
+        self.cur_tick = self.buckets[b]
+            .peek()
+            .expect("chosen bucket non-empty")
+            .tick;
+        let popped = self.take(b);
+        if self.fallbacks >= MAX_FALLBACKS {
+            self.rebuild(self.len.max(1));
+        }
+        Some(popped)
+    }
+
+    /// Time of the next event without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let b = self.global_min()?;
+        Some(
+            self.buckets[b]
+                .peek()
+                .expect("chosen bucket non-empty")
+                .time,
+        )
+    }
+
+    /// Bucket holding the global minimum `(time, seq)` entry (at its
+    /// heap top, by the bucket ordering invariant).
+    fn global_min(&self) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            let Some(e) = bucket.peek() else { continue };
+            let better = match best {
+                None => true,
+                Some(bb) => {
+                    let cur = self.buckets[bb].peek().expect("tracked bucket non-empty");
+                    (e.time, e.seq) < (cur.time, cur.seq)
+                }
+            };
+            if better {
+                best = Some(b);
+            }
+        }
+        best
+    }
+
+    /// Pops the top of bucket `b`, advancing the clock.
+    fn take(&mut self, b: usize) -> (SimTime, E) {
+        let entry = self.buckets[b].pop().expect("caller checked non-empty");
+        self.len -= 1;
+        self.now = entry.time;
+        if self.len < self.buckets.len() / 8 && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild(self.len.max(1));
+        }
+        (entry.time, entry.payload)
+    }
+
+    /// Rebuilds the bucket table for `target` pending events,
+    /// re-estimating the bucket width from the live population's time
+    /// span. Ordering is unaffected: ticks are recomputed with the same
+    /// monotone quantization, and selection stays `(time, seq)`.
+    fn rebuild(&mut self, target: usize) {
+        let nbuckets = target
+            .clamp(MIN_BUCKETS, usize::MAX / 2 + 1)
+            .next_power_of_two();
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            entries.extend(std::mem::take(bucket));
+        }
+        if entries.len() >= 2 {
+            let (mut min_t, mut max_t) = (f64::INFINITY, f64::NEG_INFINITY);
+            for e in &entries {
+                min_t = min_t.min(e.time);
+                max_t = max_t.max(e.time);
+            }
+            if max_t > min_t {
+                // Twice the mean inter-event gap: a pop's scan advances
+                // ~half a tick per event on average.
+                self.width = ((max_t - min_t) * 2.0 / entries.len() as f64).max(1e-12);
+                self.inv_width = self.width.recip();
+            }
+        }
+        self.buckets = Vec::new();
+        self.buckets.resize_with(nbuckets, BinaryHeap::new);
+        self.mask = (nbuckets - 1) as u64;
+        self.cap = nbuckets * 2;
+        self.fallbacks = 0;
+        self.cur_tick = self.tick_of(self.now);
+        for mut e in entries {
+            e.tick = self.tick_of(e.time);
+            self.cur_tick = self.cur_tick.min(e.tick);
+            self.buckets[(e.tick & self.mask) as usize].push(e);
+        }
+    }
+}
+
+impl<E> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len)
+            .field("buckets", &self.buckets.len())
+            .field("width", &self.width)
+            .finish()
+    }
+}
 
 struct HeapEntry<E> {
     time: SimTime,
@@ -38,26 +390,18 @@ impl<E> Ord for HeapEntry<E> {
     }
 }
 
-/// Min-heap of timestamped events with deterministic FIFO tie-breaking.
-///
-/// # Examples
-///
-/// ```
-/// use hop_sim::EventQueue;
-/// let mut q = EventQueue::new();
-/// q.push(1.0, "a");
-/// q.push(1.0, "b"); // same time: FIFO order preserved
-/// assert_eq!(q.pop().unwrap().1, "a");
-/// assert_eq!(q.pop().unwrap().1, "b");
-/// ```
+/// The original `BinaryHeap`-backed event queue, retained as the
+/// differential-testing oracle for [`EventQueue`] (and the baseline side
+/// of the scheduler benchmarks). Same API, same deterministic order,
+/// O(log n) per operation.
 #[derive(Default)]
-pub struct EventQueue<E> {
+pub struct HeapEventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
     seq: u64,
     now: SimTime,
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapEventQueue<E> {
     /// Creates an empty queue at time 0.
     pub fn new() -> Self {
         Self {
@@ -65,24 +409,6 @@ impl<E> EventQueue<E> {
             seq: 0,
             now: 0.0,
         }
-    }
-
-    /// Creates an empty queue at time 0 with space for `capacity` pending
-    /// events, so pushes up to that watermark never reallocate the heap.
-    /// Simulation drivers size this from the number of workers and the
-    /// protocol fan-out (pending events, not total events: the heap holds
-    /// only in-flight work).
-    pub fn with_capacity(capacity: usize) -> Self {
-        Self {
-            heap: BinaryHeap::with_capacity(capacity),
-            seq: 0,
-            now: 0.0,
-        }
-    }
-
-    /// Number of pending events the heap can hold without reallocating.
-    pub fn capacity(&self) -> usize {
-        self.heap.capacity()
     }
 
     /// Current virtual time (the time of the last popped event).
@@ -100,14 +426,11 @@ impl<E> EventQueue<E> {
         self.heap.is_empty()
     }
 
-    /// Schedules `payload` at absolute time `time`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `time` is NaN or earlier than the current virtual time.
+    /// Schedules `payload` at absolute time `time` (same contract as
+    /// [`EventQueue::push`]).
     pub fn push(&mut self, time: SimTime, payload: E) {
-        assert!(!time.is_nan(), "event time must not be NaN");
-        assert!(
+        debug_assert!(!time.is_nan(), "event time must not be NaN");
+        debug_assert!(
             time >= self.now,
             "cannot schedule into the past: {time} < {}",
             self.now
@@ -130,15 +453,6 @@ impl<E> EventQueue<E> {
     /// Time of the next event without popping.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.heap.peek().map(|e| e.time)
-    }
-}
-
-impl<E> std::fmt::Debug for EventQueue<E> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EventQueue")
-            .field("now", &self.now)
-            .field("pending", &self.heap.len())
-            .finish()
     }
 }
 
@@ -188,6 +502,22 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn rejects_nan_times_at_push() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn oracle_rejects_past_events() {
+        let mut q = HeapEventQueue::new();
+        q.push(2.0, ());
+        q.pop();
+        q.push(1.0, ());
+    }
+
+    #[test]
     fn with_capacity_pre_sizes_the_heap() {
         let mut q = EventQueue::with_capacity(32);
         let cap = q.capacity();
@@ -208,5 +538,64 @@ mod tests {
         assert_eq!(q.now(), 0.0);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn grows_and_shrinks_without_losing_order() {
+        // Push enough to force several grow rebuilds, drain to force
+        // shrink rebuilds; order stays exact throughout.
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            // Clustered times with heavy ties.
+            q.push((i % 13) as f64 * 0.5, i);
+        }
+        let mut last = (f64::NEG_INFINITY, 0u64);
+        for _ in 0..1000 {
+            let (t, i) = q.pop().unwrap();
+            assert!(
+                t > last.0 || (t == last.0 && i > last.1),
+                "order violated: {last:?} then ({t}, {i})"
+            );
+            last = (t, i);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_pop_via_fallback() {
+        let mut q = EventQueue::new();
+        q.push(0.0, 0);
+        // Far enough ahead that its tick is beyond one full rotation.
+        q.push(1e6, 1);
+        assert_eq!(q.pop(), Some((0.0, 0)));
+        assert_eq!(q.pop(), Some((1e6, 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_exact_order() {
+        let mut q = EventQueue::new();
+        let mut oracle = HeapEventQueue::new();
+        let mut t = 0.0;
+        let mut id = 0u64;
+        for round in 0..200 {
+            for j in 0..(round % 7 + 1) {
+                let at = t + (j % 3) as f64 * 0.25;
+                q.push(at, id);
+                oracle.push(at, id);
+                id += 1;
+            }
+            for _ in 0..(round % 5) {
+                let got = q.pop();
+                assert_eq!(got, oracle.pop());
+                if let Some((at, _)) = got {
+                    t = at;
+                }
+            }
+        }
+        while let Some(expect) = oracle.pop() {
+            assert_eq!(q.pop(), Some(expect));
+        }
+        assert!(q.is_empty());
     }
 }

@@ -4,8 +4,10 @@
 //! with injected random (6×, probability 1/n) and deterministic (4×)
 //! slowdowns — is reproduced here as a virtual-clock simulator:
 //!
-//! * [`events::EventQueue`] — a total-ordered event heap (time, then
-//!   insertion sequence) over an arbitrary payload.
+//! * [`events::EventQueue`] — a total-ordered calendar queue (time, then
+//!   insertion sequence) over an arbitrary payload, with the original
+//!   binary-heap implementation retained as a differential oracle
+//!   ([`events::HeapEventQueue`]).
 //! * [`cluster::ClusterSpec`] — worker→machine placement, per-worker
 //!   compute times, link latency/bandwidth (intra vs inter machine), and
 //!   per-node NIC serialization (the effect that makes a parameter server
@@ -33,6 +35,6 @@ pub mod hetero;
 pub mod trace;
 
 pub use cluster::{ClusterSpec, LinkModel, Network};
-pub use events::EventQueue;
+pub use events::{EventQueue, HeapEventQueue};
 pub use hetero::SlowdownModel;
 pub use trace::{IterationRecord, Trace};

@@ -35,6 +35,19 @@ impl Trace {
         }
     }
 
+    /// Creates an empty trace pre-sized for `records` iteration entries.
+    ///
+    /// A complete run appends one record per worker per iteration (plus
+    /// the entry into iteration 0), so callers that know both counts can
+    /// reserve the log up front and keep the hot recording path free of
+    /// reallocation at 10k-worker scale.
+    pub fn with_capacity(n_workers: usize, records: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(records),
+            n_workers,
+        }
+    }
+
     /// Number of workers.
     pub fn n_workers(&self) -> usize {
         self.n_workers

@@ -9,8 +9,9 @@
 //! The crate also provides the zero-copy parameter plane used by every
 //! runtime in `hop-core`: [`ParamBlock`] (an `Arc`-shared flat buffer with
 //! O(1) snapshots and copy-on-write mutation) and [`BufferPool`] (recycled
-//! zeroed scratch buffers), plus 4-way chunked elementwise kernels in
-//! [`ops`] that are bit-identical to their scalar references.
+//! zeroed scratch buffers), plus SIMD-dispatched elementwise kernels in
+//! [`ops`] (runtime-selected AVX2 on capable x86-64, 8-lane portable
+//! otherwise) that are bit-identical to their scalar references.
 //!
 //! # Examples
 //!

@@ -5,58 +5,58 @@
 //! without copying into tensor objects.
 //!
 //! The elementwise vector kernels ([`axpy`], [`axpby`], [`scale`], and
-//! [`mean_into`]/[`weighted_mean_into`] built on them) process the bulk of
-//! each slice in 4-wide chunks so the compiler emits unrolled/vectorized
-//! loops. Every element is still computed by exactly the same scalar
-//! expression in the same order as the naive loop, so results are
-//! *bit-identical* to the [`mod@reference`] implementations — chunking is a
-//! speed, not a semantics, change (property-tested in
-//! `tests/chunked_kernels.rs`).
+//! [`mean_into`]/[`weighted_mean_into`] built on them) dispatch at runtime
+//! to the widest SIMD backend the host supports (see [`simd`]): 256-bit
+//! AVX2 intrinsics on capable x86-64, otherwise an 8-lane unrolled
+//! portable path. Every element is still computed by exactly the same
+//! scalar expression — multiply then add as two separate rounding steps,
+//! never fused — in the same order as the naive loop, so results are
+//! *bit-identical* to the [`mod@reference`] implementations on every
+//! backend: vectorization is a speed, not a semantics, change
+//! (property-tested per backend in `tests/chunked_kernels.rs`).
+//!
+//! The reductions ([`dot`], [`norm2`], and the per-row dots inside
+//! [`gemv`]) deliberately stay scalar-sequential: a vectorized reduction
+//! reassociates the floating-point sum, and those results feed the
+//! experiment digests. [`gemv_t`], [`gemm`] and the mean kernels compose
+//! [`axpy`]/[`scale`], so they ride the SIMD backends for free without
+//! changing any accumulation order.
 
-/// Width of the unrolled inner loops.
-const CHUNK: usize = 4;
-
-/// `y += alpha * x` (AXPY), 4-way chunked.
+/// `y += alpha * x` (AXPY), SIMD-dispatched.
 ///
 /// # Panics
 ///
 /// Panics if `x` and `y` have different lengths.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    let mut yc = y.chunks_exact_mut(CHUNK);
-    let mut xc = x.chunks_exact(CHUNK);
-    for (yy, xx) in yc.by_ref().zip(xc.by_ref()) {
-        yy[0] += alpha * xx[0];
-        yy[1] += alpha * xx[1];
-        yy[2] += alpha * xx[2];
-        yy[3] += alpha * xx[3];
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_available() {
+        simd::avx2::axpy(alpha, x, y);
+        return;
     }
-    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
-        *yi += alpha * xi;
-    }
+    simd::portable::axpy(alpha, x, y);
 }
 
-/// `y = alpha * x + beta * y`, 4-way chunked.
+/// `y = alpha * x + beta * y`, SIMD-dispatched.
 ///
 /// # Panics
 ///
 /// Panics if `x` and `y` have different lengths.
 pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpby length mismatch");
-    let mut yc = y.chunks_exact_mut(CHUNK);
-    let mut xc = x.chunks_exact(CHUNK);
-    for (yy, xx) in yc.by_ref().zip(xc.by_ref()) {
-        yy[0] = alpha * xx[0] + beta * yy[0];
-        yy[1] = alpha * xx[1] + beta * yy[1];
-        yy[2] = alpha * xx[2] + beta * yy[2];
-        yy[3] = alpha * xx[3] + beta * yy[3];
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_available() {
+        simd::avx2::axpby(alpha, x, beta, y);
+        return;
     }
-    for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
-        *yi = alpha * xi + beta * *yi;
-    }
+    simd::portable::axpby(alpha, x, beta, y);
 }
 
 /// Dot product.
+///
+/// Deliberately a scalar sequential sum: the accumulation order is part
+/// of the workspace's determinism contract (losses and gradients feed
+/// experiment digests), and any SIMD reduction would reassociate it.
 ///
 /// # Panics
 ///
@@ -66,18 +66,14 @@ pub fn dot(x: &[f32], y: &[f32]) -> f32 {
     x.iter().zip(y).map(|(a, b)| a * b).sum()
 }
 
-/// Scales a slice in place: `x *= alpha`, 4-way chunked.
+/// Scales a slice in place: `x *= alpha`, SIMD-dispatched.
 pub fn scale(alpha: f32, x: &mut [f32]) {
-    let mut xc = x.chunks_exact_mut(CHUNK);
-    for xx in xc.by_ref() {
-        xx[0] *= alpha;
-        xx[1] *= alpha;
-        xx[2] *= alpha;
-        xx[3] *= alpha;
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_available() {
+        simd::avx2::scale(alpha, x);
+        return;
     }
-    for xi in xc.into_remainder() {
-        *xi *= alpha;
-    }
+    simd::portable::scale(alpha, x);
 }
 
 /// Fills a slice with a constant.
@@ -95,7 +91,7 @@ pub fn norm2(x: &[f32]) -> f32 {
 /// Elementwise mean of several equally sized slices into `out`.
 ///
 /// This is the Reduce of Fig. 4 line 15: `temp = sum(x_recv) / n`.
-/// Composed from the chunked [`axpy`]/[`scale`] kernels; the per-element
+/// Composed from the SIMD-dispatched [`axpy`]/[`scale`] kernels; the per-element
 /// accumulation order over `inputs` matches the naive reference exactly.
 ///
 /// # Panics
@@ -238,12 +234,228 @@ pub fn argmax(x: &[f32]) -> usize {
     best
 }
 
-/// Naive scalar implementations of the chunked vector kernels.
+/// SIMD backends for the elementwise kernels.
 ///
-/// These are the bit-exactness oracles: the chunked [`axpy`], [`axpby`],
-/// [`scale`] and [`mean_into`] must produce identical bits for every
-/// input (see `tests/chunked_kernels.rs`). They are also the "scalar"
-/// side of the `hot_path` benchmark.
+/// Two implementations of each kernel live here:
+///
+/// * [`simd::portable`] — 8-lane manually unrolled code that compiles on
+///   every target and that the autovectorizer can widen to whatever
+///   vector ISA the build targets.
+/// * [`simd::avx2`] (x86-64 only) — hand-written 256-bit intrinsics,
+///   selected by the public dispatchers at runtime via
+///   [`simd::avx2_available`].
+///
+/// Both backends compute every element with exactly the scalar
+/// expression of [`mod@reference`]: multiply then add as
+/// two separate rounding steps (never FMA, which fuses them and changes
+/// the low bits), elements visited in ascending order. The dispatchers
+/// are therefore bit-identical no matter which backend runs; the suite
+/// in `tests/chunked_kernels.rs` pins each backend against the scalar
+/// oracle independently.
+pub mod simd {
+    /// Lane width of the portable unrolled kernels (also the f32 lane
+    /// count of a 256-bit AVX2 register).
+    pub const LANES: usize = 8;
+
+    /// Whether the public kernels will take the AVX2 backend on this
+    /// host. Always `false` off x86-64.
+    #[inline]
+    pub fn avx2_available() -> bool {
+        #[cfg(target_arch = "x86_64")]
+        {
+            std::arch::is_x86_feature_detected!("avx2")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            false
+        }
+    }
+
+    /// Portable 8-lane unrolled kernels — the fallback backend.
+    pub mod portable {
+        use super::LANES;
+
+        /// `y += alpha * x`, 8-lane unrolled.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `x` and `y` have different lengths.
+        pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+            assert_eq!(x.len(), y.len(), "axpy length mismatch");
+            let mut yc = y.chunks_exact_mut(LANES);
+            let mut xc = x.chunks_exact(LANES);
+            for (yy, xx) in yc.by_ref().zip(xc.by_ref()) {
+                for l in 0..LANES {
+                    yy[l] += alpha * xx[l];
+                }
+            }
+            for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+                *yi += alpha * xi;
+            }
+        }
+
+        /// `y = alpha * x + beta * y`, 8-lane unrolled.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `x` and `y` have different lengths.
+        pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+            assert_eq!(x.len(), y.len(), "axpby length mismatch");
+            let mut yc = y.chunks_exact_mut(LANES);
+            let mut xc = x.chunks_exact(LANES);
+            for (yy, xx) in yc.by_ref().zip(xc.by_ref()) {
+                for l in 0..LANES {
+                    yy[l] = alpha * xx[l] + beta * yy[l];
+                }
+            }
+            for (yi, xi) in yc.into_remainder().iter_mut().zip(xc.remainder()) {
+                *yi = alpha * xi + beta * *yi;
+            }
+        }
+
+        /// `x *= alpha`, 8-lane unrolled.
+        pub fn scale(alpha: f32, x: &mut [f32]) {
+            let mut xc = x.chunks_exact_mut(LANES);
+            for xx in xc.by_ref() {
+                for l in 0..LANES {
+                    xx[l] *= alpha;
+                }
+            }
+            for xi in xc.into_remainder() {
+                *xi *= alpha;
+            }
+        }
+    }
+
+    /// Hand-written AVX2 kernels (256-bit, 8 × f32 per operation).
+    ///
+    /// Each vector lane evaluates the exact scalar expression — separate
+    /// `_mm256_mul_ps` and `_mm256_add_ps`, never an FMA — so the result
+    /// is bit-identical to [`portable`] and
+    /// [`reference`](crate::ops::reference). The tail (< 8 elements) runs
+    /// the scalar expression directly.
+    #[cfg(target_arch = "x86_64")]
+    pub mod avx2 {
+        #![deny(unsafe_op_in_unsafe_fn)]
+
+        use core::arch::x86_64::{
+            _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+        };
+
+        use super::LANES;
+
+        /// `y += alpha * x` via 256-bit lanes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the lengths mismatch or the host lacks AVX2.
+        pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+            assert_eq!(x.len(), y.len(), "axpy length mismatch");
+            assert!(super::avx2_available(), "host CPU lacks AVX2");
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { axpy_impl(alpha, x, y) }
+        }
+
+        /// `y = alpha * x + beta * y` via 256-bit lanes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the lengths mismatch or the host lacks AVX2.
+        pub fn axpby(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+            assert_eq!(x.len(), y.len(), "axpby length mismatch");
+            assert!(super::avx2_available(), "host CPU lacks AVX2");
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { axpby_impl(alpha, x, beta, y) }
+        }
+
+        /// `x *= alpha` via 256-bit lanes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the host lacks AVX2.
+        pub fn scale(alpha: f32, x: &mut [f32]) {
+            assert!(super::avx2_available(), "host CPU lacks AVX2");
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { scale_impl(alpha, x) }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn axpy_impl(alpha: f32, x: &[f32], y: &mut [f32]) {
+            let n = x.len();
+            let va = _mm256_set1_ps(alpha);
+            let mut i = 0;
+            while i + LANES <= n {
+                // SAFETY: `i + LANES <= n` bounds both loads and the store.
+                unsafe {
+                    let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+                    let vy = _mm256_loadu_ps(y.as_ptr().add(i));
+                    // mul then add, two rounding steps: matches scalar
+                    // `y + alpha * x` bitwise (an FMA would not).
+                    _mm256_storeu_ps(
+                        y.as_mut_ptr().add(i),
+                        _mm256_add_ps(vy, _mm256_mul_ps(va, vx)),
+                    );
+                }
+                i += LANES;
+            }
+            while i < n {
+                y[i] += alpha * x[i];
+                i += 1;
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn axpby_impl(alpha: f32, x: &[f32], beta: f32, y: &mut [f32]) {
+            let n = x.len();
+            let va = _mm256_set1_ps(alpha);
+            let vb = _mm256_set1_ps(beta);
+            let mut i = 0;
+            while i + LANES <= n {
+                // SAFETY: `i + LANES <= n` bounds both loads and the store.
+                unsafe {
+                    let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+                    let vy = _mm256_loadu_ps(y.as_ptr().add(i));
+                    // alpha*x and beta*y each round once, then one add:
+                    // the exact scalar evaluation order of `axpby`.
+                    let r = _mm256_add_ps(_mm256_mul_ps(va, vx), _mm256_mul_ps(vb, vy));
+                    _mm256_storeu_ps(y.as_mut_ptr().add(i), r);
+                }
+                i += LANES;
+            }
+            while i < n {
+                y[i] = alpha * x[i] + beta * y[i];
+                i += 1;
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn scale_impl(alpha: f32, x: &mut [f32]) {
+            let n = x.len();
+            let va = _mm256_set1_ps(alpha);
+            let mut i = 0;
+            while i + LANES <= n {
+                // SAFETY: `i + LANES <= n` bounds the load and the store.
+                unsafe {
+                    let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+                    _mm256_storeu_ps(x.as_mut_ptr().add(i), _mm256_mul_ps(vx, va));
+                }
+                i += LANES;
+            }
+            while i < n {
+                x[i] *= alpha;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Naive scalar implementations of the vectorized kernels.
+///
+/// These are the bit-exactness oracles: the dispatched [`axpy`],
+/// [`axpby`], [`scale`] and [`mean_into`] — and both [`simd`] backends
+/// individually — must produce identical bits for every input (see
+/// `tests/chunked_kernels.rs`). They are also the "scalar" side of the
+/// `hot_path` benchmark.
 pub mod reference {
     /// Scalar `y += alpha * x`.
     ///

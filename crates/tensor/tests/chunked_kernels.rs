@@ -1,11 +1,13 @@
-//! Bit-exactness properties of the chunked vector kernels and the
-//! sharing guarantees of [`ParamBlock`].
+//! Bit-exactness properties of the SIMD-dispatched vector kernels and
+//! the sharing guarantees of [`ParamBlock`].
 //!
-//! The 4-way chunked `axpy`/`axpby`/`scale`/`mean_into` must produce the
-//! *same bits* as the naive scalar references in `ops::reference` for
-//! every length — in particular across the remainder boundary (lengths
-//! that are not multiples of 4). Lengths 0–67 cover empty, sub-chunk,
-//! exact-multiple and remainder cases.
+//! The dispatched `axpy`/`axpby`/`scale`/`mean_into` — and both
+//! `ops::simd` backends (portable 8-lane, AVX2 where the host supports
+//! it) individually — must produce the *same bits* as the naive scalar
+//! references in `ops::reference` for every length, in particular
+//! across the remainder boundary (lengths that are not lane multiples).
+//! Lengths 0–67 cover empty, sub-lane, exact-multiple and remainder
+//! cases.
 
 use hop_tensor::{ops, ParamBlock};
 use proptest::prelude::*;
@@ -81,6 +83,102 @@ proptest! {
         ops::mean_into(&views, &mut chunked);
         ops::reference::mean_into(&views, &mut scalar);
         prop_assert_eq!(bits(&chunked), bits(&scalar));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn portable_backend_matches_reference_bitwise(len in 0usize..68, seed in 0u64..1_000_000_000) {
+        let coeffs = values(seed ^ 0xF6, 2);
+        let (alpha, beta) = (coeffs.first().copied().unwrap_or(0.5), coeffs.get(1).copied().unwrap_or(-0.5));
+        let x = values(seed, len);
+        let y0 = values(seed ^ 0x17, len);
+
+        let mut simd = y0.clone();
+        let mut scalar = y0.clone();
+        ops::simd::portable::axpy(alpha, &x, &mut simd);
+        ops::reference::axpy(alpha, &x, &mut scalar);
+        prop_assert_eq!(bits(&simd), bits(&scalar));
+
+        let mut simd = y0.clone();
+        let mut scalar = y0.clone();
+        ops::simd::portable::axpby(alpha, &x, beta, &mut simd);
+        ops::reference::axpby(alpha, &x, beta, &mut scalar);
+        prop_assert_eq!(bits(&simd), bits(&scalar));
+
+        let mut simd = y0.clone();
+        let mut scalar = y0;
+        ops::simd::portable::scale(alpha, &mut simd);
+        ops::reference::scale(alpha, &mut scalar);
+        prop_assert_eq!(bits(&simd), bits(&scalar));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_backend_matches_reference_bitwise(len in 0usize..68, seed in 0u64..1_000_000_000) {
+        if ops::simd::avx2_available() {
+            let coeffs = values(seed ^ 0x28, 2);
+            let (alpha, beta) = (coeffs.first().copied().unwrap_or(0.5), coeffs.get(1).copied().unwrap_or(-0.5));
+            let x = values(seed, len);
+            let y0 = values(seed ^ 0x39, len);
+
+            let mut simd = y0.clone();
+            let mut scalar = y0.clone();
+            ops::simd::avx2::axpy(alpha, &x, &mut simd);
+            ops::reference::axpy(alpha, &x, &mut scalar);
+            prop_assert_eq!(bits(&simd), bits(&scalar));
+
+            let mut simd = y0.clone();
+            let mut scalar = y0.clone();
+            ops::simd::avx2::axpby(alpha, &x, beta, &mut simd);
+            ops::reference::axpby(alpha, &x, beta, &mut scalar);
+            prop_assert_eq!(bits(&simd), bits(&scalar));
+
+            let mut simd = y0.clone();
+            let mut scalar = y0;
+            ops::simd::avx2::scale(alpha, &mut simd);
+            ops::reference::scale(alpha, &mut scalar);
+            prop_assert_eq!(bits(&simd), bits(&scalar));
+        }
+    }
+}
+
+/// The two explicit backends must agree with each other bitwise on an
+/// AVX2 host (skipped, trivially, elsewhere) — including values where an
+/// FMA-contracted kernel would diverge from mul-then-add.
+#[cfg(target_arch = "x86_64")]
+#[test]
+fn avx2_and_portable_backends_agree_bitwise() {
+    if !ops::simd::avx2_available() {
+        return;
+    }
+    for len in 0..=67usize {
+        let x = values(len as u64 + 201, len);
+        let y0 = values(len as u64 + 307, len);
+        // 1/3 is inexact in binary: alpha * x rounds, so a fused
+        // multiply-add would produce different low bits than mul + add.
+        let alpha = 1.0f32 / 3.0;
+        let beta = -2.0f32 / 3.0;
+
+        let mut a = y0.clone();
+        let mut b = y0.clone();
+        ops::simd::avx2::axpy(alpha, &x, &mut a);
+        ops::simd::portable::axpy(alpha, &x, &mut b);
+        assert_eq!(bits(&a), bits(&b), "axpy len {len}");
+
+        let mut a = y0.clone();
+        let mut b = y0.clone();
+        ops::simd::avx2::axpby(alpha, &x, beta, &mut a);
+        ops::simd::portable::axpby(alpha, &x, beta, &mut b);
+        assert_eq!(bits(&a), bits(&b), "axpby len {len}");
+
+        let mut a = y0.clone();
+        let mut b = y0;
+        ops::simd::avx2::scale(alpha, &mut a);
+        ops::simd::portable::scale(alpha, &mut b);
+        assert_eq!(bits(&a), bits(&b), "scale len {len}");
     }
 }
 

@@ -261,6 +261,59 @@ fn partial_allreduce_and_qgm_beat_ring_under_straggler() {
 }
 
 #[test]
+fn one_thousand_workers_complete_and_digest_stably() {
+    // The scale floor of the event-pump work: a 1k-worker token-mode run
+    // completes inside the engine's own event budget (no budget bump, no
+    // stall) and is bit-for-bit reproducible — the digest, which eats the
+    // full trace and every worker's final parameters, agrees across two
+    // independent runs. Token mode keeps setup linear in workers (the
+    // tokenless rotation window computes an all-pairs graph diameter).
+    // Dimensions are small so the test measures the pump, not the SVM.
+    use hop::data::webspam::{SyntheticWebspam, WebspamConfig};
+    let run_once = || {
+        let dataset = SyntheticWebspam::generate_with(
+            256,
+            5,
+            WebspamConfig {
+                dim: 32,
+                nnz_per_example: 8,
+                label_noise: 0.05,
+            },
+        );
+        let model = Svm::log_loss(32);
+        SimExperiment {
+            topology: Topology::ring(1000),
+            cluster: ClusterSpec::uniform(1000, 4, 0.05, LinkModel::ethernet_1gbps()),
+            slowdown: SlowdownModel::None,
+            protocol: Protocol::Hop(HopConfig::standard_with_tokens(4)),
+            hyper: Hyper::svm(),
+            max_iters: 3,
+            seed: 29,
+            eval_every: 0,
+            eval_examples: 16,
+        }
+        .run(&model, &dataset)
+        .expect("valid configuration")
+    };
+    let a = run_once();
+    assert!(!a.deadlocked, "1k-worker run stalled");
+    assert!(!a.budget_exhausted, "1k-worker run blew the event budget");
+    assert_eq!(
+        a.final_params.len(),
+        1000,
+        "one parameter vector per worker"
+    );
+    assert!(a.events_processed > 0, "pump processed no events");
+    let b = run_once();
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "1k-worker digest diverged across same-seed reruns"
+    );
+    assert_eq!(a.events_processed, b.events_processed);
+}
+
+#[test]
 fn seeds_actually_matter() {
     // Guard against a frozen RNG: two different seeds must produce
     // different trajectories for at least the decentralized runtime.

@@ -129,7 +129,7 @@ proptest! {
         prop_assert!(!report.deadlocked);
         let gaps = report.trace.max_pairwise_gap();
         for i in 0..n {
-            for j in topo.external_in_neighbors(i) {
+            for &j in topo.external_in_neighbors(i) {
                 prop_assert!(
                     gaps[i][j] <= (s + 1) as i64,
                     "adjacent staleness gap {} > s+1 = {}",
