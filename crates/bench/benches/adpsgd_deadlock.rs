@@ -24,7 +24,10 @@ fn deadlock_rate(topo: &Topology, require_bipartite: bool, trials: u64) -> (u64,
             cluster: paper_cluster(topo.len()),
             topology: topo.clone(),
             slowdown: SlowdownModel::None,
-            protocol: Protocol::AdPsgd(AdPsgdConfig { require_bipartite }),
+            protocol: Protocol::AdPsgd(AdPsgdConfig {
+                require_bipartite,
+                ..AdPsgdConfig::default()
+            }),
             hyper: workload.hyper(),
             max_iters: 40,
             seed: SEED ^ seed,

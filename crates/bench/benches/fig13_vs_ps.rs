@@ -33,7 +33,7 @@ fn main() {
             ),
             (
                 "PS/BSP (homogeneous)",
-                Protocol::Ps(PsConfig { mode: PsMode::Bsp }),
+                Protocol::Ps(PsConfig::new(PsMode::Bsp)),
                 SlowdownModel::None,
             ),
         ];

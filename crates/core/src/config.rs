@@ -8,6 +8,7 @@
 //! all-reduce, AD-PSGD).
 
 use hop_graph::Topology;
+use hop_tensor::CompressionConfig;
 use std::fmt;
 
 /// Whether gradients are applied before or after the parameter exchange
@@ -88,6 +89,10 @@ pub struct HopConfig {
     /// How the staleness Reduce weighs updates (Eq. 2 by default; the
     /// alternatives support the §4.4 "future work" ablation).
     pub staleness_weighting: crate::semantics::StalenessWeighting,
+    /// Codec applied to every update message this protocol puts on the
+    /// wire ([`CompressionConfig::Identity`] by default, which leaves the
+    /// uncompressed code path bit-for-bit untouched).
+    pub compression: CompressionConfig,
 }
 
 impl HopConfig {
@@ -101,6 +106,7 @@ impl HopConfig {
             skip: None,
             send_inquiry: None,
             staleness_weighting: crate::semantics::StalenessWeighting::Linear,
+            compression: CompressionConfig::Identity,
         }
     }
 
@@ -124,6 +130,7 @@ impl HopConfig {
             skip: None,
             send_inquiry: None,
             staleness_weighting: crate::semantics::StalenessWeighting::Linear,
+            compression: CompressionConfig::Identity,
         }
     }
 
@@ -164,6 +171,12 @@ impl HopConfig {
         scheme: crate::semantics::StalenessWeighting,
     ) -> Self {
         self.staleness_weighting = scheme;
+        self
+    }
+
+    /// Selects the update-message codec (default: identity).
+    pub fn with_compression(mut self, compression: CompressionConfig) -> Self {
+        self.compression = compression;
         self
     }
 
@@ -239,6 +252,9 @@ impl HopConfig {
                 });
             }
         }
+        self.compression
+            .validate()
+            .map_err(ConfigError::InvalidCompression)?;
         Ok(())
     }
 }
@@ -261,25 +277,72 @@ pub enum PsMode {
 }
 
 /// Parameter-server baseline configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PsConfig {
     /// Coordination mode.
     pub mode: PsMode,
+    /// Codec applied to parameter broadcasts and gradient pushes
+    /// (identity by default).
+    pub compression: CompressionConfig,
+}
+
+impl PsConfig {
+    /// Uncompressed parameter server in the given mode.
+    pub fn new(mode: PsMode) -> Self {
+        Self {
+            mode,
+            compression: CompressionConfig::Identity,
+        }
+    }
+
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidCompression`] for a malformed codec.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.compression
+            .validate()
+            .map_err(ConfigError::InvalidCompression)
+    }
+}
+
+impl Default for PsConfig {
+    fn default() -> Self {
+        Self::new(PsMode::Bsp)
+    }
 }
 
 /// AD-PSGD baseline configuration (§5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdPsgdConfig {
     /// When true, refuse to run on non-bipartite graphs (the published
     /// deadlock-free schedule requires bipartiteness); when false, run
     /// anyway and let the simulator detect deadlock.
     pub require_bipartite: bool,
+    /// Codec applied to the pairwise parameter exchanges (identity by
+    /// default).
+    pub compression: CompressionConfig,
+}
+
+impl AdPsgdConfig {
+    /// Validates the knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::InvalidCompression`] for a malformed codec.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.compression
+            .validate()
+            .map_err(ConfigError::InvalidCompression)
+    }
 }
 
 impl Default for AdPsgdConfig {
     fn default() -> Self {
         Self {
             require_bipartite: true,
+            compression: CompressionConfig::Identity,
         }
     }
 }
@@ -294,7 +357,7 @@ impl Default for AdPsgdConfig {
 /// own group. [`regen_every`](Self::regen_every) controls how many rounds
 /// a partition is reused before it is re-drawn — regeneration is what
 /// mixes information across groups.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PragueConfig {
     /// Maximum workers per all-reduce group (the paper uses small groups,
     /// e.g. 2–8). Groups of 1 degenerate to local SGD for that round.
@@ -302,6 +365,8 @@ pub struct PragueConfig {
     /// Rounds between partition regenerations (1 = fresh groups every
     /// round, the paper's default).
     pub regen_every: u64,
+    /// Codec applied to the in-group reduce traffic (identity by default).
+    pub compression: CompressionConfig,
 }
 
 impl PragueConfig {
@@ -309,7 +374,7 @@ impl PragueConfig {
     pub fn with_group_size(group_size: usize) -> Self {
         Self {
             group_size,
-            regen_every: 1,
+            ..Self::default()
         }
     }
 
@@ -318,7 +383,8 @@ impl PragueConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError::InvalidPrague`] if `group_size == 0` or
-    /// `regen_every == 0`.
+    /// `regen_every == 0`, or [`ConfigError::InvalidCompression`] for a
+    /// malformed codec.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.group_size == 0 {
             return Err(ConfigError::InvalidPrague("group_size must be >= 1"));
@@ -326,6 +392,9 @@ impl PragueConfig {
         if self.regen_every == 0 {
             return Err(ConfigError::InvalidPrague("regen_every must be >= 1"));
         }
+        self.compression
+            .validate()
+            .map_err(ConfigError::InvalidCompression)?;
         Ok(())
     }
 }
@@ -335,6 +404,7 @@ impl Default for PragueConfig {
         Self {
             group_size: 4,
             regen_every: 1,
+            compression: CompressionConfig::Identity,
         }
     }
 }
@@ -349,6 +419,9 @@ pub struct QgmConfig {
     /// Mixing weight `beta` of the fresh parameter displacement (the
     /// paper's choice is `1 - mu`).
     pub beta: f32,
+    /// Codec applied to the gossiped half-step parameters (identity by
+    /// default).
+    pub compression: CompressionConfig,
 }
 
 impl QgmConfig {
@@ -357,7 +430,8 @@ impl QgmConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError::InvalidQgm`] if `mu` is outside `[0, 1)` or
-    /// `beta` is not finite and non-negative.
+    /// `beta` is not finite and non-negative, or
+    /// [`ConfigError::InvalidCompression`] for a malformed codec.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..1.0).contains(&self.mu) {
             return Err(ConfigError::InvalidQgm("mu must be in [0,1)"));
@@ -365,13 +439,20 @@ impl QgmConfig {
         if !self.beta.is_finite() || self.beta < 0.0 {
             return Err(ConfigError::InvalidQgm("beta must be finite and >= 0"));
         }
+        self.compression
+            .validate()
+            .map_err(ConfigError::InvalidCompression)?;
         Ok(())
     }
 }
 
 impl Default for QgmConfig {
     fn default() -> Self {
-        Self { mu: 0.9, beta: 0.1 }
+        Self {
+            mu: 0.9,
+            beta: 0.1,
+            compression: CompressionConfig::Identity,
+        }
     }
 }
 
@@ -421,6 +502,8 @@ pub enum ConfigError {
     InvalidPrague(&'static str),
     /// Invalid Quasi-Global Momentum hyperparameters.
     InvalidQgm(&'static str),
+    /// Invalid update-compression codec knobs.
+    InvalidCompression(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -452,6 +535,9 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::InvalidPrague(why) => write!(f, "invalid Prague config: {why}"),
             ConfigError::InvalidQgm(why) => write!(f, "invalid QGM config: {why}"),
+            ConfigError::InvalidCompression(why) => {
+                write!(f, "invalid compression config: {why}")
+            }
         }
     }
 }
@@ -567,15 +653,15 @@ mod tests {
         assert_eq!(
             PragueConfig {
                 group_size: 0,
-                regen_every: 1
+                ..PragueConfig::default()
             }
             .validate(),
             Err(ConfigError::InvalidPrague("group_size must be >= 1"))
         );
         assert_eq!(
             PragueConfig {
-                group_size: 4,
-                regen_every: 0
+                regen_every: 0,
+                ..PragueConfig::default()
             }
             .validate(),
             Err(ConfigError::InvalidPrague("regen_every must be >= 1"))
@@ -585,19 +671,75 @@ mod tests {
     #[test]
     fn qgm_config_validates() {
         QgmConfig::default().validate().unwrap();
-        assert!(QgmConfig { mu: 1.0, beta: 0.1 }.validate().is_err());
         assert!(QgmConfig {
-            mu: 0.9,
-            beta: -0.1
+            mu: 1.0,
+            ..QgmConfig::default()
         }
         .validate()
         .is_err());
         assert!(QgmConfig {
-            mu: 0.9,
-            beta: f32::NAN
+            beta: -0.1,
+            ..QgmConfig::default()
         }
         .validate()
         .is_err());
+        assert!(QgmConfig {
+            beta: f32::NAN,
+            ..QgmConfig::default()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn compression_is_validated_everywhere() {
+        let bad = CompressionConfig::TopK { ratio: 0.0 };
+        let hop = HopConfig::standard().with_compression(bad);
+        assert!(matches!(
+            hop.validate(&ring()),
+            Err(ConfigError::InvalidCompression(_))
+        ));
+        let ps = PsConfig {
+            compression: bad,
+            ..PsConfig::default()
+        };
+        assert!(matches!(
+            ps.validate(),
+            Err(ConfigError::InvalidCompression(_))
+        ));
+        let ad = AdPsgdConfig {
+            compression: bad,
+            ..AdPsgdConfig::default()
+        };
+        assert!(matches!(
+            ad.validate(),
+            Err(ConfigError::InvalidCompression(_))
+        ));
+        let pr = PragueConfig {
+            compression: bad,
+            ..PragueConfig::default()
+        };
+        assert!(matches!(
+            pr.validate(),
+            Err(ConfigError::InvalidCompression(_))
+        ));
+        let qg = QgmConfig {
+            compression: bad,
+            ..QgmConfig::default()
+        };
+        assert!(matches!(
+            qg.validate(),
+            Err(ConfigError::InvalidCompression(_))
+        ));
+        // The good codecs all pass.
+        HopConfig::standard()
+            .with_compression(CompressionConfig::TopK { ratio: 0.01 })
+            .validate(&ring())
+            .unwrap();
+        HopConfig::standard()
+            .with_compression(CompressionConfig::Int8Uniform)
+            .validate(&ring())
+            .unwrap();
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub use config::{
     ComputeOrder, HopConfig, PragueConfig, Protocol, QgmConfig, SkipConfig, SyncMode,
 };
 pub use conformance::{ConformanceSummary, Oracle, ProtocolEvent, ProtocolTrace, Violation};
+pub use hop_tensor::CompressionConfig;
 pub use report::TrainingReport;
 pub use sim_runtime::recorder::EvalConfig;
 pub use sweep::{SweepGrid, SweepResult, SweepRunner, SweepSummary};

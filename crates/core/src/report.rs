@@ -30,8 +30,18 @@ pub struct TrainingReport {
     pub wall_time: f64,
     /// Stale updates discarded by rotating queues (§6.2).
     pub stale_discarded: u64,
-    /// Payload bytes moved over the network.
+    /// Payload bytes moved over the network. When a compression codec is
+    /// configured this counts *encoded* bytes — what actually crossed the
+    /// wire — not the dense size of the updates.
     pub bytes_sent: u64,
+    /// Bytes the configured compression codec avoided sending: dense
+    /// size minus encoded size, summed over every compressed message.
+    /// Zero for the identity codec. Deliberately excluded from
+    /// [`TrainingReport::digest`]: like `events_processed` it is
+    /// diagnostic accounting, not something the paper's figures consume,
+    /// and adding it to the stream would break every pinned digest for a
+    /// pure bookkeeping counter.
+    pub bytes_saved: u64,
     /// Whether the run ended in deadlock (event queue drained before all
     /// workers finished) — expected for AD-PSGD on non-bipartite graphs.
     pub deadlocked: bool,

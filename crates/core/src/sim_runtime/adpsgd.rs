@@ -24,12 +24,21 @@ use hop_sim::{ClusterSpec, SlowdownModel};
 use hop_tensor::ParamBlock;
 use std::collections::VecDeque;
 
+use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
 use super::recorder::EvalConfig;
 
 enum Ev {
-    ComputeDone { w: usize },
-    AvgDone { active: usize, passive: usize },
+    ComputeDone {
+        w: usize,
+    },
+    AvgDone {
+        active: usize,
+        passive: usize,
+        /// With a lossy codec: the reconstructions each side shipped
+        /// (`active`'s then `passive`'s), encoded at send time.
+        recons: Option<(ParamBlock, ParamBlock)>,
+    },
 }
 
 /// Protocol-specific per-worker state; parameters, optimizer, sampler and
@@ -97,7 +106,13 @@ pub fn run(
             },
         })
         .collect();
-    let mut proto = AdPsgd { topology, workers };
+    let mut plane = CompressionPlane::new(cfg.compression);
+    plane.add_param_streams(n, engine.init_params());
+    let mut proto = AdPsgd {
+        topology,
+        workers,
+        plane,
+    };
     engine.drive(&mut proto)
 }
 
@@ -105,6 +120,9 @@ pub fn run(
 struct AdPsgd<'a> {
     topology: &'a Topology,
     workers: Vec<WorkerSt>,
+    /// One parameter stream per worker for the pairwise exchanges;
+    /// inactive under the identity codec.
+    plane: CompressionPlane,
 }
 
 impl AdPsgd<'_> {
@@ -118,10 +136,36 @@ impl AdPsgd<'_> {
         self.workers[active].busy = true;
         self.workers[passive].busy = true;
         self.workers[active].waiting_on = None;
-        // One round trip of parameters.
-        let there = eng.net.transfer(now, active, passive, eng.param_bytes);
-        let back = eng.net.transfer(there, passive, active, eng.param_bytes);
-        eng.events.push(back, Ev::AvgDone { active, passive });
+        // One round trip of parameters. With a lossy codec each side
+        // encodes at send time and ships its reconstruction; the network
+        // is charged the encoded sizes.
+        let (recons, wire_a, wire_b) = if self.plane.is_active() {
+            let snap_a = eng.workers[active].params.snapshot();
+            let (recon_a, wa) = self
+                .plane
+                .encode_params(active, snap_a.as_slice(), &mut eng.pool);
+            eng.pool.reclaim(snap_a);
+            let snap_b = eng.workers[passive].params.snapshot();
+            let (recon_b, wb) = self
+                .plane
+                .encode_params(passive, snap_b.as_slice(), &mut eng.pool);
+            eng.pool.reclaim(snap_b);
+            self.plane.charge(1, eng.param_bytes, wa);
+            self.plane.charge(1, eng.param_bytes, wb);
+            (Some((recon_a, recon_b)), wa, wb)
+        } else {
+            (None, eng.param_bytes, eng.param_bytes)
+        };
+        let there = eng.net.transfer(now, active, passive, wire_a);
+        let back = eng.net.transfer(there, passive, active, wire_b);
+        eng.events.push(
+            back,
+            Ev::AvgDone {
+                active,
+                passive,
+                recons,
+            },
+        );
     }
 
     fn finish_iteration(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
@@ -198,24 +242,53 @@ impl WorkerProtocol for AdPsgd<'_> {
                     self.finish_iteration(eng, w, now);
                 }
             }
-            Ev::AvgDone { active, passive } => {
-                // Atomic pairwise average: both sides take the mean. The
-                // mean is computed once into a pooled buffer and then
-                // *shared* by both replicas — they stay one allocation
-                // until either side's next write detaches it.
-                let mut mean = eng.pool.acquire(eng.workers[active].params.len());
-                {
-                    let pa = eng.workers[active].params.as_slice();
-                    let pb = eng.workers[passive].params.as_slice();
-                    for ((m, &a), &b) in mean.iter_mut().zip(pa).zip(pb) {
-                        *m = 0.5 * (a + b);
+            Ev::AvgDone {
+                active,
+                passive,
+                recons,
+            } => {
+                if let Some((recon_a, recon_b)) = recons {
+                    // Compressed exchange: each side averages its own
+                    // exact replica with the partner's reconstruction, so
+                    // the two sides no longer share one block.
+                    for (w, partner_recon) in [(active, &recon_b), (passive, &recon_a)] {
+                        let mut mean = eng.pool.acquire(eng.workers[w].params.len());
+                        {
+                            let own = eng.workers[w].params.as_slice();
+                            let other = partner_recon.as_slice();
+                            for ((m, &a), &b) in mean.iter_mut().zip(own).zip(other) {
+                                *m = 0.5 * (a + b);
+                            }
+                        }
+                        let old = std::mem::replace(
+                            &mut eng.workers[w].params,
+                            ParamBlock::from_vec(mean),
+                        );
+                        eng.pool.reclaim(old);
                     }
+                    eng.pool.reclaim(recon_a);
+                    eng.pool.reclaim(recon_b);
+                } else {
+                    // Atomic pairwise average: both sides take the mean.
+                    // The mean is computed once into a pooled buffer and
+                    // then *shared* by both replicas — they stay one
+                    // allocation until either side's next write detaches
+                    // it.
+                    let mut mean = eng.pool.acquire(eng.workers[active].params.len());
+                    {
+                        let pa = eng.workers[active].params.as_slice();
+                        let pb = eng.workers[passive].params.as_slice();
+                        for ((m, &a), &b) in mean.iter_mut().zip(pa).zip(pb) {
+                            *m = 0.5 * (a + b);
+                        }
+                    }
+                    let block = ParamBlock::from_vec(mean);
+                    let old_a =
+                        std::mem::replace(&mut eng.workers[active].params, block.snapshot());
+                    let old_p = std::mem::replace(&mut eng.workers[passive].params, block);
+                    eng.pool.reclaim(old_a);
+                    eng.pool.reclaim(old_p);
                 }
-                let block = ParamBlock::from_vec(mean);
-                let old_a = std::mem::replace(&mut eng.workers[active].params, block.snapshot());
-                let old_p = std::mem::replace(&mut eng.workers[passive].params, block);
-                eng.pool.reclaim(old_a);
-                eng.pool.reclaim(old_p);
                 self.workers[active].busy = false;
                 self.workers[passive].busy = false;
                 self.finish_iteration(eng, active, now);
@@ -243,6 +316,10 @@ impl WorkerProtocol for AdPsgd<'_> {
 
     fn final_params(&mut self, eng: &SimEngine<'_, Ev>) -> Vec<Vec<f32>> {
         eng.workers.iter().map(|s| s.params.to_vec()).collect()
+    }
+
+    fn bytes_saved(&self, _eng: &SimEngine<'_, Ev>) -> u64 {
+        self.plane.bytes_saved()
     }
 }
 
@@ -288,7 +365,10 @@ mod tests {
             batch_size: 16,
         };
         run(
-            &AdPsgdConfig { require_bipartite },
+            &AdPsgdConfig {
+                require_bipartite,
+                ..AdPsgdConfig::default()
+            },
             topo,
             &cluster,
             &SlowdownModel::None,

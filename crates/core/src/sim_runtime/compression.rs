@@ -1,0 +1,283 @@
+//! The communication-compression plane shared by the simulated runtimes.
+//!
+//! A [`CompressionPlane`] adapts the stateless-per-message codecs of
+//! [`hop_tensor::compress`] to the *stream* semantics a training protocol
+//! needs. Two kinds of stream exist:
+//!
+//! * **Parameter streams** (gossip protocols, server broadcasts) follow
+//!   the CHOCO-SGD construction: the sender keeps a *reference* copy
+//!   `x̂` of what its receivers currently believe, encodes the delta
+//!   `x − x̂`, advances `x̂` by the decoded delta, and ships the
+//!   reconstruction `x̂` itself. The delta carries every bit the
+//!   previous messages failed to move, so the reference *is* the error
+//!   feedback — the codec's own residual is reset before each encode to
+//!   avoid counting unsent mass twice. Every receiver of the stream sees
+//!   the identical reconstruction, so a top-k message still moves *all*
+//!   replicas — it just moves them by a sparse, quantized step — and the
+//!   Reduce semantics of each protocol are untouched.
+//! * **Gradient streams** (worker → server pushes) are plain EF-SGD: the
+//!   gradient plus residual is encoded, the decoded value replaces the
+//!   gradient in place, and the residual keeps what was dropped.
+//!
+//! Wire accounting: each encode reports the encoded byte size for the
+//! caller to charge to the virtual network. Because one encode can fan
+//! out to many receivers (gossip, broadcast) or feed an analytic
+//! pipeline (Prague), the *saving* is credited explicitly: the protocol
+//! calls [`CompressionPlane::charge`] with the receiver count it
+//! actually billed, and the plane accumulates `receivers × (dense −
+//! encoded)` into [`CompressionPlane::bytes_saved`] (reported via the
+//! digest-excluded [`crate::report::TrainingReport::bytes_saved`]). The
+//! invariant the accounting tests pin: `bytes_sent + bytes_saved` of a
+//! compressed run equals `bytes_sent` of the identity run.
+//!
+//! Identity discipline: when the configured codec is the identity, call
+//! sites must skip the plane entirely ([`CompressionPlane::is_active`]
+//! is false) and take their pre-compression path — the plane asserts it
+//! is never driven in identity mode, which is what keeps every pinned
+//! digest byte-identical under the default configuration.
+
+use hop_tensor::{
+    ops, BufferPool, Codec, CompressedBlock, CompressionConfig, Compressor, ErrorFeedback,
+    ParamBlock,
+};
+
+/// Per-stream codec state: the receivers' reference copy (parameter
+/// streams) or the error-feedback residual (gradient streams).
+#[derive(Debug, Default)]
+struct Stream {
+    /// The reconstruction every receiver of this stream holds; empty for
+    /// gradient streams.
+    reference: Vec<f32>,
+    /// Error feedback for gradient streams; parameter streams re-inject
+    /// unsent mass through the reference delta instead.
+    ef: ErrorFeedback,
+}
+
+/// Stream-compression state for one protocol run: a codec, per-stream
+/// reference/residual state, and reusable encode/decode scratch.
+#[derive(Debug)]
+pub struct CompressionPlane {
+    cfg: CompressionConfig,
+    codec: Codec,
+    streams: Vec<Stream>,
+    /// Wire-format scratch, reused across encodes.
+    block: CompressedBlock,
+    /// Delta / decoded-value scratch, reused across encodes.
+    delta: Vec<f32>,
+    decoded: Vec<f32>,
+    /// Always-zero residual handed to parameter-stream encodes (reset
+    /// each call): the reference delta already re-injects unsent mass.
+    param_ef: ErrorFeedback,
+    bytes_saved: u64,
+}
+
+impl CompressionPlane {
+    /// A plane for `cfg` with no streams yet (see
+    /// [`Self::add_param_streams`] / [`Self::add_grad_streams`]).
+    pub fn new(cfg: CompressionConfig) -> Self {
+        Self {
+            cfg,
+            codec: Codec::new(cfg),
+            streams: Vec::new(),
+            block: CompressedBlock::default(),
+            delta: Vec::new(),
+            decoded: Vec::new(),
+            param_ef: ErrorFeedback::new(),
+            bytes_saved: 0,
+        }
+    }
+
+    /// Whether a lossy codec is configured. When false the protocol must
+    /// bypass the plane entirely (the identity contract above).
+    pub fn is_active(&self) -> bool {
+        !self.cfg.is_identity()
+    }
+
+    /// The configuration this plane runs.
+    pub fn config(&self) -> CompressionConfig {
+        self.cfg
+    }
+
+    /// Appends `n` parameter streams whose receivers start out holding
+    /// `init` (every runtime initializes all replicas identically, so the
+    /// reference starts in sync by construction). No-op when inactive.
+    pub fn add_param_streams(&mut self, n: usize, init: &[f32]) {
+        if !self.is_active() {
+            return;
+        }
+        for _ in 0..n {
+            self.streams.push(Stream {
+                reference: init.to_vec(),
+                ef: ErrorFeedback::new(),
+            });
+        }
+    }
+
+    /// Appends `n` gradient streams (error feedback only, no reference).
+    /// No-op when inactive.
+    pub fn add_grad_streams(&mut self, n: usize) {
+        if !self.is_active() {
+            return;
+        }
+        for _ in 0..n {
+            self.streams.push(Stream::default());
+        }
+    }
+
+    /// Encodes parameter stream `slot`'s step from its reference to
+    /// `params`, advancing the reference by the decoded delta. Returns
+    /// the reconstruction to ship (pool-backed, reclaimable) and the
+    /// encoded wire bytes to charge the network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane is inactive or `slot` is not a parameter
+    /// stream of `params.len()` elements.
+    pub fn encode_params(
+        &mut self,
+        slot: usize,
+        params: &[f32],
+        pool: &mut BufferPool,
+    ) -> (ParamBlock, u64) {
+        assert!(self.is_active(), "identity plane must not be driven");
+        let stream = &mut self.streams[slot];
+        assert_eq!(
+            stream.reference.len(),
+            params.len(),
+            "parameter stream {slot} sized for {} elements, got {}",
+            stream.reference.len(),
+            params.len()
+        );
+        // delta = params - reference: everything prior messages did not
+        // move, so no extra residual may be added on top.
+        self.delta.clear();
+        self.delta.extend_from_slice(params);
+        ops::axpy(-1.0, &stream.reference, &mut self.delta);
+        self.param_ef.reset();
+        self.codec
+            .encode_into(&self.delta, &mut self.param_ef, pool, &mut self.block);
+        self.decoded.clear();
+        self.decoded.resize(params.len(), 0.0);
+        self.codec.decode_into(&self.block, &mut self.decoded);
+        ops::axpy(1.0, &self.decoded, &mut stream.reference);
+        let mut buf = pool.acquire(params.len());
+        buf.copy_from_slice(&stream.reference);
+        (ParamBlock::from_vec(buf), self.block.encoded_bytes())
+    }
+
+    /// Encodes gradient stream `slot`'s message, replacing `grad` with
+    /// its lossy reconstruction (EF-SGD) and returning the encoded wire
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane is inactive or `slot` is out of range.
+    pub fn encode_grad(&mut self, slot: usize, grad: &mut [f32], pool: &mut BufferPool) -> u64 {
+        assert!(self.is_active(), "identity plane must not be driven");
+        let stream = &mut self.streams[slot];
+        self.codec
+            .encode_into(grad, &mut stream.ef, pool, &mut self.block);
+        self.codec.decode_into(&self.block, grad);
+        self.block.encoded_bytes()
+    }
+
+    /// Credits the saving for `receivers` network messages that were
+    /// billed at `wire_bytes` instead of `dense_bytes` each. Protocols
+    /// call this alongside the network charge so `bytes_saved` mirrors
+    /// exactly what the virtual network was (not) asked to move.
+    pub fn charge(&mut self, receivers: u64, dense_bytes: u64, wire_bytes: u64) {
+        // Sparse blocks can exceed dense size at high keep ratios; a
+        // saving never goes negative.
+        self.bytes_saved += receivers * dense_bytes.saturating_sub(wire_bytes);
+    }
+
+    /// Total bytes the codec avoided sending so far (dense − encoded,
+    /// summed over every encode).
+    pub fn bytes_saved(&self) -> u64 {
+        self.bytes_saved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_plane_is_inert() {
+        let mut plane = CompressionPlane::new(CompressionConfig::Identity);
+        assert!(!plane.is_active());
+        plane.add_param_streams(4, &[1.0, 2.0]);
+        plane.add_grad_streams(4);
+        assert_eq!(plane.bytes_saved(), 0);
+    }
+
+    #[test]
+    fn param_stream_reference_tracks_reconstructions() {
+        let cfg = CompressionConfig::TopK { ratio: 0.5 };
+        let mut plane = CompressionPlane::new(cfg);
+        let mut pool = BufferPool::new();
+        let init = [0.0f32; 4];
+        plane.add_param_streams(1, &init);
+        // Step to [4, 0.1, 0, 0]: top-2 of the delta keeps 4 and 0.1.
+        let (recon, wire) = plane.encode_params(0, &[4.0, 0.1, 0.0, 0.0], &mut pool);
+        assert_eq!(wire, 4 + 8 * 2);
+        assert_eq!(recon.as_slice(), &[4.0, 0.1, 0.0, 0.0]);
+        // Next step from the updated reference: only the change moves.
+        let (recon, _) = plane.encode_params(0, &[4.0, 0.1, 3.0, 0.2], &mut pool);
+        assert_eq!(recon.as_slice(), &[4.0, 0.1, 3.0, 0.2]);
+        // At ratio 0.5 on 4 elements the sparse format (20 B) exceeds the
+        // dense one (16 B): the saving saturates at zero, never negative.
+        plane.charge(3, 16, wire);
+        assert_eq!(plane.bytes_saved(), 0);
+    }
+
+    #[test]
+    fn charge_scales_the_saving_by_receiver_count() {
+        let mut plane = CompressionPlane::new(CompressionConfig::Int8Uniform);
+        plane.charge(5, 400, 104);
+        assert_eq!(plane.bytes_saved(), 5 * (400 - 104));
+    }
+
+    #[test]
+    fn dropped_delta_mass_arrives_via_error_feedback() {
+        let cfg = CompressionConfig::TopK { ratio: 0.25 };
+        let mut plane = CompressionPlane::new(cfg);
+        let mut pool = BufferPool::new();
+        plane.add_param_streams(1, &[0.0; 4]);
+        // Only the largest of the four moves per message...
+        let target = [1.0f32, 0.5, 0.25, 0.125];
+        let (recon, _) = plane.encode_params(0, &target, &mut pool);
+        assert_eq!(recon.as_slice(), &[1.0, 0.0, 0.0, 0.0]);
+        // ...but with a stationary sender the residual drains: after a
+        // few messages the reconstruction converges to the target.
+        let mut last = recon;
+        for _ in 0..3 {
+            let (r, _) = plane.encode_params(0, &target, &mut pool);
+            last = r;
+        }
+        assert_eq!(last.as_slice(), &target);
+    }
+
+    #[test]
+    fn grad_stream_is_plain_error_feedback() {
+        let mut plane = CompressionPlane::new(CompressionConfig::Int8Uniform);
+        let mut pool = BufferPool::new();
+        plane.add_grad_streams(1);
+        let mut grad = [0.5f32, -0.25, 0.1];
+        let wire = plane.encode_grad(0, &mut grad, &mut pool);
+        assert_eq!(wire, 4 + 3);
+        // Reconstruction error stays within half a quantization step.
+        let scale = 0.5 / 127.0;
+        assert!((grad[0] - 0.5).abs() <= scale * 0.5000001);
+        plane.charge(1, 12, wire);
+        assert_eq!(plane.bytes_saved(), 12 - 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "identity plane must not be driven")]
+    fn identity_plane_refuses_to_encode() {
+        let mut plane = CompressionPlane::new(CompressionConfig::Identity);
+        let mut pool = BufferPool::new();
+        plane.encode_grad(0, &mut [1.0], &mut pool);
+    }
+}

@@ -24,6 +24,7 @@ use hop_queue::{RotatingQueues, Tag};
 use hop_sim::{ClusterSpec, SlowdownModel};
 use hop_tensor::ParamBlock;
 
+use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
 use super::recorder::EvalConfig;
 
@@ -152,6 +153,10 @@ struct Decentralized<'a> {
     max_ig: Option<u64>,
     skipped_sends: u64,
     workers: Vec<WorkerSt>,
+    /// One parameter stream per worker (see
+    /// [`super::compression`]); inactive under the identity codec, in
+    /// which case [`Self::do_send`] takes the exact-snapshot path.
+    plane: CompressionPlane,
 }
 
 impl<'a> Decentralized<'a> {
@@ -177,12 +182,15 @@ impl<'a> Decentralized<'a> {
                 }
             })
             .collect();
+        let mut plane = CompressionPlane::new(cfg.compression);
+        plane.add_param_streams(topology.len(), eng.init_params());
         Self {
             cfg,
             topology,
             max_ig,
             skipped_sends: 0,
             workers,
+            plane,
         }
     }
 
@@ -260,6 +268,13 @@ impl<'a> Decentralized<'a> {
     /// external sends go over the network (with the §6.2(b) inquiry
     /// optimization when enabled). Every delivery carries a zero-copy
     /// snapshot — the wire bytes are simulated, no parameter bytes move.
+    ///
+    /// With a lossy codec the self-delivery stays exact (the worker's own
+    /// queue never crosses the wire) while externals receive the codec's
+    /// reconstruction and the network is charged the encoded size. The
+    /// stream is encoded exactly once per Send regardless of how many
+    /// external sends the §6.2(b) inquiry suppresses, so the codec state
+    /// never depends on receivers' progress.
     fn do_send(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
         let params = eng.workers[w].params.snapshot();
         eng.conformance.record(|| ProtocolEvent::Send {
@@ -268,7 +283,14 @@ impl<'a> Decentralized<'a> {
             iter,
         });
         self.deliver_update(eng, w, w, iter, params.snapshot(), now);
+        let (wire, wire_bytes) = if self.plane.is_active() {
+            self.plane
+                .encode_params(w, params.as_slice(), &mut eng.pool)
+        } else {
+            (params.snapshot(), eng.param_bytes)
+        };
         let inquiry = self.cfg.effective_send_inquiry();
+        let mut delivered = 0u64;
         for &o in self.topology.external_out_neighbors(w) {
             if inquiry && eng.iters[o] > iter {
                 // The receiver has already passed this iteration; the
@@ -281,17 +303,23 @@ impl<'a> Decentralized<'a> {
                 to: o,
                 iter,
             });
-            let arrival = eng.net.transfer(now, w, o, eng.param_bytes);
+            let arrival = eng.net.transfer(now, w, o, wire_bytes);
+            delivered += 1;
             eng.events.push(
                 arrival,
                 Ev::Update {
                     to: o,
                     from: w,
                     iter,
-                    params: params.snapshot(),
+                    params: wire.snapshot(),
                 },
             );
         }
+        if self.plane.is_active() {
+            self.plane.charge(delivered, eng.param_bytes, wire_bytes);
+        }
+        eng.pool.reclaim(wire);
+        eng.pool.reclaim(params);
     }
 
     fn deliver_update(
@@ -728,6 +756,10 @@ impl WorkerProtocol for Decentralized<'_> {
 
     fn stale_discarded(&self, _eng: &SimEngine<'_, Ev>) -> u64 {
         self.workers.iter().map(|w| w.queue.stale_discarded()).sum()
+    }
+
+    fn bytes_saved(&self, _eng: &SimEngine<'_, Ev>) -> u64 {
+        self.plane.bytes_saved()
     }
 }
 

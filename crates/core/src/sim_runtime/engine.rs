@@ -129,6 +129,14 @@ pub trait WorkerProtocol {
     fn bytes_sent(&self, eng: &SimEngine<'_, Self::Event>) -> u64 {
         eng.net.bytes_sent()
     }
+
+    /// Bytes the configured compression codec avoided sending (dense
+    /// minus encoded, summed over compressed messages). Protocols that
+    /// run a [`crate::sim_runtime::compression::CompressionPlane`]
+    /// override this; everything else reports 0.
+    fn bytes_saved(&self, _eng: &SimEngine<'_, Self::Event>) -> u64 {
+        0
+    }
 }
 
 /// Shared driver for the simulated runtimes: event pump, common worker
@@ -452,6 +460,7 @@ impl<'a, E> SimEngine<'a, E> {
             final_params: proto.final_params(&self),
             stale_discarded: proto.stale_discarded(&self),
             bytes_sent: proto.bytes_sent(&self),
+            bytes_saved: proto.bytes_saved(&self),
             wall_time: self.events.now(),
             trace: self.trace,
             train_loss_time: self.recorder.train_time,

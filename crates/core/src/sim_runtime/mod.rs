@@ -6,6 +6,7 @@
 //! and loss curves, deterministically.
 
 pub mod adpsgd;
+pub mod compression;
 pub mod decentralized;
 pub mod engine;
 pub mod prague;

@@ -28,6 +28,7 @@ use hop_sim::{ClusterSpec, SlowdownModel};
 use hop_tensor::ParamBlock;
 use std::collections::HashMap;
 
+use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
 use super::recorder::EvalConfig;
 
@@ -64,10 +65,13 @@ pub fn run(
         eval,
     )
     .with_conformance(conformance);
+    let mut plane = CompressionPlane::new(cfg.compression);
+    plane.add_param_streams(n, engine.init_params());
     let mut proto = Prague {
         cfg: *cfg,
         rounds: HashMap::new(),
         bytes_sent: 0,
+        plane,
     };
     engine.drive(&mut proto)
 }
@@ -76,8 +80,15 @@ enum Ev {
     /// Worker `w` finished computing its iteration-`iter` gradient.
     ComputeDone { w: usize, iter: u64 },
     /// Group `group` of round `round` finished its intra-group
-    /// all-reduce pipeline.
-    GroupReduce { round: u64, group: usize },
+    /// all-reduce pipeline. Under a lossy codec `recons` carries each
+    /// member's compressed-stream reconstruction (in member order); the
+    /// reduce averages those instead of the exact replicas, so every
+    /// member agrees on the mean of what was actually transmitted.
+    GroupReduce {
+        round: u64,
+        group: usize,
+        recons: Option<Vec<ParamBlock>>,
+    },
 }
 
 /// Bookkeeping for one in-flight round: the (cached) partition and how
@@ -97,6 +108,7 @@ struct Prague {
     cfg: PragueConfig,
     rounds: HashMap<u64, RoundState>,
     bytes_sent: u64,
+    plane: CompressionPlane,
 }
 
 impl Prague {
@@ -186,28 +198,61 @@ impl WorkerProtocol for Prague {
                     self.advance(eng, w, iter, now);
                     return;
                 }
-                self.bytes_sent += (members.len() as u64 - 1) * 2 * eng.param_bytes;
+                // Under a lossy codec every member encodes its replica
+                // into its parameter stream here (once per round, when
+                // the group forms); the pipeline then moves the *mean*
+                // encoded size per step instead of the dense size.
+                let (recons, chunk) = if self.plane.is_active() {
+                    let mut recons = Vec::with_capacity(members.len());
+                    let mut sum_wire = 0u64;
+                    for &m in &members {
+                        let snap = eng.workers[m].params.snapshot();
+                        let (recon, wire) =
+                            self.plane.encode_params(m, snap.as_slice(), &mut eng.pool);
+                        eng.pool.reclaim(snap);
+                        sum_wire += wire;
+                        recons.push(recon);
+                    }
+                    let chunk = sum_wire / members.len() as u64;
+                    self.plane
+                        .charge(2 * (members.len() as u64 - 1), eng.param_bytes, chunk);
+                    (Some(recons), chunk)
+                } else {
+                    (None, eng.param_bytes)
+                };
+                self.bytes_sent += (members.len() as u64 - 1) * 2 * chunk;
                 // The same analytic pipeline model as the ring baseline,
                 // over the group's logical ring at chunk `bytes / g`.
-                let done = now
-                    + eng
-                        .net
-                        .spec()
-                        .ring_allreduce_time(&members, eng.param_bytes as f64);
+                let done = now + eng.net.spec().ring_allreduce_time(&members, chunk as f64);
                 eng.events.push(
                     done,
                     Ev::GroupReduce {
                         round: iter,
                         group: g,
+                        recons,
                     },
                 );
             }
-            Ev::GroupReduce { round, group } => {
+            Ev::GroupReduce {
+                round,
+                group,
+                recons,
+            } => {
                 let members = self.rounds[&round].groups[group].clone();
                 // Partial all-reduce: every member ends up with the group
                 // mean, shared as one allocation until the next write.
+                // When compressed, the mean is over the transmitted
+                // reconstructions — the only values all members saw.
                 let mut mean = eng.pool.acquire(eng.workers[members[0]].params.len());
-                {
+                if let Some(recons) = recons {
+                    {
+                        let views: Vec<&[f32]> = recons.iter().map(|r| r.as_slice()).collect();
+                        hop_tensor::ops::mean_into(&views, &mut mean);
+                    }
+                    for r in recons {
+                        eng.pool.reclaim(r);
+                    }
+                } else {
                     let views: Vec<&[f32]> = members
                         .iter()
                         .map(|&m| eng.workers[m].params.as_slice())
@@ -233,6 +278,10 @@ impl WorkerProtocol for Prague {
 
     fn bytes_sent(&self, _eng: &SimEngine<'_, Ev>) -> u64 {
         self.bytes_sent
+    }
+
+    fn bytes_saved(&self, _eng: &SimEngine<'_, Ev>) -> u64 {
+        self.plane.bytes_saved()
     }
 }
 
@@ -351,7 +400,7 @@ mod tests {
         let r = run_prague(
             PragueConfig {
                 group_size: 1,
-                regen_every: 1,
+                ..PragueConfig::default()
             },
             SlowdownModel::None,
             10,

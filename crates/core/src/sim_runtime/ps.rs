@@ -20,6 +20,7 @@ use hop_model::{Model, Sgd};
 use hop_sim::{ClusterSpec, SlowdownModel};
 use hop_tensor::ParamBlock;
 
+use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerProtocol};
 use super::recorder::EvalConfig;
 
@@ -54,17 +55,17 @@ pub fn run(
     match cfg.mode {
         PsMode::Bsp => {
             let engine = engine!();
-            let mut proto = BspServer::new(server, &engine);
+            let mut proto = BspServer::new(server, cfg.compression, &engine);
             engine.drive(&mut proto)
         }
         PsMode::Ssp(s) => {
             let engine = engine!();
-            let mut proto = AsyncServer::new(server, Some(s), &engine);
+            let mut proto = AsyncServer::new(server, Some(s), cfg.compression, &engine);
             engine.drive(&mut proto)
         }
         PsMode::Async => {
             let engine = engine!();
-            let mut proto = AsyncServer::new(server, None, &engine);
+            let mut proto = AsyncServer::new(server, None, cfg.compression, &engine);
             engine.drive(&mut proto)
         }
     }
@@ -90,17 +91,29 @@ struct BspServer {
     opt: Sgd,
     grad: Vec<f32>,
     mean_grad: Vec<f32>,
+    /// Stream 0: the broadcast (one stream — every worker receives the
+    /// identical reconstruction). Streams `1..=n`: per-worker gradient
+    /// pushes under plain error feedback.
+    plane: CompressionPlane,
 }
 
 impl BspServer {
-    fn new(server: usize, eng: &SimEngine<'_, BspRound>) -> Self {
+    fn new(
+        server: usize,
+        compression: hop_tensor::CompressionConfig,
+        eng: &SimEngine<'_, BspRound>,
+    ) -> Self {
         let dim = eng.init_params().len();
+        let mut plane = CompressionPlane::new(compression);
+        plane.add_param_streams(1, eng.init_params());
+        plane.add_grad_streams(eng.workers.len());
         Self {
             server,
             params: eng.init_block(),
             opt: eng.new_opt(),
             grad: vec![0.0; dim],
             mean_grad: vec![0.0; dim],
+            plane,
         }
     }
 }
@@ -122,24 +135,47 @@ impl WorkerProtocol for BspServer {
             }
             return;
         }
-        // Broadcast (serialized through the server's egress NIC).
+        // Broadcast (serialized through the server's egress NIC). Under a
+        // lossy codec the server encodes the round's step once and every
+        // worker receives (and computes on) the same reconstruction.
+        let (bcast, bcast_bytes) = if self.plane.is_active() {
+            let (recon, wire) = self
+                .plane
+                .encode_params(0, self.params.as_slice(), &mut eng.pool);
+            self.plane.charge(n as u64, eng.param_bytes, wire);
+            (Some(recon), wire)
+        } else {
+            (None, eng.param_bytes)
+        };
         let arrivals: Vec<f64> = (0..n)
-            .map(|w| eng.net.transfer(t, self.server, w, eng.param_bytes))
+            .map(|w| eng.net.transfer(t, self.server, w, bcast_bytes))
             .collect();
         for (w, &a) in arrivals.iter().enumerate() {
             eng.iters[w] = k;
             eng.record_enter(w, k, a);
         }
         // Compute + push gradients; server ingress serializes the pushes.
+        // Each push runs through its worker's gradient stream, so the
+        // server averages the lossy reconstructions it actually received.
         self.mean_grad.fill(0.0);
         let mut round_end = t;
         for w in 0..n {
             let done = arrivals[w] + eng.compute_duration(w, k);
-            let loss = eng.sample_grad(w, &self.params, &mut self.grad);
+            let loss = eng.sample_grad(w, bcast.as_ref().unwrap_or(&self.params), &mut self.grad);
             eng.recorder.train_loss(w, k, done, loss);
+            let push_bytes = if self.plane.is_active() {
+                let wire = self.plane.encode_grad(1 + w, &mut self.grad, &mut eng.pool);
+                self.plane.charge(1, eng.param_bytes, wire);
+                wire
+            } else {
+                eng.param_bytes
+            };
             hop_tensor::ops::axpy(1.0 / n as f32, &self.grad, &mut self.mean_grad);
-            let grad_arrival = eng.net.transfer(done, w, self.server, eng.param_bytes);
+            let grad_arrival = eng.net.transfer(done, w, self.server, push_bytes);
             round_end = round_end.max(grad_arrival);
+        }
+        if let Some(b) = bcast {
+            eng.pool.reclaim(b);
         }
         let t = round_end + APPLY_COST;
         self.opt.step_block(&mut self.params, &self.mean_grad);
@@ -155,6 +191,10 @@ impl WorkerProtocol for BspServer {
         // Report convention: one vector per worker (all hold the server
         // replica after the final broadcast).
         vec![self.params.to_vec(); eng.workers.len()]
+    }
+
+    fn bytes_saved(&self, _eng: &SimEngine<'_, BspRound>) -> u64 {
+        self.plane.bytes_saved()
     }
 }
 
@@ -184,16 +224,48 @@ struct AsyncServer {
     params: ParamBlock,
     opt: Sgd,
     blocked: Vec<bool>,
+    /// Streams `0..n`: per-worker parameter pulls (pulls happen at
+    /// different server states, so each worker tracks its own
+    /// reconstruction). Streams `n..2n`: per-worker gradient pushes.
+    plane: CompressionPlane,
 }
 
 impl AsyncServer {
-    fn new(server: usize, staleness: Option<u64>, eng: &SimEngine<'_, AsyncEv>) -> Self {
+    fn new(
+        server: usize,
+        staleness: Option<u64>,
+        compression: hop_tensor::CompressionConfig,
+        eng: &SimEngine<'_, AsyncEv>,
+    ) -> Self {
+        let n = eng.workers.len();
+        let mut plane = CompressionPlane::new(compression);
+        plane.add_param_streams(n, eng.init_params());
+        plane.add_grad_streams(n);
         Self {
             server,
             staleness,
             params: eng.init_block(),
             opt: eng.new_opt(),
-            blocked: vec![false; eng.workers.len()],
+            blocked: vec![false; n],
+            plane,
+        }
+    }
+
+    /// Encodes worker `w`'s next parameter pull, or snapshots the exact
+    /// replica under the identity codec. Returns the payload to ship and
+    /// the wire bytes to charge the server's egress NIC.
+    fn pull_payload(
+        &mut self,
+        w: usize,
+        pool: &mut hop_tensor::BufferPool,
+        param_bytes: u64,
+    ) -> (ParamBlock, u64) {
+        if self.plane.is_active() {
+            let (snap, wire) = self.plane.encode_params(w, self.params.as_slice(), pool);
+            self.plane.charge(1, param_bytes, wire);
+            (snap, wire)
+        } else {
+            (self.params.snapshot(), param_bytes)
         }
     }
 }
@@ -203,16 +275,12 @@ impl WorkerProtocol for AsyncServer {
 
     fn start(&mut self, eng: &mut SimEngine<'_, AsyncEv>) {
         // Initial broadcast: every worker gets a snapshot of one
-        // allocation.
+        // allocation (or, compressed, its stream's reconstruction).
         for w in 0..eng.workers.len() {
-            let a = eng.net.transfer(0.0, self.server, w, eng.param_bytes);
-            eng.events.push(
-                a,
-                AsyncEv::ParamsArrive {
-                    w,
-                    params: self.params.snapshot(),
-                },
-            );
+            let (snap, bytes) = self.pull_payload(w, &mut eng.pool, eng.param_bytes);
+            let a = eng.net.transfer(0.0, self.server, w, bytes);
+            eng.events
+                .push(a, AsyncEv::ParamsArrive { w, params: snap });
         }
     }
 
@@ -227,9 +295,17 @@ impl WorkerProtocol for AsyncServer {
                 // snapshot, not on whatever the server holds by then.
                 let loss = eng.sample_grad(w, &snap, &mut grad);
                 eng.pool.reclaim(snap);
-                let arrival = eng
-                    .net
-                    .transfer(compute_done, w, self.server, eng.param_bytes);
+                // Push through the worker's gradient stream: the server
+                // will apply the reconstruction it actually receives.
+                let push_bytes = if self.plane.is_active() {
+                    let n = eng.workers.len();
+                    let wire = self.plane.encode_grad(n + w, &mut grad, &mut eng.pool);
+                    self.plane.charge(1, eng.param_bytes, wire);
+                    wire
+                } else {
+                    eng.param_bytes
+                };
+                let arrival = eng.net.transfer(compute_done, w, self.server, push_bytes);
                 eng.events.push(
                     arrival,
                     AsyncEv::GradArrive {
@@ -280,8 +356,8 @@ impl WorkerProtocol for AsyncServer {
                     };
                     if ok {
                         self.blocked[v] = false;
-                        let snap = self.params.snapshot();
-                        let a = eng.net.transfer(now, self.server, v, eng.param_bytes);
+                        let (snap, bytes) = self.pull_payload(v, &mut eng.pool, eng.param_bytes);
+                        let a = eng.net.transfer(now, self.server, v, bytes);
                         eng.events
                             .push(a, AsyncEv::ParamsArrive { w: v, params: snap });
                     }
@@ -293,6 +369,10 @@ impl WorkerProtocol for AsyncServer {
     fn final_params(&mut self, eng: &SimEngine<'_, AsyncEv>) -> Vec<Vec<f32>> {
         // Report convention: one vector per worker.
         vec![self.params.to_vec(); eng.workers.len()]
+    }
+
+    fn bytes_saved(&self, _eng: &SimEngine<'_, AsyncEv>) -> u64 {
+        self.plane.bytes_saved()
     }
 }
 
@@ -319,7 +399,7 @@ mod tests {
     fn run_mode(mode: PsMode, slow: SlowdownModel, iters: u64) -> TrainingReport {
         let (cluster, dataset, model, hyper) = setup();
         run(
-            &PsConfig { mode },
+            &PsConfig::new(mode),
             &cluster,
             &slow,
             &model,

@@ -37,6 +37,7 @@ use hop_sim::{ClusterSpec, SlowdownModel};
 use hop_tensor::ParamBlock;
 use std::collections::HashMap;
 
+use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerProtocol};
 use super::recorder::EvalConfig;
 
@@ -93,7 +94,13 @@ pub fn run(
             qgm: QgmState::new(cfg.mu, cfg.beta, dim),
         })
         .collect();
-    let mut proto = Qgm { topology, workers };
+    let mut plane = CompressionPlane::new(cfg.compression);
+    plane.add_param_streams(topology.len(), engine.init_params());
+    let mut proto = Qgm {
+        topology,
+        workers,
+        plane,
+    };
     engine.drive(&mut proto)
 }
 
@@ -126,6 +133,9 @@ struct WorkerSt {
 struct Qgm<'a> {
     topology: &'a Topology,
     workers: Vec<WorkerSt>,
+    /// One parameter stream per worker for the gossiped half-steps;
+    /// inactive under the identity codec.
+    plane: CompressionPlane,
 }
 
 impl Qgm<'_> {
@@ -158,19 +168,34 @@ impl Qgm<'_> {
             hyper.weight_decay,
         );
         eng.pool.release(grad);
-        // Gossip the half-step to out-neighbors as zero-copy snapshots.
+        // Gossip the half-step to out-neighbors as zero-copy snapshots;
+        // with a lossy codec the neighbors receive the codec's
+        // reconstruction at the encoded wire size, while this worker's
+        // own Reduce keeps its exact half-step.
         let half = eng.workers[w].params.snapshot();
-        for &o in self.topology.external_out_neighbors(w) {
-            let arrival = eng.net.transfer(now, w, o, eng.param_bytes);
+        let (wire, wire_bytes) = if self.plane.is_active() {
+            self.plane.encode_params(w, half.as_slice(), &mut eng.pool)
+        } else {
+            (half.snapshot(), eng.param_bytes)
+        };
+        let externals = self.topology.external_out_neighbors(w);
+        for &o in externals {
+            let arrival = eng.net.transfer(now, w, o, wire_bytes);
             eng.events.push(
                 arrival,
                 Ev::Update {
                     to: o,
                     iter,
-                    params: half.snapshot(),
+                    params: wire.snapshot(),
                 },
             );
         }
+        if self.plane.is_active() {
+            self.plane
+                .charge(externals.len() as u64, eng.param_bytes, wire_bytes);
+        }
+        eng.pool.reclaim(wire);
+        eng.pool.reclaim(half);
         self.try_reduce(eng, w, now);
     }
 
@@ -233,6 +258,10 @@ impl WorkerProtocol for Qgm<'_> {
 
     fn final_params(&mut self, eng: &SimEngine<'_, Ev>) -> Vec<Vec<f32>> {
         eng.workers.iter().map(|s| s.params.to_vec()).collect()
+    }
+
+    fn bytes_saved(&self, _eng: &SimEngine<'_, Ev>) -> u64 {
+        self.plane.bytes_saved()
     }
 }
 
@@ -311,7 +340,15 @@ mod tests {
     fn momentum_changes_the_trajectory() {
         // mu = 0 (and beta = 0) degenerates to plain decentralized SGD
         // half-steps; the default mu/beta must actually alter training.
-        let plain = run_qgm(QgmConfig { mu: 0.0, beta: 0.0 }, SlowdownModel::None, 30);
+        let plain = run_qgm(
+            QgmConfig {
+                mu: 0.0,
+                beta: 0.0,
+                ..QgmConfig::default()
+            },
+            SlowdownModel::None,
+            30,
+        );
         let qgm = run_qgm(QgmConfig::default(), SlowdownModel::None, 30);
         assert_ne!(plain.final_params, qgm.final_params);
     }

@@ -24,6 +24,7 @@
 use crate::config::{ComputeOrder, ConfigError, HopConfig, SyncMode};
 use crate::conformance::{ProtocolEvent, ProtocolTrace};
 use crate::semantics;
+use crate::sim_runtime::compression::CompressionPlane;
 use crate::trainer::Hyper;
 use hop_data::{BatchSampler, Dataset, InMemoryDataset};
 use hop_graph::Topology;
@@ -483,6 +484,11 @@ fn worker_loop(
     let externals_in = topo.external_in_neighbors(w);
     let externals_out = topo.external_out_neighbors(w);
     let max_ig = cfg.max_ig();
+    // One outgoing parameter stream per worker: every external receiver
+    // of `w` gets the identical reconstruction, so the codec state is
+    // thread-local and lock-free. The own-queue self-send stays exact.
+    let mut plane = CompressionPlane::new(cfg.compression);
+    plane.add_param_streams(1, init_params.as_slice());
     let mut ctx = WorkerCtx {
         w,
         cfg: &cfg,
@@ -517,13 +523,29 @@ fn worker_loop(
             iter: k,
         });
         update_queues[w].enqueue(params.snapshot(), Tag { iter: k, w_id: w });
+        // Under a lossy codec the external sends carry the stream's
+        // reconstruction (encoded once per iteration, shared across
+        // receivers); identity sends share the exact block.
+        let wire = if plane.is_active() && !externals_out.is_empty() {
+            let (recon, _) = plane.encode_params(0, params.as_slice(), &mut ctx.pool);
+            Some(recon)
+        } else {
+            None
+        };
         for &o in externals_out {
             log(&mut conf, || ProtocolEvent::Send {
                 from: w,
                 to: o,
                 iter: k,
             });
-            update_queues[o].enqueue(params.snapshot(), Tag { iter: k, w_id: w });
+            let payload = match &wire {
+                Some(recon) => recon.snapshot(),
+                None => params.snapshot(),
+            };
+            update_queues[o].enqueue(payload, Tag { iter: k, w_id: w });
+        }
+        if let Some(recon) = wire {
+            ctx.pool.reclaim(recon);
         }
         // Compute.
         log(&mut conf, || ProtocolEvent::ComputeBegin {
@@ -879,6 +901,22 @@ mod tests {
         for w in 0..4 {
             assert_eq!(report.losses[w].len(), 30);
         }
+    }
+
+    #[test]
+    fn compressed_sends_converge_on_threads() {
+        // Top-25% gossip on real threads: the protocol still completes
+        // and the averaged replica still learns (the reference stream
+        // re-injects dropped mass message by message).
+        let cfg = HopConfig::standard()
+            .with_compression(hop_tensor::CompressionConfig::TopK { ratio: 0.25 });
+        let report = run(cfg);
+        let dataset = SyntheticWebspam::generate(256, 3);
+        let model = Svm::log_loss(hop_data::Dataset::feature_dim(&dataset));
+        let avg = report.averaged_params();
+        let eval: Vec<usize> = (0..128).collect();
+        let loss = hop_model::Model::loss(&model, &avg, &hop_data::Dataset::batch(&dataset, &eval));
+        assert!(loss < 0.65, "final averaged loss {loss}");
     }
 
     #[test]

@@ -298,10 +298,8 @@ mod tests {
             Protocol::Hop(HopConfig::standard()),
             Protocol::Hop(HopConfig::standard_with_tokens(4)),
             Protocol::Hop(HopConfig::notify_ack()),
-            Protocol::Ps(PsConfig { mode: PsMode::Bsp }),
-            Protocol::Ps(PsConfig {
-                mode: PsMode::Ssp(3),
-            }),
+            Protocol::Ps(PsConfig::new(PsMode::Bsp)),
+            Protocol::Ps(PsConfig::new(PsMode::Ssp(3))),
             Protocol::RingAllReduce,
             Protocol::AdPsgd(AdPsgdConfig::default()),
             Protocol::Prague(PragueConfig::default()),
@@ -335,13 +333,16 @@ mod tests {
     fn invalid_prague_and_qgm_surface_errors() {
         let (exp, model, dataset) = experiment(Protocol::Prague(PragueConfig {
             group_size: 0,
-            regen_every: 1,
+            ..PragueConfig::default()
         }));
         assert!(matches!(
             exp.run(&model, &dataset),
             Err(ConfigError::InvalidPrague(_))
         ));
-        let (exp, model, dataset) = experiment(Protocol::Qgm(QgmConfig { mu: 1.5, beta: 0.1 }));
+        let (exp, model, dataset) = experiment(Protocol::Qgm(QgmConfig {
+            mu: 1.5,
+            ..QgmConfig::default()
+        }));
         assert!(matches!(
             exp.run(&model, &dataset),
             Err(ConfigError::InvalidQgm(_))

@@ -1,0 +1,650 @@
+//! Deterministic update compression: top-k sparsification, int8
+//! quantization and the identity codec, with error feedback.
+//!
+//! Every message path in the workspace ships flat `f32` blocks; this
+//! module makes those blocks *small* without giving up the workspace's
+//! determinism contract. Three codecs implement [`Compressor`]:
+//!
+//! * [`Identity`] — bit-exact round trip, the default. Call sites guard
+//!   on [`CompressionConfig::is_identity`] and skip the codec entirely,
+//!   so the identity configuration cannot perturb a single bit of an
+//!   uncompressed run.
+//! * [`TopK`] — keeps exactly `k = ceil(ratio * len)` entries of largest
+//!   magnitude. Selection uses a *total* order on `(|v|, index)` —
+//!   magnitudes compared with `f32::total_cmp`, ties broken by the lower
+//!   index — so the kept set is a pure function of the input, never of
+//!   allocator or partitioning luck. The magnitude scan itself is the
+//!   SIMD-dispatched [`ops::abs_into`], which is bitwise identical to
+//!   scalar `f32::abs` on every backend.
+//! * [`Int8Uniform`] — per-block uniform quantization to `i8` at
+//!   `scale = max|v| / 127`, rounding half to even
+//!   (`f32::round_ties_even`). The reconstruction error of each entry is
+//!   at most half a quantization step.
+//!
+//! Lossy codecs compound with [`ErrorFeedback`] (EF-SGD style): the
+//! encoder compresses `input + residual` and stores what the decoder
+//! will *not* reconstruct back into the residual, so dropped mass
+//! re-enters the next message instead of biasing convergence. The
+//! invariant, tested property-style in `tests/compress_props.rs`:
+//! after `encode_into`, `decoded + residual == input + old_residual`
+//! for every element.
+//!
+//! Encode scratch comes from a [`BufferPool`] and the output
+//! [`CompressedBlock`] reuses its buffers across calls, so the hot path
+//! allocates nothing after warmup (asserted by `compress_bench` through
+//! [`BufferPool::stats`](crate::pool::BufferPool::stats)).
+
+use crate::ops;
+use crate::pool::BufferPool;
+
+/// Which codec a runtime should apply to its parameter/update messages.
+///
+/// Carried by the protocol configurations in `hop-core`; the default is
+/// [`CompressionConfig::Identity`], under which every runtime takes its
+/// pre-compression code path unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum CompressionConfig {
+    /// Ship dense `f32` blocks unchanged (the default).
+    #[default]
+    Identity,
+    /// Keep the `ceil(ratio * len)` largest-magnitude entries
+    /// (`0 < ratio <= 1`), error feedback on the rest.
+    TopK {
+        /// Fraction of entries kept, in `(0, 1]`.
+        ratio: f32,
+    },
+    /// Uniform per-block quantization to `i8`, error feedback on the
+    /// rounding error.
+    Int8Uniform,
+}
+
+impl CompressionConfig {
+    /// Whether this is the identity configuration (no codec on the
+    /// message path).
+    pub fn is_identity(&self) -> bool {
+        matches!(self, CompressionConfig::Identity)
+    }
+
+    /// Entries a [`TopK`] encoder keeps for a block of `len` elements:
+    /// `ceil(ratio * len)` clamped to `1..=len` (0 for an empty block).
+    /// Identity and int8 keep all `len`.
+    pub fn k_for(&self, len: usize) -> usize {
+        match *self {
+            CompressionConfig::TopK { ratio } => {
+                if len == 0 {
+                    0
+                } else {
+                    ((len as f64 * ratio as f64).ceil() as usize).clamp(1, len)
+                }
+            }
+            _ => len,
+        }
+    }
+
+    /// Short human/machine label (`identity`, `topk_0.01`, `int8`), used
+    /// by sweep axes and bench summary lines.
+    pub fn label(&self) -> String {
+        match *self {
+            CompressionConfig::Identity => "identity".to_string(),
+            CompressionConfig::TopK { ratio } => format!("topk_{ratio}"),
+            CompressionConfig::Int8Uniform => "int8".to_string(),
+        }
+    }
+
+    /// Validates the knobs (finite `ratio` in `(0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the offending knob.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        match *self {
+            CompressionConfig::TopK { ratio } => {
+                if !ratio.is_finite() || ratio <= 0.0 || ratio > 1.0 {
+                    Err("top-k ratio must be finite and in (0, 1]")
+                } else {
+                    Ok(())
+                }
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Builds the codec this configuration names.
+    pub fn codec(&self) -> Codec {
+        match *self {
+            CompressionConfig::Identity => Codec::Identity(Identity),
+            CompressionConfig::TopK { ratio } => Codec::TopK(TopK::new(ratio)),
+            CompressionConfig::Int8Uniform => Codec::Int8(Int8Uniform),
+        }
+    }
+}
+
+/// One encoded message: the wire representation a codec produces.
+///
+/// The enum is reused across `encode_into` calls (each codec always
+/// produces its own variant, so the inner buffers keep their capacity).
+/// [`CompressedBlock::encoded_bytes`] is the size the virtual network
+/// charges for shipping it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompressedBlock {
+    /// Dense `f32` values, 4 bytes each (the [`Identity`] wire format).
+    Dense {
+        /// The values, verbatim.
+        values: Vec<f32>,
+    },
+    /// Sparse `(index, value)` pairs from [`TopK`]: a 4-byte length
+    /// header plus 8 bytes per kept entry.
+    Sparse {
+        /// Decoded block length.
+        len: u32,
+        /// Kept positions, strictly ascending (the canonical order).
+        indices: Vec<u32>,
+        /// Kept values, parallel to `indices`.
+        values: Vec<f32>,
+    },
+    /// [`Int8Uniform`] output: a 4-byte scale plus one byte per entry.
+    Quantized {
+        /// Dequantization step: `value = q as f32 * scale`.
+        scale: f32,
+        /// The quantized entries.
+        values: Vec<i8>,
+    },
+}
+
+impl Default for CompressedBlock {
+    fn default() -> Self {
+        CompressedBlock::Dense { values: Vec::new() }
+    }
+}
+
+impl CompressedBlock {
+    /// Bytes this block occupies on the (virtual) wire.
+    pub fn encoded_bytes(&self) -> u64 {
+        match self {
+            CompressedBlock::Dense { values } => 4 * values.len() as u64,
+            CompressedBlock::Sparse { indices, .. } => 4 + 8 * indices.len() as u64,
+            CompressedBlock::Quantized { values, .. } => 4 + values.len() as u64,
+        }
+    }
+
+    /// Length of the dense block this decodes to.
+    pub fn decoded_len(&self) -> usize {
+        match self {
+            CompressedBlock::Dense { values } => values.len(),
+            CompressedBlock::Sparse { len, .. } => *len as usize,
+            CompressedBlock::Quantized { values, .. } => values.len(),
+        }
+    }
+
+    /// Reuses (or installs) the dense variant, returning its buffer.
+    fn make_dense(&mut self) -> &mut Vec<f32> {
+        if !matches!(self, CompressedBlock::Dense { .. }) {
+            *self = CompressedBlock::Dense { values: Vec::new() };
+        }
+        match self {
+            CompressedBlock::Dense { values } => values,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Reuses (or installs) the sparse variant, returning its buffers.
+    fn make_sparse(&mut self, new_len: u32) -> (&mut Vec<u32>, &mut Vec<f32>) {
+        if !matches!(self, CompressedBlock::Sparse { .. }) {
+            *self = CompressedBlock::Sparse {
+                len: 0,
+                indices: Vec::new(),
+                values: Vec::new(),
+            };
+        }
+        match self {
+            CompressedBlock::Sparse {
+                len,
+                indices,
+                values,
+            } => {
+                *len = new_len;
+                (indices, values)
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Reuses (or installs) the quantized variant, returning its buffer.
+    fn make_quantized(&mut self, new_scale: f32) -> &mut Vec<i8> {
+        if !matches!(self, CompressedBlock::Quantized { .. }) {
+            *self = CompressedBlock::Quantized {
+                scale: 0.0,
+                values: Vec::new(),
+            };
+        }
+        match self {
+            CompressedBlock::Quantized { scale, values } => {
+                *scale = new_scale;
+                values
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Per-sender error-feedback residual: the mass the last lossy encode
+/// dropped, re-injected into the next message.
+#[derive(Debug, Clone, Default)]
+pub struct ErrorFeedback {
+    residual: Vec<f32>,
+}
+
+impl ErrorFeedback {
+    /// A fresh zero residual (sized lazily on first encode).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current residual (empty before the first encode).
+    pub fn residual(&self) -> &[f32] {
+        &self.residual
+    }
+
+    /// Zeroes the residual (keeping its allocation). Callers whose
+    /// message stream already re-injects unsent mass on its own — e.g. a
+    /// reference-tracking parameter stream encoding `x - x̂` — reset
+    /// before each encode so the dropped mass is not counted twice.
+    pub fn reset(&mut self) {
+        self.residual.iter_mut().for_each(|r| *r = 0.0);
+    }
+
+    fn ensure(&mut self, len: usize) {
+        if self.residual.len() != len {
+            self.residual.clear();
+            self.residual.resize(len, 0.0);
+        }
+    }
+}
+
+/// A deterministic message codec with error feedback.
+///
+/// `encode_into` compresses `input + ef.residual` into `out` and updates
+/// `ef` with what `decode_into` will not reconstruct; scratch comes from
+/// `pool` so steady state allocates nothing. `decode_into` writes the
+/// reconstruction of `block` over `out` (which must have
+/// [`CompressedBlock::decoded_len`] elements).
+pub trait Compressor {
+    /// Encodes one block, consuming and refreshing the error feedback.
+    fn encode_into(
+        &mut self,
+        input: &[f32],
+        ef: &mut ErrorFeedback,
+        pool: &mut BufferPool,
+        out: &mut CompressedBlock,
+    );
+
+    /// Reconstructs a block into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != block.decoded_len()`.
+    fn decode_into(&self, block: &CompressedBlock, out: &mut [f32]);
+}
+
+/// The no-op codec: dense values, bitwise round trip, residual untouched.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Identity;
+
+impl Compressor for Identity {
+    fn encode_into(
+        &mut self,
+        input: &[f32],
+        _ef: &mut ErrorFeedback,
+        _pool: &mut BufferPool,
+        out: &mut CompressedBlock,
+    ) {
+        let values = out.make_dense();
+        values.clear();
+        values.extend_from_slice(input);
+    }
+
+    fn decode_into(&self, block: &CompressedBlock, out: &mut [f32]) {
+        match block {
+            CompressedBlock::Dense { values } => {
+                assert_eq!(values.len(), out.len(), "identity decode length mismatch");
+                out.copy_from_slice(values);
+            }
+            _ => panic!("identity codec fed a non-dense block"),
+        }
+    }
+}
+
+/// Exact top-`k` magnitude sparsification with a stable `(|v|, index)`
+/// tie-break and error feedback.
+#[derive(Debug, Clone)]
+pub struct TopK {
+    ratio: f32,
+    /// Index permutation scratch, reused across encodes.
+    order: Vec<u32>,
+}
+
+impl TopK {
+    /// A top-k encoder keeping `ceil(ratio * len)` entries per block.
+    pub fn new(ratio: f32) -> Self {
+        debug_assert!(
+            ratio.is_finite() && ratio > 0.0 && ratio <= 1.0,
+            "top-k ratio must be in (0, 1], got {ratio}"
+        );
+        Self {
+            ratio,
+            order: Vec::new(),
+        }
+    }
+}
+
+impl Compressor for TopK {
+    fn encode_into(
+        &mut self,
+        input: &[f32],
+        ef: &mut ErrorFeedback,
+        pool: &mut BufferPool,
+        out: &mut CompressedBlock,
+    ) {
+        let len = input.len();
+        ef.ensure(len);
+        let mut work = pool.acquire(len);
+        work.copy_from_slice(input);
+        ops::axpy(1.0, &ef.residual, &mut work);
+        let mut abs = pool.acquire(len);
+        ops::abs_into(&work, &mut abs);
+        let k = CompressionConfig::TopK { ratio: self.ratio }.k_for(len);
+        self.order.clear();
+        self.order.extend(0..len as u32);
+        if k < len {
+            // Total order: larger magnitude first, lower index on ties —
+            // the kept set is unique, so selection is deterministic even
+            // though select_nth itself is "unstable".
+            let a = &abs;
+            self.order.select_nth_unstable_by(k, |&i, &j| {
+                a[j as usize]
+                    .total_cmp(&a[i as usize])
+                    .then_with(|| i.cmp(&j))
+            });
+            self.order.truncate(k);
+        }
+        // Canonical wire order: ascending index.
+        self.order.sort_unstable();
+        let (indices, values) = out.make_sparse(len as u32);
+        indices.clear();
+        values.clear();
+        for &i in &self.order {
+            indices.push(i);
+            values.push(work[i as usize]);
+        }
+        // Kept entries decode exactly, so their residual is zero; every
+        // dropped entry carries its full (feedback-compounded) value.
+        ef.residual.copy_from_slice(&work);
+        for &i in &self.order {
+            ef.residual[i as usize] = 0.0;
+        }
+        pool.release(abs);
+        pool.release(work);
+    }
+
+    fn decode_into(&self, block: &CompressedBlock, out: &mut [f32]) {
+        match block {
+            CompressedBlock::Sparse {
+                len,
+                indices,
+                values,
+            } => {
+                assert_eq!(*len as usize, out.len(), "top-k decode length mismatch");
+                ops::fill(0.0, out);
+                for (&i, &v) in indices.iter().zip(values) {
+                    out[i as usize] = v;
+                }
+            }
+            _ => panic!("top-k codec fed a non-sparse block"),
+        }
+    }
+}
+
+/// Uniform int8 quantization at `scale = max|v| / 127`, round half to
+/// even, with error feedback on the rounding error.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Int8Uniform;
+
+impl Compressor for Int8Uniform {
+    fn encode_into(
+        &mut self,
+        input: &[f32],
+        ef: &mut ErrorFeedback,
+        pool: &mut BufferPool,
+        out: &mut CompressedBlock,
+    ) {
+        let len = input.len();
+        ef.ensure(len);
+        let mut work = pool.acquire(len);
+        work.copy_from_slice(input);
+        ops::axpy(1.0, &ef.residual, &mut work);
+        let mut abs = pool.acquire(len);
+        ops::abs_into(&work, &mut abs);
+        // Scalar sequential max: the reduction feeds the wire format, so
+        // it must not reassociate (same rule as `ops::dot`).
+        let max_abs = abs.iter().copied().fold(0.0f32, f32::max);
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 0.0 };
+        let values = out.make_quantized(scale);
+        values.clear();
+        for (r, &w) in ef.residual.iter_mut().zip(work.iter()) {
+            let q = if scale > 0.0 {
+                (w / scale).round_ties_even().clamp(-127.0, 127.0) as i8
+            } else {
+                0
+            };
+            values.push(q);
+            *r = w - q as f32 * scale;
+        }
+        pool.release(abs);
+        pool.release(work);
+    }
+
+    fn decode_into(&self, block: &CompressedBlock, out: &mut [f32]) {
+        match block {
+            CompressedBlock::Quantized { scale, values } => {
+                assert_eq!(values.len(), out.len(), "int8 decode length mismatch");
+                for (o, &q) in out.iter_mut().zip(values) {
+                    *o = q as f32 * scale;
+                }
+            }
+            _ => panic!("int8 codec fed a non-quantized block"),
+        }
+    }
+}
+
+/// Enum dispatch over the three codecs — one concrete type a runtime can
+/// hold without boxing a trait object.
+#[derive(Debug, Clone)]
+pub enum Codec {
+    /// [`Identity`].
+    Identity(Identity),
+    /// [`TopK`].
+    TopK(TopK),
+    /// [`Int8Uniform`].
+    Int8(Int8Uniform),
+}
+
+impl Codec {
+    /// The codec for `cfg` (alias of [`CompressionConfig::codec`]).
+    pub fn new(cfg: CompressionConfig) -> Self {
+        cfg.codec()
+    }
+}
+
+impl Compressor for Codec {
+    fn encode_into(
+        &mut self,
+        input: &[f32],
+        ef: &mut ErrorFeedback,
+        pool: &mut BufferPool,
+        out: &mut CompressedBlock,
+    ) {
+        match self {
+            Codec::Identity(c) => c.encode_into(input, ef, pool, out),
+            Codec::TopK(c) => c.encode_into(input, ef, pool, out),
+            Codec::Int8(c) => c.encode_into(input, ef, pool, out),
+        }
+    }
+
+    fn decode_into(&self, block: &CompressedBlock, out: &mut [f32]) {
+        match self {
+            Codec::Identity(c) => c.decode_into(block, out),
+            Codec::TopK(c) => c.decode_into(block, out),
+            Codec::Int8(c) => c.decode_into(block, out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(cfg: CompressionConfig, input: &[f32]) -> (CompressedBlock, Vec<f32>, Vec<f32>) {
+        let mut codec = cfg.codec();
+        let mut ef = ErrorFeedback::new();
+        let mut pool = BufferPool::new();
+        let mut block = CompressedBlock::default();
+        codec.encode_into(input, &mut ef, &mut pool, &mut block);
+        let mut out = vec![0.0; block.decoded_len()];
+        codec.decode_into(&block, &mut out);
+        (block, out, ef.residual().to_vec())
+    }
+
+    #[test]
+    fn identity_roundtrips_bitwise() {
+        let input = [1.5f32, -0.0, 3.25, f32::MIN_POSITIVE];
+        let (block, out, residual) = roundtrip(CompressionConfig::Identity, &input);
+        assert_eq!(block.encoded_bytes(), 16);
+        for (a, b) in input.iter().zip(&out) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(residual.is_empty(), "identity must not touch the residual");
+    }
+
+    #[test]
+    fn topk_keeps_exactly_k_largest() {
+        let input = [0.1f32, -5.0, 0.2, 4.0, -0.3, 3.0, 0.4, -2.0];
+        let cfg = CompressionConfig::TopK { ratio: 0.5 };
+        let (block, out, residual) = roundtrip(cfg, &input);
+        match &block {
+            CompressedBlock::Sparse {
+                indices, values, ..
+            } => {
+                assert_eq!(indices, &[1, 3, 5, 7]);
+                assert_eq!(values, &[-5.0, 4.0, 3.0, -2.0]);
+            }
+            other => panic!("expected sparse, got {other:?}"),
+        }
+        assert_eq!(block.encoded_bytes(), 4 + 8 * 4);
+        // decoded + residual reconstructs the input exactly (fresh EF).
+        for ((&x, &d), &r) in input.iter().zip(&out).zip(&residual) {
+            assert_eq!(x, d + r);
+        }
+    }
+
+    #[test]
+    fn topk_tie_break_is_lowest_index() {
+        let input = [2.0f32, -2.0, 2.0, 1.0];
+        let (block, ..) = roundtrip(CompressionConfig::TopK { ratio: 0.5 }, &input);
+        match block {
+            CompressedBlock::Sparse { indices, .. } => assert_eq!(indices, &[0, 1]),
+            other => panic!("expected sparse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn int8_error_within_half_step() {
+        let input = [1.0f32, -0.5, 0.30, 0.127, -1.27];
+        let (block, out, _) = roundtrip(CompressionConfig::Int8Uniform, &input);
+        let scale = match block {
+            CompressedBlock::Quantized { scale, .. } => scale,
+            other => panic!("expected quantized, got {other:?}"),
+        };
+        assert!(scale > 0.0);
+        for (x, d) in input.iter().zip(&out) {
+            assert!((x - d).abs() <= scale * 0.5000001, "{x} vs {d} at {scale}");
+        }
+    }
+
+    #[test]
+    fn int8_all_zero_block() {
+        let input = [0.0f32; 5];
+        let (block, out, residual) = roundtrip(CompressionConfig::Int8Uniform, &input);
+        assert_eq!(block.encoded_bytes(), 4 + 5);
+        assert_eq!(out, vec![0.0; 5]);
+        assert_eq!(residual, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn error_feedback_reinjects_dropped_mass() {
+        // A value too small to ever win top-1 still accumulates in the
+        // residual until... it keeps being carried (never silently lost).
+        let mut codec = CompressionConfig::TopK { ratio: 0.01 }.codec();
+        let mut ef = ErrorFeedback::new();
+        let mut pool = BufferPool::new();
+        let mut block = CompressedBlock::default();
+        let input = [10.0f32, 0.25];
+        codec.encode_into(&input, &mut ef, &mut pool, &mut block);
+        assert_eq!(ef.residual(), &[0.0, 0.25]);
+        codec.encode_into(&input, &mut ef, &mut pool, &mut block);
+        assert_eq!(ef.residual(), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn k_for_clamps() {
+        let cfg = CompressionConfig::TopK { ratio: 0.01 };
+        assert_eq!(cfg.k_for(0), 0);
+        assert_eq!(cfg.k_for(1), 1);
+        assert_eq!(cfg.k_for(50), 1);
+        assert_eq!(cfg.k_for(64 * 1024), 656);
+        assert_eq!(CompressionConfig::Identity.k_for(7), 7);
+    }
+
+    #[test]
+    fn labels_and_validation() {
+        assert_eq!(CompressionConfig::Identity.label(), "identity");
+        assert_eq!(CompressionConfig::TopK { ratio: 0.1 }.label(), "topk_0.1");
+        assert_eq!(CompressionConfig::Int8Uniform.label(), "int8");
+        assert!(CompressionConfig::default().is_identity());
+        assert!(CompressionConfig::TopK { ratio: 0.5 }.validate().is_ok());
+        assert!(CompressionConfig::TopK { ratio: 0.0 }.validate().is_err());
+        assert!(CompressionConfig::TopK { ratio: 1.5 }.validate().is_err());
+        assert!(CompressionConfig::TopK { ratio: f32::NAN }
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn encode_is_allocation_free_after_warmup() {
+        for cfg in [
+            CompressionConfig::Identity,
+            CompressionConfig::TopK { ratio: 0.1 },
+            CompressionConfig::Int8Uniform,
+        ] {
+            let mut codec = cfg.codec();
+            let mut ef = ErrorFeedback::new();
+            let mut pool = BufferPool::new();
+            let mut block = CompressedBlock::default();
+            let input: Vec<f32> = (0..257).map(|i| (i as f32).sin()).collect();
+            let mut out = vec![0.0; input.len()];
+            codec.encode_into(&input, &mut ef, &mut pool, &mut block);
+            codec.decode_into(&block, &mut out);
+            let warm = pool.stats();
+            for _ in 0..10 {
+                codec.encode_into(&input, &mut ef, &mut pool, &mut block);
+                codec.decode_into(&block, &mut out);
+            }
+            let after = pool.stats();
+            assert_eq!(
+                after.fresh,
+                warm.fresh,
+                "{} hot path allocated after warmup",
+                cfg.label()
+            );
+        }
+    }
+}

@@ -11,7 +11,10 @@
 //! O(1) snapshots and copy-on-write mutation) and [`BufferPool`] (recycled
 //! zeroed scratch buffers), plus SIMD-dispatched elementwise kernels in
 //! [`ops`] (runtime-selected AVX2 on capable x86-64, 8-lane portable
-//! otherwise) that are bit-identical to their scalar references.
+//! otherwise) that are bit-identical to their scalar references, and the
+//! deterministic update-compression codecs in [`compress`] (top-k
+//! sparsification, int8 quantization, identity — all with error
+//! feedback) that shrink every message path in the runtimes.
 //!
 //! # Examples
 //!
@@ -24,11 +27,13 @@
 //! assert_eq!(c.data(), a.data());
 //! ```
 
+pub mod compress;
 pub mod ops;
 pub mod param_block;
 pub mod pool;
 pub mod tensor;
 
+pub use compress::{Codec, CompressedBlock, CompressionConfig, Compressor, ErrorFeedback};
 pub use param_block::ParamBlock;
-pub use pool::BufferPool;
+pub use pool::{BufferPool, PoolStats};
 pub use tensor::Tensor;

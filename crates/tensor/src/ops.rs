@@ -4,7 +4,8 @@
 //! can apply them directly to slices of a worker's flat parameter vector
 //! without copying into tensor objects.
 //!
-//! The elementwise vector kernels ([`axpy`], [`axpby`], [`scale`], and
+//! The elementwise vector kernels ([`axpy`], [`axpby`], [`scale`],
+//! [`fill`], [`abs_into`], [`relu`], [`relu_backward`], and
 //! [`mean_into`]/[`weighted_mean_into`] built on them) dispatch at runtime
 //! to the widest SIMD backend the host supports (see [`simd`]): 256-bit
 //! AVX2 intrinsics on capable x86-64, otherwise an 8-lane unrolled
@@ -76,11 +77,34 @@ pub fn scale(alpha: f32, x: &mut [f32]) {
     simd::portable::scale(alpha, x);
 }
 
-/// Fills a slice with a constant.
+/// Fills a slice with a constant, SIMD-dispatched.
 pub fn fill(value: f32, x: &mut [f32]) {
-    for xi in x {
-        *xi = value;
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_available() {
+        simd::avx2::fill(value, x);
+        return;
     }
+    simd::portable::fill(value, x);
+}
+
+/// Elementwise magnitude: `out[i] = |x[i]|`, SIMD-dispatched.
+///
+/// Clearing the sign bit is the same single bit operation on every
+/// backend (`f32::abs` scalar, sign-mask AND under AVX2), so the scan is
+/// bitwise deterministic — the property the top-k codec's selection
+/// order relies on.
+///
+/// # Panics
+///
+/// Panics if `x` and `out` have different lengths.
+pub fn abs_into(x: &[f32], out: &mut [f32]) {
+    assert_eq!(x.len(), out.len(), "abs_into length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_available() {
+        simd::avx2::abs_into(x, out);
+        return;
+    }
+    simd::portable::abs_into(x, out);
 }
 
 /// Euclidean norm.
@@ -182,27 +206,36 @@ pub fn gemm(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     }
 }
 
-/// In-place ReLU.
+/// In-place ReLU, SIMD-dispatched.
+///
+/// Exactly the scalar `if x < 0 { 0 }` on every backend: `-0.0` and NaN
+/// pass through unchanged (which rules out a `max(x, 0)` formulation —
+/// `max(-0.0, 0.0)` would flip the sign bit).
 pub fn relu(x: &mut [f32]) {
-    for xi in x {
-        if *xi < 0.0 {
-            *xi = 0.0;
-        }
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_available() {
+        simd::avx2::relu(x);
+        return;
     }
+    simd::portable::relu(x);
 }
 
-/// Backward of ReLU: zeroes `grad` wherever the forward input was negative.
+/// Backward of ReLU: zeroes `grad` wherever the forward input was
+/// non-positive. SIMD-dispatched, bit-identical to the scalar loop
+/// (NaN forward inputs keep their gradient, matching `x <= 0.0` being
+/// false for NaN).
 ///
 /// # Panics
 ///
 /// Panics if lengths mismatch.
 pub fn relu_backward(forward_input: &[f32], grad: &mut [f32]) {
     assert_eq!(forward_input.len(), grad.len(), "relu_backward mismatch");
-    for (g, &x) in grad.iter_mut().zip(forward_input) {
-        if x <= 0.0 {
-            *g = 0.0;
-        }
+    #[cfg(target_arch = "x86_64")]
+    if simd::avx2_available() {
+        simd::avx2::relu_backward(forward_input, grad);
+        return;
     }
+    simd::portable::relu_backward(forward_input, grad);
 }
 
 /// Numerically stable in-place softmax over a single row.
@@ -325,6 +358,78 @@ pub mod simd {
                 *xi *= alpha;
             }
         }
+
+        /// `x[i] = value`, 8-lane unrolled.
+        pub fn fill(value: f32, x: &mut [f32]) {
+            let mut xc = x.chunks_exact_mut(LANES);
+            for xx in xc.by_ref() {
+                for l in 0..LANES {
+                    xx[l] = value;
+                }
+            }
+            for xi in xc.into_remainder() {
+                *xi = value;
+            }
+        }
+
+        /// `out[i] = |x[i]|`, 8-lane unrolled.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `x` and `out` have different lengths.
+        pub fn abs_into(x: &[f32], out: &mut [f32]) {
+            assert_eq!(x.len(), out.len(), "abs_into length mismatch");
+            let mut oc = out.chunks_exact_mut(LANES);
+            let mut xc = x.chunks_exact(LANES);
+            for (oo, xx) in oc.by_ref().zip(xc.by_ref()) {
+                for l in 0..LANES {
+                    oo[l] = xx[l].abs();
+                }
+            }
+            for (oi, xi) in oc.into_remainder().iter_mut().zip(xc.remainder()) {
+                *oi = xi.abs();
+            }
+        }
+
+        /// In-place ReLU, 8-lane unrolled (`-0.0` and NaN pass through).
+        pub fn relu(x: &mut [f32]) {
+            let mut xc = x.chunks_exact_mut(LANES);
+            for xx in xc.by_ref() {
+                for l in 0..LANES {
+                    if xx[l] < 0.0 {
+                        xx[l] = 0.0;
+                    }
+                }
+            }
+            for xi in xc.into_remainder() {
+                if *xi < 0.0 {
+                    *xi = 0.0;
+                }
+            }
+        }
+
+        /// ReLU backward, 8-lane unrolled.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the lengths mismatch.
+        pub fn relu_backward(forward_input: &[f32], grad: &mut [f32]) {
+            assert_eq!(forward_input.len(), grad.len(), "relu_backward mismatch");
+            let mut gc = grad.chunks_exact_mut(LANES);
+            let mut xc = forward_input.chunks_exact(LANES);
+            for (gg, xx) in gc.by_ref().zip(xc.by_ref()) {
+                for l in 0..LANES {
+                    if xx[l] <= 0.0 {
+                        gg[l] = 0.0;
+                    }
+                }
+            }
+            for (gi, xi) in gc.into_remainder().iter_mut().zip(xc.remainder()) {
+                if *xi <= 0.0 {
+                    *gi = 0.0;
+                }
+            }
+        }
     }
 
     /// Hand-written AVX2 kernels (256-bit, 8 × f32 per operation).
@@ -339,7 +444,9 @@ pub mod simd {
         #![deny(unsafe_op_in_unsafe_fn)]
 
         use core::arch::x86_64::{
-            _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_storeu_ps,
+            _mm256_add_ps, _mm256_and_ps, _mm256_andnot_ps, _mm256_castsi256_ps, _mm256_cmp_ps,
+            _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_epi32, _mm256_set1_ps, _mm256_storeu_ps,
+            _CMP_LE_OQ, _CMP_LT_OQ,
         };
 
         use super::LANES;
@@ -377,6 +484,53 @@ pub mod simd {
             assert!(super::avx2_available(), "host CPU lacks AVX2");
             // SAFETY: AVX2 support was just verified at runtime.
             unsafe { scale_impl(alpha, x) }
+        }
+
+        /// `x[i] = value` via 256-bit lanes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the host lacks AVX2.
+        pub fn fill(value: f32, x: &mut [f32]) {
+            assert!(super::avx2_available(), "host CPU lacks AVX2");
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { fill_impl(value, x) }
+        }
+
+        /// `out[i] = |x[i]|` via 256-bit lanes (sign-bit AND — the exact
+        /// bit operation of scalar `f32::abs`, including on NaN).
+        ///
+        /// # Panics
+        ///
+        /// Panics if the lengths mismatch or the host lacks AVX2.
+        pub fn abs_into(x: &[f32], out: &mut [f32]) {
+            assert_eq!(x.len(), out.len(), "abs_into length mismatch");
+            assert!(super::avx2_available(), "host CPU lacks AVX2");
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { abs_into_impl(x, out) }
+        }
+
+        /// In-place ReLU via 256-bit lanes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the host lacks AVX2.
+        pub fn relu(x: &mut [f32]) {
+            assert!(super::avx2_available(), "host CPU lacks AVX2");
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { relu_impl(x) }
+        }
+
+        /// ReLU backward via 256-bit lanes.
+        ///
+        /// # Panics
+        ///
+        /// Panics if the lengths mismatch or the host lacks AVX2.
+        pub fn relu_backward(forward_input: &[f32], grad: &mut [f32]) {
+            assert_eq!(forward_input.len(), grad.len(), "relu_backward mismatch");
+            assert!(super::avx2_available(), "host CPU lacks AVX2");
+            // SAFETY: AVX2 support was just verified at runtime.
+            unsafe { relu_backward_impl(forward_input, grad) }
         }
 
         #[target_feature(enable = "avx2")]
@@ -446,6 +600,98 @@ pub mod simd {
                 i += 1;
             }
         }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn fill_impl(value: f32, x: &mut [f32]) {
+            let n = x.len();
+            let vv = _mm256_set1_ps(value);
+            let mut i = 0;
+            while i + LANES <= n {
+                // SAFETY: `i + LANES <= n` bounds the store.
+                unsafe {
+                    _mm256_storeu_ps(x.as_mut_ptr().add(i), vv);
+                }
+                i += LANES;
+            }
+            while i < n {
+                x[i] = value;
+                i += 1;
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn abs_into_impl(x: &[f32], out: &mut [f32]) {
+            let n = x.len();
+            // Clearing the sign bit is exactly what scalar `f32::abs`
+            // does, for every input including NaN payloads.
+            let mask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF));
+            let mut i = 0;
+            while i + LANES <= n {
+                // SAFETY: `i + LANES <= n` bounds the load and the store.
+                unsafe {
+                    let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+                    _mm256_storeu_ps(out.as_mut_ptr().add(i), _mm256_and_ps(vx, mask));
+                }
+                i += LANES;
+            }
+            while i < n {
+                out[i] = x[i].abs();
+                i += 1;
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn relu_impl(x: &mut [f32]) {
+            let n = x.len();
+            let zero = _mm256_set1_ps(0.0);
+            let mut i = 0;
+            while i + LANES <= n {
+                // SAFETY: `i + LANES <= n` bounds the load and the store.
+                unsafe {
+                    let vx = _mm256_loadu_ps(x.as_ptr().add(i));
+                    // Mask of lanes with x < 0 (ordered: NaN compares
+                    // false, so NaN lanes pass through — the scalar
+                    // semantics). andnot zeroes exactly those lanes,
+                    // leaving -0.0 and NaN untouched where a max() would
+                    // not.
+                    let neg = _mm256_cmp_ps::<_CMP_LT_OQ>(vx, zero);
+                    _mm256_storeu_ps(x.as_mut_ptr().add(i), _mm256_andnot_ps(neg, vx));
+                }
+                i += LANES;
+            }
+            while i < n {
+                if x[i] < 0.0 {
+                    x[i] = 0.0;
+                }
+                i += 1;
+            }
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn relu_backward_impl(forward_input: &[f32], grad: &mut [f32]) {
+            let n = grad.len();
+            let zero = _mm256_set1_ps(0.0);
+            let mut i = 0;
+            while i + LANES <= n {
+                // SAFETY: `i + LANES <= n` bounds both loads and the store.
+                unsafe {
+                    let vx = _mm256_loadu_ps(forward_input.as_ptr().add(i));
+                    let vg = _mm256_loadu_ps(grad.as_ptr().add(i));
+                    // x <= 0 (ordered) selects the lanes to zero; NaN
+                    // forward inputs compare false and keep their
+                    // gradient, matching the scalar loop.
+                    let dead = _mm256_cmp_ps::<_CMP_LE_OQ>(vx, zero);
+                    _mm256_storeu_ps(grad.as_mut_ptr().add(i), _mm256_andnot_ps(dead, vg));
+                }
+                i += LANES;
+            }
+            while i < n {
+                if forward_input[i] <= 0.0 {
+                    grad[i] = 0.0;
+                }
+                i += 1;
+            }
+        }
     }
 }
 
@@ -488,6 +734,48 @@ pub mod reference {
         }
     }
 
+    /// Scalar `x[i] = value`.
+    pub fn fill(value: f32, x: &mut [f32]) {
+        for xi in x {
+            *xi = value;
+        }
+    }
+
+    /// Scalar `out[i] = |x[i]|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` and `out` have different lengths.
+    pub fn abs_into(x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), out.len(), "abs_into length mismatch");
+        for (oi, xi) in out.iter_mut().zip(x) {
+            *oi = xi.abs();
+        }
+    }
+
+    /// Scalar in-place ReLU (`-0.0` and NaN pass through).
+    pub fn relu(x: &mut [f32]) {
+        for xi in x {
+            if *xi < 0.0 {
+                *xi = 0.0;
+            }
+        }
+    }
+
+    /// Scalar ReLU backward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths mismatch.
+    pub fn relu_backward(forward_input: &[f32], grad: &mut [f32]) {
+        assert_eq!(forward_input.len(), grad.len(), "relu_backward mismatch");
+        for (gi, &xi) in grad.iter_mut().zip(forward_input) {
+            if xi <= 0.0 {
+                *gi = 0.0;
+            }
+        }
+    }
+
     /// Scalar elementwise mean of several equally sized slices.
     ///
     /// # Panics
@@ -495,7 +783,7 @@ pub mod reference {
     /// Panics if `inputs` is empty or any input length differs from `out`.
     pub fn mean_into(inputs: &[&[f32]], out: &mut [f32]) {
         assert!(!inputs.is_empty(), "mean of zero slices");
-        super::fill(0.0, out);
+        fill(0.0, out);
         for input in inputs {
             axpy(1.0, input, out);
         }

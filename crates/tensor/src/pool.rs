@@ -42,6 +42,20 @@ pub struct BufferPool {
 /// cap bounds memory without costing hits.
 const MAX_FREE: usize = 64;
 
+/// A point-in-time snapshot of a pool's allocation behavior, used by
+/// benches to assert a hot path stopped allocating after warmup: if
+/// [`PoolStats::fresh`] is unchanged between two snapshots, every
+/// acquire in between was served from the free list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Total [`BufferPool::acquire`] calls so far.
+    pub acquires: u64,
+    /// Acquires served by recycling a released buffer.
+    pub reuses: u64,
+    /// Acquires that had to allocate a fresh zeroed buffer.
+    pub fresh: u64,
+}
+
 impl BufferPool {
     /// An empty pool.
     pub fn new() -> Self {
@@ -93,6 +107,15 @@ impl BufferPool {
     pub fn reuses(&self) -> u64 {
         self.reuses
     }
+
+    /// Snapshot of the allocation counters (see [`PoolStats`]).
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            acquires: self.acquires,
+            reuses: self.reuses,
+            fresh: self.acquires - self.reuses,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +152,21 @@ mod tests {
         assert_eq!(pool.free_buffers(), 0);
         pool.reclaim(snap); // last holder: recycled
         assert_eq!(pool.free_buffers(), 1);
+    }
+
+    #[test]
+    fn stats_split_fresh_from_reused() {
+        let mut pool = BufferPool::new();
+        assert_eq!(pool.stats(), PoolStats::default());
+        let a = pool.acquire(4);
+        let b = pool.acquire(4);
+        pool.release(a);
+        pool.release(b);
+        let _c = pool.acquire(4);
+        let s = pool.stats();
+        assert_eq!(s.acquires, 3);
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.fresh, 2);
     }
 
     #[test]

@@ -210,6 +210,104 @@ fn every_length_up_to_67_is_bit_identical() {
     }
 }
 
+/// Exhaustive 0..=67 sweep for the elementwise kernels added to the
+/// dispatch layer (`fill`, `abs_into`, `relu`, `relu_backward`): the
+/// dispatched entry point and both explicit backends must match the
+/// scalar reference bit for bit, including at remainder lengths and on
+/// negative zeros (where a naive `max(0, x)` and a sign-mask select can
+/// legally disagree).
+#[test]
+fn elementwise_kernels_are_bit_identical_up_to_67() {
+    for len in 0..=67usize {
+        // Mix in exact zeros and negative zeros alongside random values.
+        let mut x = values(len as u64 + 53, len);
+        for (i, v) in x.iter_mut().enumerate() {
+            match i % 7 {
+                3 => *v = 0.0,
+                5 => *v = -0.0,
+                _ => {}
+            }
+        }
+        let g0 = values(len as u64 + 131, len);
+
+        type FillFn = fn(f32, &mut [f32]);
+        let fill_impls: Vec<(&str, FillFn)> = vec![
+            ("dispatch", ops::fill),
+            ("portable", ops::simd::portable::fill),
+            #[cfg(target_arch = "x86_64")]
+            ("avx2", ops::simd::avx2::fill),
+        ];
+        for (name, f) in fill_impls {
+            #[cfg(target_arch = "x86_64")]
+            if name == "avx2" && !ops::simd::avx2_available() {
+                continue;
+            }
+            let mut out = g0.clone();
+            let mut expect = g0.clone();
+            f(-1.25, &mut out);
+            ops::reference::fill(-1.25, &mut expect);
+            assert_eq!(bits(&out), bits(&expect), "fill/{name} len {len}");
+        }
+
+        type AbsFn = fn(&[f32], &mut [f32]);
+        let abs_impls: Vec<(&str, AbsFn)> = vec![
+            ("dispatch", ops::abs_into),
+            ("portable", ops::simd::portable::abs_into),
+            #[cfg(target_arch = "x86_64")]
+            ("avx2", ops::simd::avx2::abs_into),
+        ];
+        for (name, f) in abs_impls {
+            #[cfg(target_arch = "x86_64")]
+            if name == "avx2" && !ops::simd::avx2_available() {
+                continue;
+            }
+            let mut out = vec![9.0f32; len];
+            let mut expect = vec![9.0f32; len];
+            f(&x, &mut out);
+            ops::reference::abs_into(&x, &mut expect);
+            assert_eq!(bits(&out), bits(&expect), "abs_into/{name} len {len}");
+        }
+
+        type ReluFn = fn(&mut [f32]);
+        let relu_impls: Vec<(&str, ReluFn)> = vec![
+            ("dispatch", ops::relu),
+            ("portable", ops::simd::portable::relu),
+            #[cfg(target_arch = "x86_64")]
+            ("avx2", ops::simd::avx2::relu),
+        ];
+        for (name, f) in relu_impls {
+            #[cfg(target_arch = "x86_64")]
+            if name == "avx2" && !ops::simd::avx2_available() {
+                continue;
+            }
+            let mut out = x.clone();
+            let mut expect = x.clone();
+            f(&mut out);
+            ops::reference::relu(&mut expect);
+            assert_eq!(bits(&out), bits(&expect), "relu/{name} len {len}");
+        }
+
+        type ReluBackFn = fn(&[f32], &mut [f32]);
+        let relu_back_impls: Vec<(&str, ReluBackFn)> = vec![
+            ("dispatch", ops::relu_backward),
+            ("portable", ops::simd::portable::relu_backward),
+            #[cfg(target_arch = "x86_64")]
+            ("avx2", ops::simd::avx2::relu_backward),
+        ];
+        for (name, f) in relu_back_impls {
+            #[cfg(target_arch = "x86_64")]
+            if name == "avx2" && !ops::simd::avx2_available() {
+                continue;
+            }
+            let mut out = g0.clone();
+            let mut expect = g0.clone();
+            f(&x, &mut out);
+            ops::reference::relu_backward(&x, &mut expect);
+            assert_eq!(bits(&out), bits(&expect), "relu_backward/{name} len {len}");
+        }
+    }
+}
+
 /// The acceptance check for the zero-copy plane: a snapshot is a
 /// refcount bump on the same allocation, not a copy.
 #[test]

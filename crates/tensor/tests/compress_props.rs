@@ -1,0 +1,206 @@
+//! Property tests for the deterministic message codecs in
+//! [`hop_tensor::compress`].
+//!
+//! The invariants pinned here are the ones the communication plane is
+//! built on: the identity codec round-trips bitwise, top-k keeps exactly
+//! `k_for(len)` entries with canonical ascending indices, error feedback
+//! conserves mass (`decoded + new_residual == input + old_residual`),
+//! int8 reconstruction stays within half a quantization step, and ties
+//! break deterministically by index. Lengths 0..=67 exercise empty,
+//! sub-lane, lane-multiple and remainder blocks.
+
+use hop_tensor::{
+    BufferPool, Codec, CompressedBlock, CompressionConfig, Compressor, ErrorFeedback,
+};
+use proptest::prelude::*;
+
+/// Deterministic pseudo-random values in roughly [-4, 4], with exact
+/// zeros mixed in.
+fn values(mut seed: u64, len: usize) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            seed ^= seed >> 12;
+            seed ^= seed << 25;
+            seed ^= seed >> 27;
+            let raw = seed.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            if i % 11 == 7 {
+                0.0
+            } else {
+                ((raw >> 40) as f32 / (1u64 << 24) as f32) * 8.0 - 4.0
+            }
+        })
+        .collect()
+}
+
+fn encode(codec: &mut Codec, input: &[f32], ef: &mut ErrorFeedback) -> (CompressedBlock, Vec<f32>) {
+    let mut pool = BufferPool::new();
+    let mut block = CompressedBlock::default();
+    codec.encode_into(input, ef, &mut pool, &mut block);
+    let mut decoded = vec![0.0f32; block.decoded_len()];
+    codec.decode_into(&block, &mut decoded);
+    (block, decoded)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn identity_round_trips_bitwise(len in 0usize..68, seed in 0u64..1_000_000_000) {
+        let input = values(seed, len);
+        let mut codec = Codec::new(CompressionConfig::Identity);
+        let mut ef = ErrorFeedback::new();
+        let (block, decoded) = encode(&mut codec, &input, &mut ef);
+        prop_assert_eq!(block.encoded_bytes(), 4 * len as u64);
+        let in_bits: Vec<u32> = input.iter().map(|v| v.to_bits()).collect();
+        let out_bits: Vec<u32> = decoded.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(in_bits, out_bits);
+        prop_assert!(ef.residual().iter().all(|&r| r == 0.0), "identity must not leave residue");
+    }
+
+    #[test]
+    fn topk_keeps_exactly_k_canonical_entries(
+        len in 1usize..68,
+        seed in 0u64..1_000_000_000,
+        ratio_pct in 1u32..101,
+    ) {
+        let cfg = CompressionConfig::TopK { ratio: ratio_pct as f32 / 100.0 };
+        let input = values(seed, len);
+        let mut codec = Codec::new(cfg);
+        let mut ef = ErrorFeedback::new();
+        let (block, _) = encode(&mut codec, &input, &mut ef);
+        let CompressedBlock::Sparse { len: blen, indices, values } = &block else {
+            panic!("top-k must produce a sparse block");
+        };
+        prop_assert_eq!(*blen as usize, len);
+        prop_assert_eq!(indices.len(), cfg.k_for(len));
+        prop_assert_eq!(values.len(), indices.len());
+        prop_assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "indices must be strictly ascending"
+        );
+        // Exactness of the selection: every dropped magnitude is <= every
+        // kept magnitude (the kept set is a true top-k by |value|).
+        let kept: Vec<bool> = {
+            let mut k = vec![false; len];
+            for &i in indices {
+                k[i as usize] = true;
+            }
+            k
+        };
+        let min_kept = indices
+            .iter()
+            .map(|&i| input[i as usize].abs())
+            .fold(f32::INFINITY, f32::min);
+        for (i, v) in input.iter().enumerate() {
+            if !kept[i] {
+                prop_assert!(v.abs() <= min_kept, "dropped |{v}| above kept minimum {min_kept}");
+            }
+        }
+    }
+
+    #[test]
+    fn error_feedback_conserves_mass_for_topk(
+        len in 1usize..68,
+        seed in 0u64..1_000_000_000,
+    ) {
+        // decoded + new_residual == input + old_residual, exactly: top-k
+        // either ships a compensated value verbatim (residual 0) or
+        // drops it whole into the residual.
+        let mut codec = Codec::new(CompressionConfig::TopK { ratio: 0.25 });
+        let mut ef = ErrorFeedback::new();
+        let input = values(seed, len);
+        for round in 0..4u64 {
+            let old: Vec<f32> = if ef.residual().is_empty() {
+                vec![0.0; len]
+            } else {
+                ef.residual().to_vec()
+            };
+            let (_, decoded) = encode(&mut codec, &input, &mut ef);
+            for i in 0..len {
+                let conserved = decoded[i] + ef.residual()[i];
+                let compensated = input[i] + old[i];
+                prop_assert!(
+                    conserved == compensated,
+                    "round {round}: index {i} leaked mass ({conserved} vs {compensated})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_error_stays_within_half_a_step(len in 1usize..68, seed in 0u64..1_000_000_000) {
+        let input = values(seed, len);
+        let mut codec = Codec::new(CompressionConfig::Int8Uniform);
+        let mut ef = ErrorFeedback::new();
+        let (block, decoded) = encode(&mut codec, &input, &mut ef);
+        prop_assert_eq!(block.encoded_bytes(), 4 + len as u64);
+        let max = input.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let step = max / 127.0;
+        for (i, (&x, &d)) in input.iter().zip(&decoded).enumerate() {
+            prop_assert!(
+                (x - d).abs() <= step * 0.500_001,
+                "index {i}: |{x} - {d}| exceeds half step {step}"
+            );
+            // And the residual records exactly the rounding error.
+            prop_assert!(ef.residual()[i] == x - d, "index {i} residual mismatch");
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(len in 0usize..68, seed in 0u64..1_000_000_000) {
+        // Same input, fresh state: bit-identical wire blocks for every
+        // codec (the property the pinned digest tables rest on).
+        for cfg in [
+            CompressionConfig::Identity,
+            CompressionConfig::TopK { ratio: 0.1 },
+            CompressionConfig::Int8Uniform,
+        ] {
+            let input = values(seed, len);
+            let (a, _) = encode(&mut Codec::new(cfg), &input, &mut ErrorFeedback::new());
+            let (b, _) = encode(&mut Codec::new(cfg), &input, &mut ErrorFeedback::new());
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+/// The adversarial tie case: every entry has the same magnitude, so the
+/// stable `(|value|, index)` order must fall back to index and keep the
+/// lowest `k` positions — on every run, regardless of the selection
+/// algorithm's internal pivoting.
+#[test]
+fn all_equal_input_breaks_ties_by_index() {
+    for len in 1..=67usize {
+        for sign in [1.0f32, -1.0] {
+            let cfg = CompressionConfig::TopK { ratio: 0.25 };
+            let input = vec![sign * 1.5; len];
+            let (block, decoded) = encode(&mut Codec::new(cfg), &input, &mut ErrorFeedback::new());
+            let CompressedBlock::Sparse {
+                indices, values, ..
+            } = &block
+            else {
+                panic!("top-k must produce a sparse block");
+            };
+            let k = cfg.k_for(len);
+            let expect: Vec<u32> = (0..k as u32).collect();
+            assert_eq!(indices, &expect, "len {len} sign {sign}");
+            assert!(values.iter().all(|&v| v == sign * 1.5));
+            assert!(decoded[..k].iter().all(|&v| v == sign * 1.5));
+            assert!(decoded[k..].iter().all(|&v| v == 0.0));
+        }
+    }
+}
+
+/// An empty block must encode and decode without panicking for every
+/// codec (the engine never sends one, but the codecs are public API).
+#[test]
+fn empty_blocks_are_harmless() {
+    for cfg in [
+        CompressionConfig::Identity,
+        CompressionConfig::TopK { ratio: 0.5 },
+        CompressionConfig::Int8Uniform,
+    ] {
+        let (block, decoded) = encode(&mut Codec::new(cfg), &[], &mut ErrorFeedback::new());
+        assert_eq!(block.decoded_len(), 0);
+        assert!(decoded.is_empty());
+    }
+}

@@ -85,7 +85,7 @@ fn decentralized_beats_ps_on_wall_time() {
     .run(&model, &dataset)
     .expect("valid");
     let ps = svm_experiment(
-        Protocol::Ps(PsConfig { mode: PsMode::Bsp }),
+        Protocol::Ps(PsConfig::new(PsMode::Bsp)),
         SlowdownModel::None,
         60,
     )

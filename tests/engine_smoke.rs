@@ -27,19 +27,9 @@ fn all_variants() -> Vec<(&'static str, Protocol)> {
             "hop_skip",
             Protocol::Hop(HopConfig::backup(1, 5).with_skip(SkipConfig::with_max_jump(6))),
         ),
-        ("ps_bsp", Protocol::Ps(PsConfig { mode: PsMode::Bsp })),
-        (
-            "ps_ssp",
-            Protocol::Ps(PsConfig {
-                mode: PsMode::Ssp(3),
-            }),
-        ),
-        (
-            "ps_async",
-            Protocol::Ps(PsConfig {
-                mode: PsMode::Async,
-            }),
-        ),
+        ("ps_bsp", Protocol::Ps(PsConfig::new(PsMode::Bsp))),
+        ("ps_ssp", Protocol::Ps(PsConfig::new(PsMode::Ssp(3)))),
+        ("ps_async", Protocol::Ps(PsConfig::new(PsMode::Async))),
         ("adpsgd", Protocol::AdPsgd(AdPsgdConfig::default())),
         ("ring_allreduce", Protocol::RingAllReduce),
         ("prague", Protocol::Prague(PragueConfig::default())),

@@ -182,7 +182,7 @@ proptest! {
     ) {
         let n = 6;
         let topo = Topology::ring(n);
-        let cfg = PragueConfig { group_size, regen_every };
+        let cfg = PragueConfig { group_size, regen_every, ..PragueConfig::default() };
         let report = run_protocol(
             &topo,
             Protocol::Prague(cfg),

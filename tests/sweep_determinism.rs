@@ -21,7 +21,7 @@ fn family_grid() -> SweepGrid {
     SweepGrid::new(Hyper::svm(), 12)
         .protocol("hop_standard", Protocol::Hop(HopConfig::standard()))
         .protocol("hop_backup", Protocol::Hop(HopConfig::backup(1, 5)))
-        .protocol("ps_bsp", Protocol::Ps(PsConfig { mode: PsMode::Bsp }))
+        .protocol("ps_bsp", Protocol::Ps(PsConfig::new(PsMode::Bsp)))
         .protocol("ring_allreduce", Protocol::RingAllReduce)
         .protocol("adpsgd", Protocol::AdPsgd(AdPsgdConfig::default()))
         .protocol("prague", Protocol::Prague(PragueConfig::default()))
