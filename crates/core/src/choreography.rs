@@ -1,0 +1,1060 @@
+//! Session-typed protocol choreography: the legal event grammar of
+//! [`crate::conformance`] as typestate handles, so an illegal protocol
+//! step is a *compile* error rather than an Oracle violation.
+//!
+//! # Why
+//!
+//! The conformance [`Oracle`](crate::conformance::Oracle) replays a
+//! finished trace and reports the first violation — after the fact. This
+//! module moves the grammar the Oracle enforces into the type system:
+//! every runtime (the simulator's `WorkerProtocol` plug-ins and the
+//! threaded runtime) emits exchange events exclusively through the
+//! handles below, whose move semantics make the per-iteration state
+//! machine
+//!
+//! ```text
+//!              begin_step (Advance)
+//!   Reduced ───────────────────────────▶ Idle ──┐ send (parallel order)
+//!      ▲                                  │  ◀──┘
+//!      │                                  │ begin_compute (ComputeBegin)
+//!      │                                  ▼
+//!      │                              Computing
+//!      │                                  │ end_compute (ComputeEnd)
+//!      │                                  ▼
+//!      │        reduce (Reduce)       Exchanging ──┐ send (serial order)
+//!      └───────────────────────────────── │     ◀──┘ consume (Consume)
+//!      │                                            ▲ │
+//!      │ take_token (TokenTake, n=1)                └─┘
+//!      │ complete / retire
+//!      │
+//!      │ jump (Jump)          take_tokens (TokenTake, n=jump)
+//!      └───────────▶ Renewing ──┐   consume (Consume at target-1)
+//!          ▲                 │◀─┘
+//!          └─────────────────┘ renew_reduce (Reduce renew=1, own included)
+//! ```
+//!
+//! the only path through an iteration. "Consume before the compute
+//! ended", "reduce twice", "jump while still exchanging" and friends do
+//! not type-check (see the `compile_fail` examples below). A second,
+//! machine-checkable layer is the declarative [`ChoreographySpec`] each
+//! protocol exports: [`validate_spec`] (driven by the `choreo_check`
+//! binary in CI) checks every spec against [`GRAMMAR`] — the same
+//! transition table the handles implement — plus the token/tag
+//! obligations the Oracle enforces dynamically.
+//!
+//! # Delivery plane
+//!
+//! Arrival judgement ([`Arrival::judge`] → `StaleAdmit`/`StaleReject`),
+//! token visibility ([`token_grant`] → `TokenPass`) and post-jump
+//! discards ([`drop_update`] → `Drop`) happen on the *network's*
+//! schedule, in whatever phase the receiving worker occupies, so they are
+//! free functions of the module rather than handle methods — but they
+//! are still the only way to emit those events.
+//!
+//! # Forbidden transitions (compile-fail pins)
+//!
+//! Consuming before the compute has ended — [`Step::consume`] exists only
+//! on `Step<Exchanging>`:
+//!
+//! ```compile_fail
+//! use hop_core::choreography::begin_step;
+//! use hop_core::conformance::ConformanceSink;
+//! let mut sink = ConformanceSink::disabled();
+//! let mut step = begin_step(&mut sink, 0, 0);
+//! step.consume(&mut sink, 1, 0); // ERROR: not Exchanging yet
+//! ```
+//!
+//! Reducing before the compute has ended:
+//!
+//! ```compile_fail
+//! use hop_core::choreography::begin_step;
+//! use hop_core::conformance::ConformanceSink;
+//! let mut sink = ConformanceSink::disabled();
+//! let step = begin_step(&mut sink, 0, 0).begin_compute(&mut sink);
+//! let _ = step.reduce(&mut sink); // ERROR: no reduce on Step<Computing>
+//! ```
+//!
+//! Reducing the same iteration twice — the handle is consumed by value:
+//!
+//! ```compile_fail
+//! use hop_core::choreography::begin_step;
+//! use hop_core::conformance::ConformanceSink;
+//! let mut sink = ConformanceSink::disabled();
+//! let step = begin_step(&mut sink, 0, 0)
+//!     .begin_compute(&mut sink)
+//!     .end_compute(&mut sink);
+//! let done = step.reduce(&mut sink);
+//! let again = step.reduce(&mut sink); // ERROR: `step` was moved
+//! ```
+//!
+//! Jumping mid-exchange (before the Reduce) — [`Step::jump`] exists only
+//! on `Step<Reduced>`:
+//!
+//! ```compile_fail
+//! use hop_core::choreography::begin_step;
+//! use hop_core::conformance::ConformanceSink;
+//! let mut sink = ConformanceSink::disabled();
+//! let step = begin_step(&mut sink, 0, 0)
+//!     .begin_compute(&mut sink)
+//!     .end_compute(&mut sink);
+//! let _ = step.jump(&mut sink, 5, &[2, 2]); // ERROR: still Exchanging
+//! ```
+//!
+//! Sending after the Reduce — [`SendStage`] covers `Idle`/`Exchanging`
+//! only:
+//!
+//! ```compile_fail
+//! use hop_core::choreography::begin_step;
+//! use hop_core::conformance::ConformanceSink;
+//! let mut sink = ConformanceSink::disabled();
+//! let step = begin_step(&mut sink, 0, 0)
+//!     .begin_compute(&mut sink)
+//!     .end_compute(&mut sink)
+//!     .reduce(&mut sink);
+//! step.send(&mut sink, 1); // ERROR: Reduced is not a SendStage
+//! ```
+//!
+//! Taking the jump's token allotment without a recorded Jump —
+//! [`Renew::take_tokens`] lives on [`Renew`], which only
+//! [`Step::jump`] can construct:
+//!
+//! ```compile_fail
+//! use hop_core::choreography::begin_step;
+//! use hop_core::conformance::ConformanceSink;
+//! let mut sink = ConformanceSink::disabled();
+//! let step = begin_step(&mut sink, 0, 0)
+//!     .begin_compute(&mut sink)
+//!     .end_compute(&mut sink)
+//!     .reduce(&mut sink);
+//! step.take_tokens(&mut sink, 1); // ERROR: only `Renew` takes in bulk
+//! ```
+//!
+//! Abandoning a jump's renew obligation ("advance while holding
+//! un-renewed tokens") is pinned by `#[must_use]` on [`Renew`]: dropping
+//! it without [`Renew::renew_reduce`] warns, and the clippy gate promotes
+//! the warning to an error in CI.
+
+#![warn(clippy::must_use_candidate)]
+
+use crate::conformance::{ConformanceSink, ProtocolEvent, ProtocolTrace};
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// ---------------------------------------------------------------------------
+// Event sinks
+// ---------------------------------------------------------------------------
+
+/// Where choreography handles emit their events.
+///
+/// `f` is only called when the sink actually records (the same laziness
+/// contract as [`ConformanceSink::record`]), so untraced runs never build
+/// event payloads.
+pub trait EventSink {
+    /// Emits the event produced by `f` if this sink records.
+    fn emit(&mut self, f: impl FnOnce() -> ProtocolEvent);
+}
+
+impl EventSink for ConformanceSink {
+    #[inline]
+    fn emit(&mut self, f: impl FnOnce() -> ProtocolEvent) {
+        self.record(f);
+    }
+}
+
+/// Collecting straight into a trace (tests, the `choreo_check` reference
+/// run).
+impl EventSink for ProtocolTrace {
+    #[inline]
+    fn emit(&mut self, f: impl FnOnce() -> ProtocolEvent) {
+        self.push(f());
+    }
+}
+
+/// `None` is a disabled sink: untraced threaded runs drive the same
+/// handles with no recording.
+impl<S: EventSink> EventSink for Option<S> {
+    #[inline]
+    fn emit(&mut self, f: impl FnOnce() -> ProtocolEvent) {
+        if let Some(sink) = self {
+            sink.emit(f);
+        }
+    }
+}
+
+/// Per-thread event log ordered by a shared atomic sequence — the
+/// threaded runtime's sink. Each worker thread owns one; the merged,
+/// sequence-sorted logs form the run's [`ProtocolTrace`].
+///
+/// The linearization discipline (grant events numbered *before* the
+/// queue operation, observe events *after*; see [`crate::conformance`])
+/// is the caller's: it is preserved by placing the handle call on the
+/// correct side of the queue operation.
+#[derive(Debug)]
+pub struct SeqSink<'a> {
+    seq: &'a AtomicU64,
+    events: Vec<(u64, ProtocolEvent)>,
+}
+
+impl<'a> SeqSink<'a> {
+    /// A sink drawing sequence numbers from `seq`.
+    pub fn new(seq: &'a AtomicU64) -> Self {
+        Self {
+            seq,
+            events: Vec::new(),
+        }
+    }
+
+    /// The recorded `(sequence, event)` pairs.
+    #[must_use]
+    pub fn into_events(self) -> Vec<(u64, ProtocolEvent)> {
+        self.events
+    }
+}
+
+impl EventSink for SeqSink<'_> {
+    #[inline]
+    fn emit(&mut self, f: impl FnOnce() -> ProtocolEvent) {
+        let s = self.seq.fetch_add(1, Ordering::SeqCst);
+        self.events.push((s, f()));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typestate stages
+// ---------------------------------------------------------------------------
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// A stage of the per-iteration state machine (sealed).
+pub trait Stage: sealed::Sealed {}
+
+/// Stages in which a worker may publish its update ([`Step::send`]):
+/// `Idle` for the parallel order of Fig. 2(b) (send before compute) and
+/// `Exchanging` for the serial order of Fig. 2(a) (send after apply).
+pub trait SendStage: Stage {}
+
+/// Entered the iteration; compute not started.
+#[derive(Debug)]
+pub struct Idle;
+/// Gradient computation in flight.
+#[derive(Debug)]
+pub struct Computing;
+/// Compute done; sending/consuming toward the Reduce.
+#[derive(Debug)]
+pub struct Exchanging;
+/// Reduce done; acquiring tokens (or jumping) to advance.
+#[derive(Debug)]
+pub struct Reduced;
+
+impl sealed::Sealed for Idle {}
+impl Stage for Idle {}
+impl SendStage for Idle {}
+impl sealed::Sealed for Computing {}
+impl Stage for Computing {}
+impl sealed::Sealed for Exchanging {}
+impl Stage for Exchanging {}
+impl SendStage for Exchanging {}
+impl sealed::Sealed for Reduced {}
+impl Stage for Reduced {}
+
+// ---------------------------------------------------------------------------
+// The per-iteration handle
+// ---------------------------------------------------------------------------
+
+/// One worker's pass through one iteration, in stage `S`.
+///
+/// Constructed by [`begin_step`] (which emits the `Advance`); every
+/// transition method consumes the handle and returns the next stage, so
+/// the type system admits exactly the event orders the Oracle does. The
+/// handle counts its `consume` calls and stamps the count into the
+/// `Reduce` event — a protocol cannot lie about how many updates it
+/// folded in.
+#[must_use = "an abandoned step leaves the iteration's exchange incomplete"]
+#[derive(Debug)]
+pub struct Step<S: Stage> {
+    worker: usize,
+    iter: u64,
+    consumed: usize,
+    _stage: PhantomData<S>,
+}
+
+/// Enters iteration `iter` (emits `Advance`) and returns the step handle
+/// that the rest of the iteration's events must flow through.
+pub fn begin_step(sink: &mut impl EventSink, worker: usize, iter: u64) -> Step<Idle> {
+    sink.emit(|| ProtocolEvent::Advance { worker, iter });
+    Step {
+        worker,
+        iter,
+        consumed: 0,
+        _stage: PhantomData,
+    }
+}
+
+/// Enters iteration `iter` (emits `Advance`) without opening a step —
+/// for round-driven protocols (PS, AD-PSGD, ring, Prague, QGM) whose
+/// synchronization lives outside the per-worker exchange vocabulary, and
+/// for the terminal entry at `max_iters`.
+pub fn advance_only(sink: &mut impl EventSink, worker: usize, iter: u64) {
+    sink.emit(|| ProtocolEvent::Advance { worker, iter });
+}
+
+impl<S: Stage> Step<S> {
+    /// The worker this step belongs to.
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// The iteration this step is passing through.
+    #[must_use]
+    pub fn iter(&self) -> u64 {
+        self.iter
+    }
+}
+
+impl<S: SendStage> Step<S> {
+    /// Publishes this iteration's update to `to` (emits `Send` tagged
+    /// with the step's iteration). Available before the compute (parallel
+    /// order) and after it (serial order) — never after the Reduce.
+    pub fn send(&self, sink: &mut impl EventSink, to: usize) {
+        let (from, iter) = (self.worker, self.iter);
+        sink.emit(|| ProtocolEvent::Send { from, to, iter });
+    }
+}
+
+impl Step<Idle> {
+    /// Starts the gradient computation (emits `ComputeBegin`).
+    pub fn begin_compute(self, sink: &mut impl EventSink) -> Step<Computing> {
+        let (worker, iter) = (self.worker, self.iter);
+        sink.emit(|| ProtocolEvent::ComputeBegin { worker, iter });
+        Step {
+            worker,
+            iter,
+            consumed: self.consumed,
+            _stage: PhantomData,
+        }
+    }
+
+    /// Ends a terminal entry (the `Advance` at `max_iters` opens no
+    /// exchange): consumes the handle without further events.
+    pub fn retire(self) {}
+}
+
+impl Step<Computing> {
+    /// Finishes the gradient computation (emits `ComputeEnd`).
+    pub fn end_compute(self, sink: &mut impl EventSink) -> Step<Exchanging> {
+        let (worker, iter) = (self.worker, self.iter);
+        sink.emit(|| ProtocolEvent::ComputeEnd { worker, iter });
+        Step {
+            worker,
+            iter,
+            consumed: self.consumed,
+            _stage: PhantomData,
+        }
+    }
+}
+
+impl Step<Exchanging> {
+    /// Folds the update tagged `(from, iter)` into the upcoming Reduce
+    /// (emits `Consume` at this step's iteration).
+    pub fn consume(&mut self, sink: &mut impl EventSink, from: usize, iter: u64) {
+        let (worker, at_iter) = (self.worker, self.iter);
+        sink.emit(|| ProtocolEvent::Consume {
+            worker,
+            from,
+            iter,
+            at_iter,
+        });
+        self.consumed += 1;
+    }
+
+    /// Reduces everything consumed so far (emits `Reduce` with
+    /// `n_updates` = the number of [`Self::consume`] calls).
+    pub fn reduce(self, sink: &mut impl EventSink) -> Step<Reduced> {
+        let (worker, iter, consumed) = (self.worker, self.iter, self.consumed);
+        sink.emit(|| ProtocolEvent::Reduce {
+            worker,
+            iter,
+            n_updates: consumed,
+            renew: false,
+        });
+        Step {
+            worker,
+            iter,
+            consumed,
+            _stage: PhantomData,
+        }
+    }
+}
+
+impl Step<Reduced> {
+    /// Removes one token from `TokenQ(owner -> self)` for a normal
+    /// advance (emits `TokenTake` with count 1).
+    pub fn take_token(&self, sink: &mut impl EventSink, owner: usize) {
+        let consumer = self.worker;
+        sink.emit(|| ProtocolEvent::TokenTake {
+            owner,
+            consumer,
+            count: 1,
+        });
+    }
+
+    /// §5: decides to skip to `target` having observed `token_counts`
+    /// (emits `Jump`). The returned [`Renew`] carries the obligations the
+    /// decision incurs — take the jump-sized token allotments and renew
+    /// parameters at `target - 1` — and is `#[must_use]` so dropping them
+    /// is flagged at compile time.
+    pub fn jump(self, sink: &mut impl EventSink, target: u64, token_counts: &[u64]) -> Renew {
+        let (worker, from_iter) = (self.worker, self.iter);
+        sink.emit(|| ProtocolEvent::Jump {
+            worker,
+            from_iter,
+            target,
+            token_counts: token_counts.to_vec(),
+        });
+        Renew {
+            worker,
+            from_iter,
+            target,
+            consumed: 0,
+        }
+    }
+
+    /// Ends a normal step: the next event for this worker is the next
+    /// iteration's `Advance` (via [`begin_step`]).
+    pub fn complete(self) {}
+}
+
+// ---------------------------------------------------------------------------
+// The jump-renew handle
+// ---------------------------------------------------------------------------
+
+/// The obligations of a §5 jump decision: remove the jump-sized token
+/// allotment from every out-going neighbor's queue and renew parameters
+/// with a `Recv(target - 1)` + Reduce before entering `target`.
+#[must_use = "a jump's renew obligation is outstanding: take the jump tokens and renew_reduce before advancing"]
+#[derive(Debug)]
+pub struct Renew {
+    worker: usize,
+    from_iter: u64,
+    target: u64,
+    consumed: usize,
+}
+
+impl Renew {
+    /// The jumping worker.
+    #[must_use]
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// The iteration the jump left.
+    #[must_use]
+    pub fn from_iter(&self) -> u64 {
+        self.from_iter
+    }
+
+    /// The iteration the jump will enter.
+    #[must_use]
+    pub fn target(&self) -> u64 {
+        self.target
+    }
+
+    /// `target - from_iter`: tokens owed per out-going neighbor.
+    #[must_use]
+    pub fn distance(&self) -> u64 {
+        self.target - self.from_iter
+    }
+
+    /// Removes the jump-sized allotment from `TokenQ(owner -> self)`
+    /// (emits `TokenTake` with the jump distance as count).
+    pub fn take_tokens(&self, sink: &mut impl EventSink, owner: usize) {
+        let (consumer, count) = (self.worker, self.distance());
+        sink.emit(|| ProtocolEvent::TokenTake {
+            owner,
+            consumer,
+            count,
+        });
+    }
+
+    /// Folds the update tagged `(from, iter)` into the renewal Reduce
+    /// (emits `Consume` at `target - 1`).
+    pub fn consume(&mut self, sink: &mut impl EventSink, from: usize, iter: u64) {
+        let (worker, at_iter) = (self.worker, self.target - 1);
+        sink.emit(|| ProtocolEvent::Consume {
+            worker,
+            from,
+            iter,
+            at_iter,
+        });
+        self.consumed += 1;
+    }
+
+    /// The renewal Reduce at `target - 1` (emits `Reduce` with
+    /// `renew = true` and `n_updates` = consumes + 1: the worker's own
+    /// stale parameters always participate). Discharges the jump's
+    /// obligations; the worker then enters `target` via [`begin_step`].
+    pub fn renew_reduce(self, sink: &mut impl EventSink) {
+        let (worker, iter, n_updates) = (self.worker, self.target - 1, self.consumed + 1);
+        sink.emit(|| ProtocolEvent::Reduce {
+            worker,
+            iter,
+            n_updates,
+            renew: true,
+        });
+    }
+}
+
+/// Exchange stages that fold updates into a Reduce: `Step<Exchanging>`
+/// (the normal Recv) and [`Renew`] (the pre-jump Recv at `target - 1`).
+/// Lets collection helpers serve both paths generically.
+pub trait Consuming {
+    /// Emits the `Consume` for the update tagged `(from, iter)`.
+    fn consume(&mut self, sink: &mut impl EventSink, from: usize, iter: u64);
+}
+
+impl Consuming for Step<Exchanging> {
+    fn consume(&mut self, sink: &mut impl EventSink, from: usize, iter: u64) {
+        Step::consume(self, sink, from, iter);
+    }
+}
+
+impl Consuming for Renew {
+    fn consume(&mut self, sink: &mut impl EventSink, from: usize, iter: u64) {
+        Renew::consume(self, sink, from, iter);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delivery plane
+// ---------------------------------------------------------------------------
+
+/// One network arrival awaiting its staleness judgement. Judged exactly
+/// once — [`Self::judge`] consumes the value — in whatever phase the
+/// receiver occupies.
+#[must_use = "an arrival must be judged (admit or reject) exactly once"]
+#[derive(Debug)]
+pub struct Arrival {
+    /// Receiving worker.
+    pub worker: usize,
+    /// Sender of the update.
+    pub from: usize,
+    /// Tag iteration of the update.
+    pub iter: u64,
+}
+
+impl Arrival {
+    /// Emits `StaleAdmit` (the arrival became the newest from its
+    /// sender) or `StaleReject` (superseded on arrival), with the
+    /// receiver at `at_iter`.
+    pub fn judge(self, sink: &mut impl EventSink, admitted: bool, at_iter: u64) {
+        let Self { worker, from, iter } = self;
+        sink.emit(|| {
+            if admitted {
+                ProtocolEvent::StaleAdmit {
+                    worker,
+                    from,
+                    iter,
+                    at_iter,
+                }
+            } else {
+                ProtocolEvent::StaleReject {
+                    worker,
+                    from,
+                    iter,
+                    at_iter,
+                }
+            }
+        });
+    }
+}
+
+/// `count` tokens became visible in `TokenQ(owner -> consumer)` (emits
+/// `TokenPass`). The simulator calls this at consumer visibility, the
+/// threaded runtime at owner-side grant — both before any consumption
+/// they fund, per the linearization discipline.
+pub fn token_grant(sink: &mut impl EventSink, owner: usize, consumer: usize, count: u64) {
+    sink.emit(|| ProtocolEvent::TokenPass {
+        owner,
+        consumer,
+        count,
+    });
+}
+
+/// `worker` discarded the delivered-but-unconsumed update tagged
+/// `(from, iter)` — updates for iterations a jump skipped over (emits
+/// `Drop`).
+pub fn drop_update(sink: &mut impl EventSink, worker: usize, from: usize, iter: u64) {
+    sink.emit(|| ProtocolEvent::Drop { worker, from, iter });
+}
+
+// ---------------------------------------------------------------------------
+// The declarative layer: ChoreographySpec and the canonical grammar
+// ---------------------------------------------------------------------------
+
+/// The event kinds of the choreography grammar. `Reduce` and
+/// `RenewReduce` are distinguished (they leave different states and
+/// carry different obligations) even though both serialize as a
+/// [`ProtocolEvent::Reduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Iteration entry.
+    Advance,
+    /// Gradient computation start.
+    ComputeBegin,
+    /// Gradient computation end.
+    ComputeEnd,
+    /// Update publication.
+    Send,
+    /// Folding an update into a Reduce.
+    Consume,
+    /// Post-jump discard of a skipped-over update.
+    Drop,
+    /// Token visibility.
+    TokenPass,
+    /// Token removal.
+    TokenTake,
+    /// The iteration's Reduce.
+    Reduce,
+    /// The pre-jump renewal Reduce (`renew = true`).
+    RenewReduce,
+    /// Staleness admission.
+    StaleAdmit,
+    /// Staleness rejection.
+    StaleReject,
+    /// The §5 skip decision.
+    Jump,
+}
+
+/// One edge of a choreography: in state `from`, event `event` is legal
+/// and leads to `to`. The wildcard state `"*"` marks delivery-plane
+/// events legal in any state (they do not change it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Source state (or `"*"`).
+    pub from: &'static str,
+    /// The event taken.
+    pub event: EventKind,
+    /// Destination state (or `"*"`).
+    pub to: &'static str,
+}
+
+/// Shorthand for building `const` transition tables.
+const fn t(from: &'static str, event: EventKind, to: &'static str) -> Transition {
+    Transition { from, event, to }
+}
+
+/// The states of the canonical grammar. `"Reduced"` doubles as the rest
+/// state between iterations: a fresh worker is trivially "reduced" at
+/// iteration `-1`, so the first `Advance` leaves it like every later
+/// one.
+pub const STATES: &[&str] = &["Idle", "Computing", "Exchanging", "Reduced", "Renewing"];
+
+/// The canonical grammar — the transition table the typestate handles
+/// implement, and the superset every [`ChoreographySpec`] must stay
+/// within.
+pub const GRAMMAR: &[Transition] = &[
+    t("Reduced", EventKind::Advance, "Idle"),
+    t("Idle", EventKind::Send, "Idle"),
+    t("Idle", EventKind::ComputeBegin, "Computing"),
+    t("Computing", EventKind::ComputeEnd, "Exchanging"),
+    t("Exchanging", EventKind::Send, "Exchanging"),
+    t("Exchanging", EventKind::Consume, "Exchanging"),
+    t("Exchanging", EventKind::Reduce, "Reduced"),
+    t("Reduced", EventKind::TokenTake, "Reduced"),
+    t("Reduced", EventKind::Jump, "Renewing"),
+    t("Renewing", EventKind::TokenTake, "Renewing"),
+    t("Renewing", EventKind::Consume, "Renewing"),
+    t("Renewing", EventKind::RenewReduce, "Reduced"),
+    // Delivery plane: legal in any state, state-preserving.
+    t("*", EventKind::TokenPass, "*"),
+    t("*", EventKind::StaleAdmit, "*"),
+    t("*", EventKind::StaleReject, "*"),
+    t("*", EventKind::Drop, "*"),
+];
+
+/// The states of an `Advance`-only choreography.
+pub const ADVANCE_ONLY_STATES: &[&str] = &["Idle", "Reduced"];
+
+/// The transitions of an `Advance`-only choreography: round-driven
+/// protocols whose synchronization is engine-internal emit nothing but
+/// iteration entries.
+pub const ADVANCE_ONLY: &[Transition] = &[t("Reduced", EventKind::Advance, "Idle")];
+
+/// A protocol's declared choreography: which states and transitions of
+/// [`GRAMMAR`] it uses, and which dynamic obligations it opts into.
+/// `choreo_check` validates every declared spec against the grammar.
+#[derive(Debug, Clone, Copy)]
+pub struct ChoreographySpec {
+    /// Protocol name (for diagnostics).
+    pub protocol: &'static str,
+    /// States the protocol's machine visits (⊆ [`STATES`]).
+    pub states: &'static [&'static str],
+    /// Transitions the protocol takes (⊆ [`GRAMMAR`]).
+    pub transitions: &'static [Transition],
+    /// Whether the protocol uses token queues (`TokenPass`/`TokenTake`).
+    pub tokens: bool,
+    /// Whether the protocol may run bounded staleness
+    /// (`StaleAdmit`/`StaleReject` instead of queued consumption).
+    pub staleness: bool,
+    /// Whether the protocol may skip iterations (`Jump` + renewal).
+    pub jumps: bool,
+}
+
+/// The full-vocabulary spec shared by the simulator's decentralized
+/// plug-in and the threaded runtime (which drive identical grammars; the
+/// threaded runtime additionally drops skipped-over updates, a
+/// delivery-plane event).
+pub const FULL_SPEC_TRANSITIONS: &[Transition] = GRAMMAR;
+
+/// Validates `spec` against the canonical grammar and its obligations.
+///
+/// # Errors
+///
+/// Returns every mismatch found (unknown states, transitions outside the
+/// grammar, missing obligations), not just the first.
+pub fn validate_spec(spec: &ChoreographySpec) -> Result<(), Vec<String>> {
+    let mut errors = Vec::new();
+    for state in spec.states {
+        if !STATES.contains(state) {
+            errors.push(format!("unknown state `{state}`"));
+        }
+    }
+    let has = |kind: EventKind| spec.transitions.iter().any(|tr| tr.event == kind);
+    for tr in spec.transitions {
+        if !GRAMMAR.contains(tr) {
+            errors.push(format!(
+                "transition {} --{:?}--> {} is outside the grammar",
+                tr.from, tr.event, tr.to
+            ));
+        }
+        for state in [tr.from, tr.to] {
+            if state != "*" && !spec.states.contains(&state) {
+                errors.push(format!(
+                    "transition {} --{:?}--> {} touches undeclared state `{state}`",
+                    tr.from, tr.event, tr.to
+                ));
+            }
+        }
+    }
+    if !has(EventKind::Advance) {
+        errors.push("no Advance: workers could never enter an iteration".into());
+    }
+    // Tag obligation: a Consume needs a source of tagged updates — a
+    // prior Send into a queue, or (staleness) an admitted arrival.
+    if has(EventKind::Consume) && !has(EventKind::Send) && !spec.staleness {
+        errors.push("Consume without Send or staleness: nothing to consume".into());
+    }
+    // Token obligations: takes need passes (conservation) and the flag.
+    if has(EventKind::TokenTake) {
+        if !spec.tokens {
+            errors.push("TokenTake but tokens are not declared".into());
+        }
+        if !has(EventKind::TokenPass) {
+            errors.push("TokenTake without TokenPass: counts would go negative".into());
+        }
+    }
+    if has(EventKind::StaleAdmit) != spec.staleness {
+        errors.push("StaleAdmit transitions must match the staleness flag".into());
+    }
+    // Jump obligations: jumps ride on token counts and must renew.
+    if has(EventKind::Jump) {
+        if !spec.jumps {
+            errors.push("Jump but jumps are not declared".into());
+        }
+        if !spec.tokens {
+            errors.push("Jump without tokens: the §5 decision reads token counts".into());
+        }
+        if !has(EventKind::RenewReduce) {
+            errors.push("Jump without RenewReduce: the renewal obligation is undischarged".into());
+        }
+        if !spec
+            .transitions
+            .iter()
+            .any(|tr| tr.from == "Renewing" && tr.event == EventKind::TokenTake)
+        {
+            errors.push("Jump without a Renewing TokenTake: the allotment is never removed".into());
+        }
+    } else if spec.jumps {
+        errors.push("jumps declared but no Jump transition".into());
+    }
+    // A compute cycle must close: begin needs end needs reduce needs the
+    // advance back into Idle.
+    if has(EventKind::ComputeBegin)
+        && !(has(EventKind::ComputeEnd)
+            && has(EventKind::Reduce)
+            && spec
+                .transitions
+                .iter()
+                .any(|tr| tr.from == "Reduced" && tr.event == EventKind::Advance))
+    {
+        errors.push("ComputeBegin without a closed ComputeEnd→Reduce→Advance cycle".into());
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+/// Every declared spec: the seven simulator plug-ins plus the threaded
+/// runtime — the list `choreo_check` walks.
+#[must_use]
+pub fn all_specs() -> [&'static ChoreographySpec; 8] {
+    [
+        &crate::sim_runtime::decentralized::CHOREOGRAPHY,
+        &crate::sim_runtime::ps::BSP_CHOREOGRAPHY,
+        &crate::sim_runtime::ps::ASYNC_CHOREOGRAPHY,
+        &crate::sim_runtime::adpsgd::CHOREOGRAPHY,
+        &crate::sim_runtime::ring::CHOREOGRAPHY,
+        &crate::sim_runtime::prague::CHOREOGRAPHY,
+        &crate::sim_runtime::qgm::CHOREOGRAPHY,
+        &crate::threaded::CHOREOGRAPHY,
+    ]
+}
+
+/// Drives the handles through `iters` lockstep iterations of the
+/// standard protocol on a ring of `n` workers and returns the emitted
+/// trace — the dynamic leg of `choreo_check`: a trace that *only* the
+/// typed API produced must satisfy the Oracle for
+/// `HopConfig::standard()` on `Topology::ring(n)`.
+#[must_use]
+pub fn reference_trace(n: usize, iters: u64) -> ProtocolTrace {
+    let mut trace = ProtocolTrace::new();
+    let topo = hop_graph::Topology::ring(n);
+    for k in 0..iters {
+        // Entry half-round: every worker advances, sends (parallel
+        // order) and starts computing before anyone reduces, so no
+        // consume can outrun its send.
+        let steps: Vec<Step<Computing>> = (0..n)
+            .map(|w| {
+                let step = begin_step(&mut trace, w, k);
+                for &o in topo.out_neighbors(w) {
+                    step.send(&mut trace, o);
+                }
+                step.begin_compute(&mut trace)
+            })
+            .collect();
+        // Exchange half-round: finish compute, consume every in-neighbor
+        // update of this iteration, reduce.
+        for step in steps {
+            let w = step.worker();
+            let mut step = step.end_compute(&mut trace);
+            for &j in topo.in_neighbors(w) {
+                step.consume(&mut trace, j, k);
+            }
+            step.reduce(&mut trace).complete();
+        }
+    }
+    for w in 0..n {
+        begin_step(&mut trace, w, iters).retire();
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HopConfig;
+    use hop_graph::Topology;
+
+    #[test]
+    fn every_declared_spec_validates() {
+        for spec in all_specs() {
+            if let Err(errors) = validate_spec(spec) {
+                panic!("spec `{}` failed validation: {errors:?}", spec.protocol);
+            }
+        }
+    }
+
+    #[test]
+    fn reference_trace_satisfies_the_oracle() {
+        for n in [2usize, 3, 5] {
+            let trace = reference_trace(n, 4);
+            let topo = Topology::ring(n);
+            let cfg = HopConfig::standard();
+            let oracle = crate::conformance::Oracle::new(&cfg, &topo, 4);
+            let summary = oracle
+                .check(&trace)
+                .unwrap_or_else(|v| panic!("handle-driven trace violated the oracle: {v}"));
+            assert_eq!(summary.advances, (n as u64) * 5);
+            assert_eq!(summary.reduces, (n as u64) * 4);
+        }
+    }
+
+    #[test]
+    fn out_of_grammar_transition_is_rejected() {
+        const BAD: ChoreographySpec = ChoreographySpec {
+            protocol: "bad",
+            states: &["Idle", "Computing", "Exchanging", "Reduced"],
+            transitions: &[
+                t("Reduced", EventKind::Advance, "Idle"),
+                // Reduce straight out of Computing: the classic "reduce
+                // before compute-end" the handles forbid.
+                t("Computing", EventKind::Reduce, "Reduced"),
+            ],
+            tokens: false,
+            staleness: false,
+            jumps: false,
+        };
+        let errors = validate_spec(&BAD).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("outside the grammar")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn unmet_obligations_are_rejected() {
+        // TokenTake with no TokenPass and no tokens flag.
+        const NO_PASS: ChoreographySpec = ChoreographySpec {
+            protocol: "no-pass",
+            states: &["Idle", "Computing", "Exchanging", "Reduced"],
+            transitions: &[
+                t("Reduced", EventKind::Advance, "Idle"),
+                t("Idle", EventKind::ComputeBegin, "Computing"),
+                t("Computing", EventKind::ComputeEnd, "Exchanging"),
+                t("Exchanging", EventKind::Reduce, "Reduced"),
+                t("Reduced", EventKind::TokenTake, "Reduced"),
+            ],
+            tokens: false,
+            staleness: false,
+            jumps: false,
+        };
+        let errors = validate_spec(&NO_PASS).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("tokens are not declared")));
+        assert!(errors.iter().any(|e| e.contains("without TokenPass")));
+
+        // Consume with no Send and no staleness.
+        const NO_SEND: ChoreographySpec = ChoreographySpec {
+            protocol: "no-send",
+            states: &["Idle", "Computing", "Exchanging", "Reduced"],
+            transitions: &[
+                t("Reduced", EventKind::Advance, "Idle"),
+                t("Idle", EventKind::ComputeBegin, "Computing"),
+                t("Computing", EventKind::ComputeEnd, "Exchanging"),
+                t("Exchanging", EventKind::Consume, "Exchanging"),
+                t("Exchanging", EventKind::Reduce, "Reduced"),
+            ],
+            tokens: false,
+            staleness: false,
+            jumps: false,
+        };
+        let errors = validate_spec(&NO_SEND).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("nothing to consume")));
+
+        // Jump with no renewal.
+        const NO_RENEW: ChoreographySpec = ChoreographySpec {
+            protocol: "no-renew",
+            states: &["Idle", "Computing", "Exchanging", "Reduced", "Renewing"],
+            transitions: &[
+                t("Reduced", EventKind::Advance, "Idle"),
+                t("Idle", EventKind::Send, "Idle"),
+                t("Idle", EventKind::ComputeBegin, "Computing"),
+                t("Computing", EventKind::ComputeEnd, "Exchanging"),
+                t("Exchanging", EventKind::Consume, "Exchanging"),
+                t("Exchanging", EventKind::Reduce, "Reduced"),
+                t("Reduced", EventKind::TokenTake, "Reduced"),
+                t("Reduced", EventKind::Jump, "Renewing"),
+            ],
+            tokens: true,
+            staleness: false,
+            jumps: true,
+        };
+        let errors = validate_spec(&NO_RENEW).unwrap_err();
+        assert!(errors.iter().any(|e| e.contains("RenewReduce")));
+    }
+
+    #[test]
+    fn handle_counts_consumes_into_the_reduce() {
+        let mut trace = ProtocolTrace::new();
+        let mut step = begin_step(&mut trace, 3, 7)
+            .begin_compute(&mut trace)
+            .end_compute(&mut trace);
+        step.consume(&mut trace, 2, 7);
+        step.consume(&mut trace, 4, 6);
+        step.reduce(&mut trace).complete();
+        let last = trace.events().last().expect("reduce recorded");
+        assert_eq!(
+            *last,
+            ProtocolEvent::Reduce {
+                worker: 3,
+                iter: 7,
+                n_updates: 2,
+                renew: false,
+            }
+        );
+    }
+
+    #[test]
+    fn renew_counts_own_parameters_into_the_reduce() {
+        let mut trace = ProtocolTrace::new();
+        let step = begin_step(&mut trace, 0, 2)
+            .begin_compute(&mut trace)
+            .end_compute(&mut trace)
+            .reduce(&mut trace);
+        let mut renew = step.jump(&mut trace, 5, &[3, 4]);
+        assert_eq!(renew.distance(), 3);
+        renew.take_tokens(&mut trace, 1);
+        renew.consume(&mut trace, 1, 4);
+        renew.renew_reduce(&mut trace);
+        let events = trace.events();
+        assert_eq!(
+            events[events.len() - 1],
+            ProtocolEvent::Reduce {
+                worker: 0,
+                iter: 4,
+                n_updates: 2,
+                renew: true,
+            }
+        );
+        assert_eq!(
+            events[events.len() - 2],
+            ProtocolEvent::Consume {
+                worker: 0,
+                from: 1,
+                iter: 4,
+                at_iter: 4,
+            }
+        );
+        assert_eq!(
+            events[events.len() - 3],
+            ProtocolEvent::TokenTake {
+                owner: 1,
+                consumer: 0,
+                count: 3,
+            }
+        );
+    }
+
+    #[test]
+    fn disabled_sinks_never_build_payloads() {
+        let mut sink = ConformanceSink::disabled();
+        let step = begin_step(&mut sink, 0, 0);
+        step.send(&mut sink, 1);
+        let step = step.begin_compute(&mut sink).end_compute(&mut sink);
+        step.reduce(&mut sink).complete();
+        assert!(sink.take().is_none());
+
+        let mut none: Option<SeqSink<'_>> = None;
+        advance_only(&mut none, 0, 0);
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn seq_sink_orders_across_sinks() {
+        let seq = AtomicU64::new(0);
+        let mut a = SeqSink::new(&seq);
+        let mut b = SeqSink::new(&seq);
+        advance_only(&mut a, 0, 0);
+        advance_only(&mut b, 1, 0);
+        advance_only(&mut a, 0, 1);
+        let mut merged: Vec<(u64, ProtocolEvent)> =
+            a.into_events().into_iter().chain(b.into_events()).collect();
+        merged.sort_by_key(|&(s, _)| s);
+        let seqs: Vec<u64> = merged.iter().map(|&(s, _)| s).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+}

@@ -298,8 +298,8 @@ impl ProtocolTrace {
     ///
     /// # Errors
     ///
-    /// Returns [`TraceParseError`] (with the offending line number) on any
-    /// malformed line.
+    /// Returns [`TraceParseError`] (with the 1-based line number and the
+    /// offending line's text) on any malformed line.
     pub fn from_text(text: &str) -> Result<Self, TraceParseError> {
         let mut events = Vec::new();
         for (lineno, line) in text.lines().enumerate() {
@@ -309,6 +309,7 @@ impl ProtocolTrace {
             }
             events.push(parse_event(line).map_err(|why| TraceParseError {
                 line: lineno + 1,
+                text: line.to_string(),
                 why,
             })?);
         }
@@ -321,13 +322,16 @@ impl ProtocolTrace {
 pub struct TraceParseError {
     /// 1-based line number of the malformed line.
     pub line: usize,
+    /// The malformed line itself (trimmed), so a CI log is debuggable
+    /// without re-opening the trace artifact.
+    pub text: String,
     /// What was wrong with it.
     pub why: String,
 }
 
 impl fmt::Display for TraceParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "trace line {}: {}", self.line, self.why)
+        write!(f, "trace line {} `{}`: {}", self.line, self.text, self.why)
     }
 }
 
@@ -1834,9 +1838,45 @@ mod tests {
     fn parse_errors_carry_line_numbers() {
         let err = ProtocolTrace::from_text("advance w=0 iter=0\nbogus_kind x=1\n").unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.text, "bogus_kind x=1");
         assert!(format!("{err}").contains("bogus_kind"));
         let err = ProtocolTrace::from_text("advance w=zero iter=0\n").unwrap_err();
         assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn corrupted_multi_line_trace_pinpoints_the_bad_line() {
+        // A realistic round-trip corruption: serialize a real trace, then
+        // garble one line in the middle. The error must carry both the
+        // 1-based line number of the damage and the damaged text itself.
+        let trace = crate::choreography::reference_trace(3, 2);
+        let text = trace.to_text();
+        let n_lines = text.lines().count();
+        assert!(n_lines > 10, "reference trace too small for this test");
+        let bad_index = n_lines / 2;
+        let corrupted: String = text
+            .lines()
+            .enumerate()
+            .map(|(i, line)| {
+                if i == bad_index {
+                    // Damage the key=value structure, keeping the kind.
+                    format!("{}\n", line.replace('=', "~"))
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        let err = ProtocolTrace::from_text(&corrupted).unwrap_err();
+        assert_eq!(err.line, bad_index + 1);
+        assert_eq!(err.text, corrupted.lines().nth(bad_index).unwrap().trim());
+        let shown = format!("{err}");
+        assert!(
+            shown.contains(&format!("line {}", bad_index + 1)) && shown.contains(&err.text),
+            "{shown}"
+        );
+        // Undamaged text still round-trips.
+        let reparsed = ProtocolTrace::from_text(&text).expect("clean trace parses");
+        assert_eq!(reparsed.events(), trace.events());
     }
 
     #[test]

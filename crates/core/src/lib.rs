@@ -14,6 +14,10 @@
 //! * [`conformance`] — the protocol-event trace both runtimes emit and
 //!   the invariant [`conformance::Oracle`] that replays it (gap bounds,
 //!   backup quota, staleness window, jump legality).
+//! * [`choreography`] — the same grammar as typestate handles: the only
+//!   way a runtime can emit exchange events, so illegal event orders are
+//!   compile errors; plus the declarative [`choreography::ChoreographySpec`]
+//!   layer the `choreo_check` binary validates statically.
 //! * [`sim_runtime`] — deterministic discrete-event execution on
 //!   [`hop_sim`]'s virtual cluster; produces timing traces, gap
 //!   statistics and loss curves for every figure in the paper.
@@ -52,6 +56,7 @@
 //! # Ok::<(), hop_core::config::ConfigError>(())
 //! ```
 
+pub mod choreography;
 pub mod config;
 pub mod conformance;
 pub mod report;
@@ -61,6 +66,7 @@ pub mod sweep;
 pub mod threaded;
 pub mod trainer;
 
+pub use choreography::ChoreographySpec;
 pub use config::{
     ComputeOrder, HopConfig, PragueConfig, Protocol, QgmConfig, SkipConfig, SyncMode,
 };

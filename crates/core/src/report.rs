@@ -229,4 +229,46 @@ mod tests {
         reshaped.final_params = vec![vec![1.0], vec![2.0]];
         assert_ne!(report.digest(), reshaped.digest());
     }
+
+    /// Audits exactly which fields [`TrainingReport::digest`] excludes.
+    /// The excluded set is a contract: diagnostic accounting must never
+    /// shift pinned digests, while every outcome flag must. If a field is
+    /// added to the struct, this test is the checklist to extend.
+    #[test]
+    fn digest_exclusions_are_exactly_the_diagnostic_fields() {
+        let report = TrainingReport {
+            final_params: vec![vec![1.0, 2.0]],
+            wall_time: 3.5,
+            bytes_sent: 128,
+            ..Default::default()
+        };
+        let base = report.digest();
+        // Excluded: conformance recording must never change what the
+        // figures consume. (The trace is built through the choreography
+        // handles — the only API allowed to emit events.)
+        let mut traced = report.clone();
+        let mut trace = ProtocolTrace::new();
+        crate::choreography::advance_only(&mut trace, 0, 0);
+        traced.conformance = Some(trace);
+        assert_eq!(base, traced.digest(), "conformance must be excluded");
+        // Excluded: engine scheduling internals.
+        let mut pumped = report.clone();
+        pumped.events_processed = 12_345;
+        assert_eq!(base, pumped.digest(), "events_processed must be excluded");
+        // Excluded: compression bookkeeping.
+        let mut saved = report.clone();
+        saved.bytes_saved = 9_876;
+        assert_eq!(base, saved.digest(), "bytes_saved must be excluded");
+        // Included: both outcome flags are figure-visible results.
+        let mut exhausted = report.clone();
+        exhausted.budget_exhausted = true;
+        assert_ne!(
+            base,
+            exhausted.digest(),
+            "budget_exhausted must be digested"
+        );
+        let mut dead = report.clone();
+        dead.deadlocked = true;
+        assert_ne!(base, dead.digest(), "deadlocked must be digested");
+    }
 }

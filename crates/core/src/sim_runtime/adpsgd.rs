@@ -14,6 +14,7 @@
 //! detection aborts the pump, which surfaces as
 //! [`TrainingReport::deadlocked`].
 
+use crate::choreography::{self, ChoreographySpec};
 use crate::config::AdPsgdConfig;
 use crate::report::TrainingReport;
 use crate::trainer::Hyper;
@@ -27,6 +28,18 @@ use std::collections::VecDeque;
 use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
 use super::recorder::EvalConfig;
+
+/// AD-PSGD choreography: atomic pairwise averaging has no tagged
+/// send/consume plane (updates are not iteration-addressed), so only
+/// iteration entries are choreographed.
+pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
+    protocol: "adpsgd",
+    states: choreography::ADVANCE_ONLY_STATES,
+    transitions: choreography::ADVANCE_ONLY,
+    tokens: false,
+    staleness: false,
+    jumps: false,
+};
 
 enum Ev {
     ComputeDone {

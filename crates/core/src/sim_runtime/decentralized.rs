@@ -12,8 +12,10 @@
 //! shared [`super::engine::SimEngine`]; this module contributes only the
 //! protocol state machine as a [`WorkerProtocol`] implementation.
 
+use crate::choreography::{
+    self, Arrival, ChoreographySpec, Exchanging, Reduced, Renew, SendStage, Step,
+};
 use crate::config::{ComputeOrder, HopConfig, SyncMode};
-use crate::conformance::ProtocolEvent;
 use crate::report::TrainingReport;
 use crate::semantics;
 use crate::trainer::Hyper;
@@ -43,18 +45,36 @@ fn rotation_window(cfg: &HopConfig, topology: &Topology) -> u64 {
     (per_hop * diameter.max(1)).max(1)
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The declared choreography of this plug-in: the full grammar — it is
+/// the protocol the typestate handles were extracted from. Validated
+/// against [`choreography::GRAMMAR`] by the `choreo_check` binary.
+pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
+    protocol: "hop-decentralized",
+    states: choreography::STATES,
+    transitions: choreography::FULL_SPEC_TRANSITIONS,
+    tokens: true,
+    staleness: true,
+    jumps: true,
+};
+
+/// Worker phase, carrying the typed per-iteration handle for the stage
+/// the worker is parked in — the only capability that can emit the
+/// stage's exchange events, so a phase/instrumentation mismatch cannot
+/// compile.
+#[derive(Debug)]
 enum Phase {
+    /// Transient marker while an event handler owns the handle.
+    Stepping,
     /// Gradient computation in flight (parallel: sends already issued).
-    Computing,
+    Computing(Step<choreography::Computing>),
     /// Serial/NOTIFY-ACK only: ready to send but waiting for ACKs.
-    WaitAck,
+    WaitAck(Step<Exchanging>),
     /// Waiting for the Recv condition of the current iteration.
-    WaitUpdates,
+    WaitUpdates(Step<Exchanging>),
     /// Reduce+Apply done; waiting for tokens to advance.
-    WaitTokens,
+    WaitTokens(Step<Reduced>),
     /// Skip-iterations: waiting for `Recv(target - 1)` before jumping.
-    JumpRecv { target: u64 },
+    JumpRecv(Renew),
     /// Reached `max_iters`.
     Finished,
 }
@@ -178,7 +198,7 @@ impl<'a> Decentralized<'a> {
                     newest_from: vec![None; topology.in_neighbors(w).len()],
                     tokens_from,
                     acks_received: 0,
-                    phase: Phase::Computing,
+                    phase: Phase::Stepping,
                 }
             })
             .collect();
@@ -205,7 +225,7 @@ impl<'a> Decentralized<'a> {
         token_steps: u64,
     ) {
         eng.iters[w] = new_iter;
-        eng.record_enter(w, new_iter, now);
+        let step = eng.enter_step(w, new_iter, now);
         if self.max_ig.is_some() && token_steps > 0 {
             self.insert_tokens(eng, w, token_steps, now);
         }
@@ -213,18 +233,15 @@ impl<'a> Decentralized<'a> {
             eng.evaluate_worker_average(now, new_iter);
         }
         if new_iter >= eng.max_iters {
+            step.retire();
             self.finish_worker(eng, w, now);
             return;
         }
         self.workers[w].compute_params = eng.workers[w].params.snapshot();
-        self.workers[w].phase = Phase::Computing;
         if self.cfg.order == ComputeOrder::Parallel {
-            self.do_send(eng, w, new_iter, now);
+            self.do_send(eng, w, new_iter, &step, now);
         }
-        eng.conformance.record(|| ProtocolEvent::ComputeBegin {
-            worker: w,
-            iter: new_iter,
-        });
+        self.workers[w].phase = Phase::Computing(step.begin_compute(&mut eng.conformance));
         let duration = eng.compute_duration(w, new_iter);
         eng.events
             .push(now + duration, Ev::ComputeDone { w, iter: new_iter });
@@ -275,13 +292,17 @@ impl<'a> Decentralized<'a> {
     /// stream is encoded exactly once per Send regardless of how many
     /// external sends the §6.2(b) inquiry suppresses, so the codec state
     /// never depends on receivers' progress.
-    fn do_send(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
+    fn do_send<S: SendStage>(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        w: usize,
+        iter: u64,
+        step: &Step<S>,
+        now: f64,
+    ) {
+        debug_assert_eq!(step.iter(), iter, "send handle is for another iteration");
         let params = eng.workers[w].params.snapshot();
-        eng.conformance.record(|| ProtocolEvent::Send {
-            from: w,
-            to: w,
-            iter,
-        });
+        step.send(&mut eng.conformance, w);
         self.deliver_update(eng, w, w, iter, params.snapshot(), now);
         let (wire, wire_bytes) = if self.plane.is_active() {
             self.plane
@@ -298,11 +319,7 @@ impl<'a> Decentralized<'a> {
                 self.skipped_sends += 1;
                 continue;
             }
-            eng.conformance.record(|| ProtocolEvent::Send {
-                from: w,
-                to: o,
-                iter,
-            });
+            step.send(&mut eng.conformance, o);
             let arrival = eng.net.transfer(now, w, o, wire_bytes);
             delivered += 1;
             eng.events.push(
@@ -337,24 +354,12 @@ impl<'a> Decentralized<'a> {
             let newer = state.newest_from[slot]
                 .as_ref()
                 .is_none_or(|&(have, _)| iter > have);
-            let at_iter = eng.iters[to];
-            eng.conformance.record(|| {
-                if newer {
-                    ProtocolEvent::StaleAdmit {
-                        worker: to,
-                        from,
-                        iter,
-                        at_iter,
-                    }
-                } else {
-                    ProtocolEvent::StaleReject {
-                        worker: to,
-                        from,
-                        iter,
-                        at_iter,
-                    }
-                }
-            });
+            let arrival = Arrival {
+                worker: to,
+                from,
+                iter,
+            };
+            arrival.judge(&mut eng.conformance, newer, eng.iters[to]);
             if newer {
                 if let Some((_, old)) = state.newest_from[slot].replace((iter, params)) {
                     eng.pool.reclaim(old);
@@ -366,10 +371,10 @@ impl<'a> Decentralized<'a> {
                 .enqueue(params, Tag { iter, w_id: from })
                 .expect("unbounded rotating queues");
         }
-        match state.phase {
-            Phase::WaitUpdates => self.try_recv(eng, to, now),
-            Phase::JumpRecv { target } => self.try_jump_recv(eng, to, target, now),
-            _ => {}
+        match std::mem::replace(&mut self.workers[to].phase, Phase::Stepping) {
+            Phase::WaitUpdates(step) => self.try_recv(eng, to, step, now),
+            Phase::JumpRecv(renew) => self.try_jump_recv(eng, to, renew, now),
+            other => self.workers[to].phase = other,
         }
     }
 
@@ -383,31 +388,40 @@ impl<'a> Decentralized<'a> {
     ) {
         // Recorded at visibility (not grant) time: the conformance view of
         // a token queue is exactly what the consumer can observe.
-        eng.conformance.record(|| ProtocolEvent::TokenPass {
-            owner: from,
-            consumer: to,
-            count,
-        });
+        choreography::token_grant(&mut eng.conformance, from, to, count);
         let slot = self.out_slot(to, from);
         self.workers[to].tokens_from[slot] += count;
-        if self.workers[to].phase == Phase::WaitTokens {
-            self.attempt_advance(eng, to, now);
+        if matches!(self.workers[to].phase, Phase::WaitTokens(_)) {
+            let Phase::WaitTokens(step) =
+                std::mem::replace(&mut self.workers[to].phase, Phase::Stepping)
+            else {
+                unreachable!("just matched WaitTokens");
+            };
+            self.attempt_advance(eng, to, step, now);
         }
     }
 
     fn on_ack(&mut self, eng: &mut SimEngine<'_, Ev>, to: usize, now: f64) {
         self.workers[to].acks_received += 1;
-        if self.workers[to].phase == Phase::WaitAck
+        if matches!(self.workers[to].phase, Phase::WaitAck(_))
             && self.workers[to].acks_received >= self.topology.external_out_neighbors(to).len()
         {
-            self.serial_send_then_recv(eng, to, now);
+            let Phase::WaitAck(step) =
+                std::mem::replace(&mut self.workers[to].phase, Phase::Stepping)
+            else {
+                unreachable!("just matched WaitAck");
+            };
+            self.serial_send_then_recv(eng, to, step, now);
         }
     }
 
     fn on_compute_done(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
         debug_assert_eq!(eng.iters[w], iter, "stale compute event");
-        eng.conformance
-            .record(|| ProtocolEvent::ComputeEnd { worker: w, iter });
+        let Phase::Computing(step) = std::mem::replace(&mut self.workers[w].phase, Phase::Stepping)
+        else {
+            unreachable!("ComputeDone for a worker that is not computing");
+        };
+        let step = step.end_compute(&mut eng.conformance);
         // Do the real gradient math at the virtual completion time.
         let state = &mut self.workers[w];
         let loss = eng.sample_grad(w, &state.compute_params, &mut state.grad);
@@ -423,7 +437,7 @@ impl<'a> Decentralized<'a> {
                     ..
                 } = state;
                 eng.workers[w].opt.delta(compute_params, grad, delta);
-                self.try_recv(eng, w, now);
+                self.try_recv(eng, w, step, now);
             }
             ComputeOrder::Serial => {
                 // Fig. 2(a): apply to the same parameters, then send.
@@ -436,19 +450,25 @@ impl<'a> Decentralized<'a> {
                     && self.workers[w].acks_received
                         < self.topology.external_out_neighbors(w).len();
                 if needs_ack {
-                    self.workers[w].phase = Phase::WaitAck;
+                    self.workers[w].phase = Phase::WaitAck(step);
                 } else {
-                    self.serial_send_then_recv(eng, w, now);
+                    self.serial_send_then_recv(eng, w, step, now);
                 }
             }
         }
     }
 
-    fn serial_send_then_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
+    fn serial_send_then_recv(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        w: usize,
+        step: Step<Exchanging>,
+        now: f64,
+    ) {
         let iter = eng.iters[w];
         self.workers[w].acks_received = 0;
-        self.do_send(eng, w, iter, now);
-        self.try_recv(eng, w, now);
+        self.do_send(eng, w, iter, &step, now);
+        self.try_recv(eng, w, step, now);
     }
 
     /// Whether every neighbor in `neighbors` has a satisfactory newest
@@ -479,32 +499,28 @@ impl<'a> Decentralized<'a> {
 
     /// The Recv + Reduce + Apply of the current iteration. Blocks (phase
     /// `WaitUpdates`) until the mode's condition is met.
-    fn try_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
+    fn try_recv(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        w: usize,
+        mut step: Step<Exchanging>,
+        now: f64,
+    ) {
         let k = eng.iters[w];
+        debug_assert_eq!(step.iter(), k, "recv handle is for another iteration");
         let in_deg = self.topology.in_degree(w);
-        if let Some(s) = self.cfg.staleness {
+        let step = if let Some(s) = self.cfg.staleness {
             // Fig. 9: newest satisfactory update per in-neighbor.
             let neighbors = self.topology.in_neighbors(w).to_vec();
             if !self.newest_satisfied(w, &neighbors, k, s) {
-                self.workers[w].phase = Phase::WaitUpdates;
+                self.workers[w].phase = Phase::WaitUpdates(step);
                 return;
             }
             let collected = self.collect_newest(w, &neighbors);
             for (nbr, (iter, _)) in neighbors.iter().zip(&collected) {
-                let (from, iter) = (*nbr, *iter);
-                eng.conformance.record(|| ProtocolEvent::Consume {
-                    worker: w,
-                    from,
-                    iter,
-                    at_iter: k,
-                });
+                step.consume(&mut eng.conformance, *nbr, *iter);
             }
-            eng.conformance.record(|| ProtocolEvent::Reduce {
-                worker: w,
-                iter: k,
-                n_updates: collected.len(),
-                renew: false,
-            });
+            let step = step.reduce(&mut eng.conformance);
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
@@ -522,29 +538,19 @@ impl<'a> Decentralized<'a> {
             if self.cfg.order == ComputeOrder::Parallel {
                 semantics::apply_parallel(eng.workers[w].params.make_mut(), &state.delta);
             }
+            step
         } else {
             let quota = semantics::backup_quota(in_deg, self.cfg.n_backup);
             if self.workers[w].queue.size(k) < quota {
-                self.workers[w].phase = Phase::WaitUpdates;
+                self.workers[w].phase = Phase::WaitUpdates(step);
                 return;
             }
             // Fig. 8: the needed updates plus any extras already here.
             let entries = self.workers[w].queue.dequeue_up_to(in_deg, k);
             for entry in &entries {
-                let tag = entry.tag;
-                eng.conformance.record(|| ProtocolEvent::Consume {
-                    worker: w,
-                    from: tag.w_id,
-                    iter: tag.iter,
-                    at_iter: k,
-                });
+                step.consume(&mut eng.conformance, entry.tag.w_id, entry.tag.iter);
             }
-            eng.conformance.record(|| ProtocolEvent::Reduce {
-                worker: w,
-                iter: k,
-                n_updates: entries.len(),
-                renew: false,
-            });
+            let step = step.reduce(&mut eng.conformance);
             let views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
             semantics::reduce_mean(&views, eng.workers[w].params.overwrite_mut(&mut eng.pool));
             if self.cfg.order == ComputeOrder::Parallel {
@@ -555,7 +561,8 @@ impl<'a> Decentralized<'a> {
             for entry in entries {
                 eng.pool.reclaim(entry.value);
             }
-        }
+            step
+        };
         // NOTIFY-ACK: confirm consumption to every external in-neighbor.
         if self.cfg.sync == SyncMode::NotifyAck {
             for &j in self.topology.external_in_neighbors(w) {
@@ -563,18 +570,26 @@ impl<'a> Decentralized<'a> {
                 eng.events.push(at, Ev::Ack { to: j });
             }
         }
-        self.attempt_advance(eng, w, now);
+        self.attempt_advance(eng, w, step, now);
     }
 
     /// Token acquisition, the §5 skip decision, and the actual advance.
-    fn attempt_advance(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
+    fn attempt_advance(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        w: usize,
+        step: Step<Reduced>,
+        now: f64,
+    ) {
         let k = eng.iters[w];
         let Some(max_ig) = self.max_ig else {
+            step.complete();
             self.enter_iteration(eng, w, k + 1, now, 1);
             return;
         };
         let outs = self.topology.external_out_neighbors(w);
         if outs.is_empty() {
+            step.complete();
             self.enter_iteration(eng, w, k + 1, now, 1);
             return;
         }
@@ -589,74 +604,51 @@ impl<'a> Decentralized<'a> {
                 .map(|j| j.min(eng.max_iters - k))
                 .filter(|&j| j >= 2);
             if let Some(jump) = jump {
-                eng.conformance.record(|| ProtocolEvent::Jump {
-                    worker: w,
-                    from_iter: k,
-                    target: k + jump,
-                    token_counts: self.workers[w].tokens_from.clone(),
-                });
+                let renew = step.jump(&mut eng.conformance, k + jump, &self.workers[w].tokens_from);
                 // Obtain `jump` tokens from every out-going neighbor and
                 // grant the same number to in-neighbors right away so they
                 // are never starved while we renew parameters.
                 for (slot, &owner) in outs.iter().enumerate() {
                     self.workers[w].tokens_from[slot] -= jump;
-                    eng.conformance.record(|| ProtocolEvent::TokenTake {
-                        owner,
-                        consumer: w,
-                        count: jump,
-                    });
+                    renew.take_tokens(&mut eng.conformance, owner);
                 }
                 self.insert_tokens(eng, w, jump, now);
-                let target = k + jump;
-                self.try_jump_recv(eng, w, target, now);
+                self.try_jump_recv(eng, w, renew, now);
                 return;
             }
         }
         if self.workers[w].tokens_from.iter().all(|&c| c >= 1) {
             for (slot, &owner) in outs.iter().enumerate() {
                 self.workers[w].tokens_from[slot] -= 1;
-                eng.conformance.record(|| ProtocolEvent::TokenTake {
-                    owner,
-                    consumer: w,
-                    count: 1,
-                });
+                step.take_token(&mut eng.conformance, owner);
             }
+            step.complete();
             self.enter_iteration(eng, w, k + 1, now, 1);
         } else {
-            self.workers[w].phase = Phase::WaitTokens;
+            self.workers[w].phase = Phase::WaitTokens(step);
         }
     }
 
     /// §5: before jumping to `target`, renew parameters with
     /// `Recv(target - 1)` + Reduce so the straggler's future updates are
     /// not hopelessly stale.
-    fn try_jump_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, target: u64, now: f64) {
+    fn try_jump_recv(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, mut renew: Renew, now: f64) {
+        let target = renew.target();
         let renew_iter = target - 1;
         if let Some(s) = self.cfg.staleness {
             let externals = self.topology.external_in_neighbors(w);
             if !self.newest_satisfied(w, externals, renew_iter, s) {
-                self.workers[w].phase = Phase::JumpRecv { target };
+                self.workers[w].phase = Phase::JumpRecv(renew);
                 return;
             }
             let mut collected = self.collect_newest(w, externals);
             for (nbr, (iter, _)) in externals.iter().zip(&collected) {
-                let (from, iter) = (*nbr, *iter);
-                eng.conformance.record(|| ProtocolEvent::Consume {
-                    worker: w,
-                    from,
-                    iter,
-                    at_iter: renew_iter,
-                });
+                renew.consume(&mut eng.conformance, *nbr, *iter);
             }
             // Own (stale) parameters participate with clamped weight; the
             // snapshot keeps them readable while the replica is rewritten.
             collected.push((eng.iters[w], eng.workers[w].params.snapshot()));
-            eng.conformance.record(|| ProtocolEvent::Reduce {
-                worker: w,
-                iter: renew_iter,
-                n_updates: collected.len(),
-                renew: true,
-            });
+            renew.renew_reduce(&mut eng.conformance);
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
@@ -676,25 +668,16 @@ impl<'a> Decentralized<'a> {
                 .saturating_sub(1)
                 .max(1);
             if self.workers[w].queue.size(renew_iter) < quota {
-                self.workers[w].phase = Phase::JumpRecv { target };
+                self.workers[w].phase = Phase::JumpRecv(renew);
                 return;
             }
             let entries = self.workers[w].queue.dequeue_up_to(ext, renew_iter);
             for entry in &entries {
-                let tag = entry.tag;
-                eng.conformance.record(|| ProtocolEvent::Consume {
-                    worker: w,
-                    from: tag.w_id,
-                    iter: tag.iter,
-                    at_iter: renew_iter,
-                });
+                renew.consume(&mut eng.conformance, entry.tag.w_id, entry.tag.iter);
             }
-            eng.conformance.record(|| ProtocolEvent::Reduce {
-                worker: w,
-                iter: renew_iter,
-                n_updates: entries.len() + 1,
-                renew: true,
-            });
+            // Own (stale) parameters participate; the renewing handle
+            // counts them into the Reduce itself.
+            renew.renew_reduce(&mut eng.conformance);
             let own = eng.workers[w].params.snapshot();
             let mut views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
             views.push(own.as_slice());

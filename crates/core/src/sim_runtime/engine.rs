@@ -57,7 +57,8 @@
 //! handed out zero-filled — so reports are bit-identical to an
 //! implementation that deep-copied every message.
 
-use crate::conformance::{ConformanceSink, ProtocolEvent};
+use crate::choreography::{self, Idle, Step};
+use crate::conformance::ConformanceSink;
 use crate::report::TrainingReport;
 use crate::sim_runtime::recorder::{EvalConfig, Recorder};
 use crate::trainer::Hyper;
@@ -186,7 +187,9 @@ pub struct SimEngine<'a, E> {
     pub event_budget: Option<u64>,
     /// Protocol-conformance recorder (disabled unless
     /// [`ConformanceSink::enable`]d before [`SimEngine::drive`]): protocols
-    /// report structured [`ProtocolEvent`]s through it, and the resulting
+    /// report structured [`crate::conformance::ProtocolEvent`]s through it
+    /// — via the [`crate::choreography`] handles, the only API that can
+    /// emit them — and the resulting
     /// [`crate::conformance::ProtocolTrace`] lands in
     /// [`TrainingReport::conformance`].
     pub conformance: ConformanceSink,
@@ -367,14 +370,25 @@ impl<'a, E> SimEngine<'a, E> {
         self.pool.release(avg);
     }
 
-    /// The iteration-entry hook every protocol routes through: records
-    /// the timing trace entry *and* the conformance
-    /// [`ProtocolEvent::Advance`] in one place, so the two views of
-    /// "worker `w` entered iteration `iter`" can never diverge.
+    /// The iteration-entry hook for round-driven protocols (PS, AD-PSGD,
+    /// ring, Prague, QGM) whose synchronization is engine-internal:
+    /// records the timing trace entry *and* the conformance `Advance`
+    /// (via [`choreography::advance_only`]) in one place, so the two
+    /// views of "worker `w` entered iteration `iter`" can never diverge.
+    /// Protocols that drive the full exchange vocabulary enter through
+    /// [`Self::enter_step`] instead.
     pub fn record_enter(&mut self, w: usize, iter: u64, now: f64) {
         self.trace.record(w, iter, now);
-        self.conformance
-            .record(|| ProtocolEvent::Advance { worker: w, iter });
+        choreography::advance_only(&mut self.conformance, w, iter);
+    }
+
+    /// The iteration-entry hook for protocols driving the full
+    /// choreography: records the timing trace entry and returns the
+    /// typed per-iteration handle (whose construction emits the
+    /// `Advance`) that all further exchange events must flow through.
+    pub fn enter_step(&mut self, w: usize, iter: u64, now: f64) -> Step<Idle> {
+        self.trace.record(w, iter, now);
+        choreography::begin_step(&mut self.conformance, w, iter)
     }
 
     /// Marks worker `w` finished; the pump stops once every worker is.

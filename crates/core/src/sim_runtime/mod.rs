@@ -4,6 +4,12 @@
 //! the corresponding protocol's state machine, doing the *actual* gradient
 //! math at virtual-time events so a run yields both timing (Figs. 12–21)
 //! and loss curves, deterministically.
+//!
+//! Conformance events are emitted exclusively through the
+//! [`crate::choreography`] typestate handles (obtained from
+//! [`engine::SimEngine::enter_step`] / recorded via
+//! [`engine::SimEngine::record_enter`]), and every submodule declares a
+//! [`crate::ChoreographySpec`] the `choreo_check` binary validates.
 
 pub mod adpsgd;
 pub mod compression;

@@ -18,6 +18,7 @@
 //! group's logical ring), so bytes are accounted here rather than via the
 //! virtual network.
 
+use crate::choreography::{self, ChoreographySpec};
 use crate::config::PragueConfig;
 use crate::report::TrainingReport;
 use crate::trainer::Hyper;
@@ -31,6 +32,18 @@ use std::collections::HashMap;
 use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerCommon, WorkerProtocol};
 use super::recorder::EvalConfig;
+
+/// Prague choreography: group membership is a pure function of
+/// `(seed, round)` and the intra-group all-reduce is analytic, so only
+/// iteration entries are choreographed.
+pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
+    protocol: "prague",
+    states: choreography::ADVANCE_ONLY_STATES,
+    transitions: choreography::ADVANCE_ONLY,
+    tokens: false,
+    staleness: false,
+    jumps: false,
+};
 
 /// Runs Prague partial all-reduce training over `cluster`'s workers.
 ///

@@ -12,6 +12,7 @@
 //! and optimizer live in the protocol (there is one logical replica on the
 //! server, not one per worker).
 
+use crate::choreography::{self, ChoreographySpec};
 use crate::config::{PsConfig, PsMode};
 use crate::report::TrainingReport;
 use crate::trainer::Hyper;
@@ -23,6 +24,29 @@ use hop_tensor::ParamBlock;
 use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerProtocol};
 use super::recorder::EvalConfig;
+
+/// BSP/SSP server choreography: synchronization is engine-internal
+/// (round barriers / bound checks on the server), so only iteration
+/// entries are choreographed.
+pub const BSP_CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
+    protocol: "ps-bsp-ssp",
+    states: choreography::ADVANCE_ONLY_STATES,
+    transitions: choreography::ADVANCE_ONLY,
+    tokens: false,
+    staleness: false,
+    jumps: false,
+};
+
+/// Async server choreography: the server applies updates as they arrive;
+/// no tagged exchange plane, so only iteration entries are choreographed.
+pub const ASYNC_CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
+    protocol: "ps-async",
+    states: choreography::ADVANCE_ONLY_STATES,
+    transitions: choreography::ADVANCE_ONLY,
+    tokens: false,
+    staleness: false,
+    jumps: false,
+};
 
 /// Runs a parameter-server experiment. `cluster` describes the workers
 /// only; the server node is appended on its own machine.

@@ -26,6 +26,7 @@
 //! as zero-copy snapshots through the shared
 //! [`super::engine::SimEngine`].
 
+use crate::choreography::{self, ChoreographySpec};
 use crate::config::QgmConfig;
 use crate::report::TrainingReport;
 use crate::semantics;
@@ -40,6 +41,18 @@ use std::collections::HashMap;
 use super::compression::CompressionPlane;
 use super::engine::{SimEngine, WorkerProtocol};
 use super::recorder::EvalConfig;
+
+/// QGM choreography: gossip waits are engine-internal buffering (no
+/// tagged queue/token plane), so only iteration entries are
+/// choreographed.
+pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
+    protocol: "qgm",
+    states: choreography::ADVANCE_ONLY_STATES,
+    transitions: choreography::ADVANCE_ONLY,
+    tokens: false,
+    staleness: false,
+    jumps: false,
+};
 
 /// Runs QGM gossip training over `topology`.
 ///

@@ -11,6 +11,7 @@
 //! ring hops), so bytes are accounted here rather than via the virtual
 //! network.
 
+use crate::choreography::{self, ChoreographySpec};
 use crate::report::TrainingReport;
 use crate::trainer::Hyper;
 use hop_data::InMemoryDataset;
@@ -20,6 +21,17 @@ use hop_tensor::ParamBlock;
 
 use super::engine::{SimEngine, WorkerProtocol};
 use super::recorder::EvalConfig;
+
+/// Ring all-reduce choreography: the all-reduce is modeled analytically
+/// inside one round event, so only iteration entries are choreographed.
+pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
+    protocol: "ring-allreduce",
+    states: choreography::ADVANCE_ONLY_STATES,
+    transitions: choreography::ADVANCE_ONLY,
+    tokens: false,
+    staleness: false,
+    jumps: false,
+};
 
 /// Runs ring all-reduce training; the ring follows worker index order.
 #[allow(clippy::too_many_arguments)]

@@ -21,6 +21,7 @@
 //! order consistent with real-time causality (see the
 //! [`crate::conformance`] module docs).
 
+use crate::choreography::{self, Arrival, ChoreographySpec, Consuming, EventSink, Renew, SeqSink};
 use crate::config::{ComputeOrder, ConfigError, HopConfig, SyncMode};
 use crate::conformance::{ProtocolEvent, ProtocolTrace};
 use crate::semantics;
@@ -33,9 +34,21 @@ use hop_queue::blocking::{SharedTaggedQueue, SharedTokenQueue};
 use hop_queue::tagged::{Tag, TagFilter};
 use hop_tensor::{BufferPool, ParamBlock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The declared choreography of the threaded runtime: the full grammar,
+/// identical to the simulator's decentralized plug-in — both are checked
+/// against [`choreography::GRAMMAR`] by the `choreo_check` binary.
+pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
+    protocol: "threaded",
+    states: choreography::STATES,
+    transitions: choreography::FULL_SPEC_TRANSITIONS,
+    tokens: true,
+    staleness: true,
+    jumps: true,
+};
 
 /// Result of a threaded run.
 #[derive(Debug, Clone)]
@@ -166,29 +179,6 @@ pub struct ThreadedExperiment {
     pub stall_timeout: Duration,
 }
 
-/// Per-worker conformance log: events tagged with a shared atomic
-/// sequence, merged and sorted after the join.
-struct ConfLog<'a> {
-    seq: &'a AtomicU64,
-    events: Vec<(u64, ProtocolEvent)>,
-}
-
-impl ConfLog<'_> {
-    #[inline]
-    fn record(&mut self, ev: ProtocolEvent) {
-        let s = self.seq.fetch_add(1, Ordering::SeqCst);
-        self.events.push((s, ev));
-    }
-}
-
-/// Records lazily: `f` never runs on untraced runs.
-#[inline]
-fn log(conf: &mut Option<ConfLog<'_>>, f: impl FnOnce() -> ProtocolEvent) {
-    if let Some(c) = conf.as_mut() {
-        c.record(f());
-    }
-}
-
 /// Final `(params, train-loss curve, conformance events)` of one worker
 /// thread.
 type WorkerOutcome = Result<(Vec<f32>, Vec<f32>, Vec<(u64, ProtocolEvent)>), ThreadedError>;
@@ -275,10 +265,7 @@ impl ThreadedExperiment {
                     _ => self.compute_sleep,
                 };
                 let timeout = self.stall_timeout;
-                let conf = traced.then(|| ConfLog {
-                    seq: &seq,
-                    events: Vec::new(),
-                });
+                let conf = traced.then(|| SeqSink::new(&seq));
                 handles.push(scope.spawn(move || {
                     worker_loop(
                         w,
@@ -383,70 +370,52 @@ impl WorkerCtx<'_> {
         }
     }
 
-    /// Folds one queue arrival into `newest_from`, logging the
-    /// admit/reject event.
+    /// Folds one queue arrival into `newest_from`; the staleness verdict
+    /// is choreographed as a delivery-plane [`Arrival`] judgement.
     fn admit_entry(
         &mut self,
         entry: hop_queue::tagged::TaggedEntry<ParamBlock>,
         at_iter: u64,
-        conf: &mut Option<ConfLog<'_>>,
+        sink: &mut impl EventSink,
     ) {
-        let w = self.w;
-        let tag = entry.tag;
+        let arrival = Arrival {
+            worker: self.w,
+            from: entry.tag.w_id,
+            iter: entry.tag.iter,
+        };
         let admitted = note_newest(&mut self.newest_from, &mut self.pool, entry);
-        log(conf, || {
-            if admitted {
-                ProtocolEvent::StaleAdmit {
-                    worker: w,
-                    from: tag.w_id,
-                    iter: tag.iter,
-                    at_iter,
-                }
-            } else {
-                ProtocolEvent::StaleReject {
-                    worker: w,
-                    from: tag.w_id,
-                    iter: tag.iter,
-                    at_iter,
-                }
-            }
-        });
+        arrival.judge(sink, admitted, at_iter);
     }
 
-    /// Drains every queued arrival into `newest_from`, logging
-    /// admit/reject events.
+    /// Drains every queued arrival into `newest_from`, judging each.
     fn drain_arrivals(
         &mut self,
         queue: &SharedTaggedQueue<ParamBlock>,
         at_iter: u64,
-        conf: &mut Option<ConfLog<'_>>,
+        sink: &mut impl EventSink,
     ) {
         for entry in queue.dequeue_up_to(usize::MAX, TagFilter::any()) {
-            self.admit_entry(entry, at_iter, conf);
+            self.admit_entry(entry, at_iter, sink);
         }
     }
 
-    /// The staleness-mode `Consume` events + snapshot collection for the
-    /// newest updates of `neighbors`.
+    /// The staleness-mode snapshot collection for the newest updates of
+    /// `neighbors`; each is consumed through `step` (an exchanging
+    /// [`Step`](choreography::Step) or a [`Renew`]), which is what pins
+    /// the Consume events to the handle's iteration.
     fn collect_newest(
         &mut self,
         neighbors: &[usize],
-        at_iter: u64,
-        conf: &mut Option<ConfLog<'_>>,
+        step: &mut impl Consuming,
+        sink: &mut impl EventSink,
     ) -> Vec<(u64, ParamBlock)> {
-        let w = self.w;
         neighbors
             .iter()
             .map(|j| {
                 let (iter, p) = &self.newest_from[j];
                 let (iter, snap) = (*iter, p.snapshot());
                 self.last_consumed = Some(Tag { iter, w_id: *j });
-                log(conf, || ProtocolEvent::Consume {
-                    worker: w,
-                    from: *j,
-                    iter,
-                    at_iter,
-                });
+                step.consume(sink, *j, iter);
                 (iter, snap)
             })
             .collect()
@@ -468,7 +437,7 @@ fn worker_loop(
     init_params: &ParamBlock,
     update_queues: &[SharedTaggedQueue<ParamBlock>],
     token_queues: &HashMap<(usize, usize), SharedTokenQueue>,
-    mut conf: Option<ConfLog<'_>>,
+    mut conf: Option<SeqSink<'_>>,
 ) -> WorkerOutcome {
     // All workers start on one shared allocation; the first write
     // detaches copy-on-write.
@@ -504,24 +473,16 @@ fn worker_loop(
     // are never starved during the renew) and zeroes this.
     let mut entry_tokens: u64 = 0;
     while k < max_iters {
-        log(&mut conf, || ProtocolEvent::Advance { worker: w, iter: k });
+        let step = choreography::begin_step(&mut conf, w, k);
         if max_ig.is_some() && entry_tokens > 0 {
             for j in externals_in {
-                log(&mut conf, || ProtocolEvent::TokenPass {
-                    owner: w,
-                    consumer: *j,
-                    count: entry_tokens,
-                });
+                choreography::token_grant(&mut conf, w, *j, entry_tokens);
                 token_queues[&(w, *j)].insert(entry_tokens);
             }
         }
         // Send (parallel order): own queue and all out-neighbors. Each
         // enqueue shares the current block — zero parameter bytes copied.
-        log(&mut conf, || ProtocolEvent::Send {
-            from: w,
-            to: w,
-            iter: k,
-        });
+        step.send(&mut conf, w);
         update_queues[w].enqueue(params.snapshot(), Tag { iter: k, w_id: w });
         // Under a lossy codec the external sends carry the stream's
         // reconstruction (encoded once per iteration, shared across
@@ -533,11 +494,7 @@ fn worker_loop(
             None
         };
         for &o in externals_out {
-            log(&mut conf, || ProtocolEvent::Send {
-                from: w,
-                to: o,
-                iter: k,
-            });
+            step.send(&mut conf, o);
             let payload = match &wire {
                 Some(recon) => recon.snapshot(),
                 None => params.snapshot(),
@@ -548,23 +505,18 @@ fn worker_loop(
             ctx.pool.reclaim(recon);
         }
         // Compute.
-        log(&mut conf, || ProtocolEvent::ComputeBegin {
-            worker: w,
-            iter: k,
-        });
+        let step = step.begin_compute(&mut conf);
         if !compute_sleep.is_zero() {
             std::thread::sleep(compute_sleep);
         }
         let batch = sampler.next_batch(dataset);
         let loss = model.loss_grad_with(params.as_slice(), &batch, &mut grad, &mut scratch);
-        log(&mut conf, || ProtocolEvent::ComputeEnd {
-            worker: w,
-            iter: k,
-        });
+        let mut step = step.end_compute(&mut conf);
         losses.push(loss);
         opt.delta(params.as_slice(), &grad, &mut delta);
-        // Recv + Reduce.
-        if let Some(s) = cfg.staleness {
+        // Recv + Reduce: both paths funnel through the handle, whose
+        // `reduce` is the only way to emit the Reduce event.
+        let step = if let Some(s) = cfg.staleness {
             stale_recv(
                 &mut ctx,
                 &update_queues[w],
@@ -574,13 +526,8 @@ fn worker_loop(
                 "a satisfactory update",
                 &mut conf,
             )?;
-            let collected = ctx.collect_newest(in_neighbors, k, &mut conf);
-            log(&mut conf, || ProtocolEvent::Reduce {
-                worker: w,
-                iter: k,
-                n_updates: collected.len(),
-                renew: false,
-            });
+            let collected = ctx.collect_newest(in_neighbors, &mut step, &mut conf);
+            let step = step.reduce(&mut conf);
             let views: Vec<(u64, &[f32])> = collected
                 .iter()
                 .map(|(iter, p)| (*iter, p.as_slice()))
@@ -593,6 +540,7 @@ fn worker_loop(
                 s,
                 params.overwrite_mut(&mut ctx.pool),
             );
+            step
         } else {
             let quota = semantics::backup_quota(in_deg, cfg.n_backup);
             let mut entries = update_queues[w]
@@ -601,36 +549,25 @@ fn worker_loop(
             // Fig. 8 line 5: grab extras that happen to be here already.
             entries.extend(update_queues[w].dequeue_up_to(in_deg - quota, TagFilter::iter(k)));
             for entry in &entries {
-                let tag = entry.tag;
-                ctx.last_consumed = Some(tag);
-                log(&mut conf, || ProtocolEvent::Consume {
-                    worker: w,
-                    from: tag.w_id,
-                    iter: tag.iter,
-                    at_iter: k,
-                });
+                ctx.last_consumed = Some(entry.tag);
+                step.consume(&mut conf, entry.tag.w_id, entry.tag.iter);
             }
-            log(&mut conf, || ProtocolEvent::Reduce {
-                worker: w,
-                iter: k,
-                n_updates: entries.len(),
-                renew: false,
-            });
+            let step = step.reduce(&mut conf);
             let views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
             semantics::reduce_mean(&views, params.overwrite_mut(&mut ctx.pool));
             drop(views);
             for entry in entries {
                 ctx.pool.reclaim(entry.value);
             }
-        }
+            step
+        };
         semantics::apply_parallel(params.make_mut(), &delta);
         // Advance: the §5 skip decision over the real token queues, else
         // one token from every out-going neighbor's queue.
         let mut next = k + 1;
         entry_tokens = 1;
         if let (Some(ig), false) = (max_ig, externals_out.is_empty()) {
-            let mut jumped = false;
-            if let Some(skip) = &cfg.skip {
+            let decision = cfg.skip.as_ref().and_then(|skip| {
                 let counts: Vec<u64> = externals_out
                     .iter()
                     .map(|o| token_queues[&(*o, w)].available())
@@ -638,89 +575,67 @@ fn worker_loop(
                 // Never jump past the end of training: finished neighbors
                 // flood their token queues (see below), which would
                 // otherwise inflate the jump distance.
-                let jump = semantics::jump_decision(&counts, ig, skip)
+                semantics::jump_decision(&counts, ig, skip)
                     .map(|j| j.min(max_iters - k))
-                    .filter(|&j| j >= 2);
-                if let Some(jump) = jump {
-                    log(&mut conf, || ProtocolEvent::Jump {
-                        worker: w,
-                        from_iter: k,
-                        target: k + jump,
-                        token_counts: counts.clone(),
-                    });
-                    for &o in externals_out {
-                        // Only this worker removes from TokenQ(o -> w), so
-                        // the observed count cannot shrink under us.
-                        assert!(
-                            token_queues[&(o, w)].try_remove(jump),
-                            "observed tokens vanished from TokenQ({o} -> {w})"
-                        );
-                        log(&mut conf, || ProtocolEvent::TokenTake {
-                            owner: o,
-                            consumer: w,
-                            count: jump,
-                        });
-                    }
-                    // Grant the same number to in-neighbors right away so
-                    // they are never starved while we renew parameters.
-                    for j in externals_in {
-                        log(&mut conf, || ProtocolEvent::TokenPass {
-                            owner: w,
-                            consumer: *j,
-                            count: jump,
-                        });
-                        token_queues[&(w, *j)].insert(jump);
-                    }
-                    entry_tokens = 0;
-                    next = k + jump;
-                    jump_renew(
-                        &mut ctx,
-                        &update_queues[w],
-                        externals_in,
-                        &mut params,
-                        &mut opt,
-                        k,
-                        next,
-                        &mut conf,
-                    )?;
-                    jumped = true;
+                    .filter(|&j| j >= 2)
+                    .map(|jump| (jump, counts))
+            });
+            if let Some((jump, counts)) = decision {
+                let renew = step.jump(&mut conf, k + jump, &counts);
+                for &o in externals_out {
+                    // Only this worker removes from TokenQ(o -> w), so
+                    // the observed count cannot shrink under us.
+                    assert!(
+                        token_queues[&(o, w)].try_remove(jump),
+                        "observed tokens vanished from TokenQ({o} -> {w})"
+                    );
+                    renew.take_tokens(&mut conf, o);
                 }
-            }
-            if !jumped {
+                // Grant the same number to in-neighbors right away so
+                // they are never starved while we renew parameters.
+                for j in externals_in {
+                    choreography::token_grant(&mut conf, w, *j, jump);
+                    token_queues[&(w, *j)].insert(jump);
+                }
+                entry_tokens = 0;
+                next = k + jump;
+                jump_renew(
+                    &mut ctx,
+                    &update_queues[w],
+                    externals_in,
+                    &mut params,
+                    &mut opt,
+                    k,
+                    renew,
+                    &mut conf,
+                )?;
+            } else {
                 for &o in externals_out {
                     token_queues[&(o, w)]
                         .remove(1, timeout)
                         .map_err(|_| ctx.stall(k, "tokens", &update_queues[w]))?;
-                    log(&mut conf, || ProtocolEvent::TokenTake {
-                        owner: o,
-                        consumer: w,
-                        count: 1,
-                    });
+                    step.take_token(&mut conf, o);
                 }
+                step.complete();
             }
+        } else {
+            step.complete();
         }
         k = next;
     }
-    log(&mut conf, || ProtocolEvent::Advance {
-        worker: w,
-        iter: max_iters,
-    });
+    choreography::advance_only(&mut conf, w, max_iters);
     // Final courtesy: release tokens so lagging neighbors can finish their
     // last iterations without waiting on a finished worker.
     if max_ig.is_some() {
         for j in externals_in {
-            log(&mut conf, || ProtocolEvent::TokenPass {
-                owner: w,
-                consumer: *j,
-                count: max_iters,
-            });
+            choreography::token_grant(&mut conf, w, *j, max_iters);
             token_queues[&(w, *j)].insert(max_iters);
         }
     }
     Ok((
         params.to_vec(),
         losses,
-        conf.map(|c| c.events).unwrap_or_default(),
+        conf.map(SeqSink::into_events).unwrap_or_default(),
     ))
 }
 
@@ -734,10 +649,10 @@ fn stale_recv(
     k: u64,
     s: u64,
     waiting_for: &'static str,
-    conf: &mut Option<ConfLog<'_>>,
+    sink: &mut impl EventSink,
 ) -> Result<(), ThreadedError> {
     loop {
-        ctx.drain_arrivals(queue, k, conf);
+        ctx.drain_arrivals(queue, k, sink);
         let satisfied = neighbors.iter().all(|j| {
             ctx.newest_from
                 .get(j)
@@ -750,7 +665,7 @@ fn stale_recv(
         match queue.dequeue(1, TagFilter::any(), ctx.timeout) {
             Ok(entries) => {
                 for entry in entries {
-                    ctx.admit_entry(entry, k, conf);
+                    ctx.admit_entry(entry, k, sink);
                 }
             }
             Err(_) => return Err(ctx.stall(k, waiting_for, queue)),
@@ -770,10 +685,11 @@ fn jump_renew(
     params: &mut ParamBlock,
     opt: &mut Sgd,
     k: u64,
-    target: u64,
-    conf: &mut Option<ConfLog<'_>>,
+    mut renew: Renew,
+    sink: &mut impl EventSink,
 ) -> Result<(), ThreadedError> {
     let w = ctx.w;
+    let target = renew.target();
     let renew_iter = target - 1;
     if let Some(s) = ctx.cfg.staleness {
         stale_recv(
@@ -783,18 +699,14 @@ fn jump_renew(
             renew_iter,
             s,
             "jump-renew updates",
-            conf,
+            sink,
         )?;
-        let mut collected = ctx.collect_newest(externals_in, renew_iter, conf);
+        let mut collected = ctx.collect_newest(externals_in, &mut renew, sink);
         // Own (stale) parameters participate with clamped weight; the
-        // snapshot keeps them readable while the replica is rewritten.
+        // snapshot keeps them readable while the replica is rewritten
+        // (the renewing handle counts them into the Reduce itself).
         collected.push((k, params.snapshot()));
-        log(conf, || ProtocolEvent::Reduce {
-            worker: w,
-            iter: renew_iter,
-            n_updates: collected.len(),
-            renew: true,
-        });
+        renew.renew_reduce(sink);
         let views: Vec<(u64, &[f32])> = collected
             .iter()
             .map(|(iter, p)| (*iter, p.as_slice()))
@@ -818,21 +730,10 @@ fn jump_renew(
             .map_err(|_| ctx.stall(k, "jump-renew updates", queue))?;
         entries.extend(queue.dequeue_up_to(ext - quota, TagFilter::iter(renew_iter)));
         for entry in &entries {
-            let tag = entry.tag;
-            ctx.last_consumed = Some(tag);
-            log(conf, || ProtocolEvent::Consume {
-                worker: w,
-                from: tag.w_id,
-                iter: tag.iter,
-                at_iter: renew_iter,
-            });
+            ctx.last_consumed = Some(entry.tag);
+            renew.consume(sink, entry.tag.w_id, entry.tag.iter);
         }
-        log(conf, || ProtocolEvent::Reduce {
-            worker: w,
-            iter: renew_iter,
-            n_updates: entries.len() + 1,
-            renew: true,
-        });
+        renew.renew_reduce(sink);
         let own = params.snapshot();
         let mut views: Vec<&[f32]> = entries.iter().map(|e| e.value.as_slice()).collect();
         views.push(own.as_slice());
@@ -845,12 +746,7 @@ fn jump_renew(
         // Updates for the skipped iterations will never be consumed;
         // recycle them (conformance records the drops).
         for entry in queue.drain_older_than(target) {
-            let tag = entry.tag;
-            log(conf, || ProtocolEvent::Drop {
-                worker: w,
-                from: tag.w_id,
-                iter: tag.iter,
-            });
+            choreography::drop_update(sink, w, entry.tag.w_id, entry.tag.iter);
             ctx.pool.reclaim(entry.value);
         }
     }

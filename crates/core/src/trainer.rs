@@ -161,7 +161,11 @@ impl SimExperiment {
     ///
     /// The Hop family emits the full event vocabulary (sends, consumes,
     /// tokens, staleness admissions, jumps); the baseline protocols emit
-    /// iteration entries through the same engine hook.
+    /// iteration entries through the same engine hook. All emission goes
+    /// through the [`crate::choreography`] typestate handles, so a trace
+    /// that would violate the grammar cannot be produced in the first
+    /// place — the Oracle double-checks the dynamic obligations (quotas,
+    /// windows, token budgets) the type system cannot see.
     ///
     /// # Errors
     ///

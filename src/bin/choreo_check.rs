@@ -1,0 +1,135 @@
+//! Static conformance checker for the protocol choreographies.
+//!
+//! Three legs, any failure exits nonzero (CI runs this next to clippy):
+//!
+//! 1. **Spec validation** — every [`hop::core::ChoreographySpec`] a
+//!    runtime declares is checked against the canonical grammar
+//!    (`hop::core::choreography::GRAMMAR`) and its obligations: no
+//!    transition outside the grammar, no consume without a send plane,
+//!    no jump without tokens and a renewal path, and so on.
+//! 2. **Dynamic reference** — a trace produced *only* through the
+//!    typestate handles (`choreography::reference_trace`) must satisfy
+//!    the runtime [`hop::core::Oracle`], pinning the two layers to each
+//!    other.
+//! 3. **Source discipline** — no file in `crates/core/src` outside
+//!    `choreography.rs`/`conformance.rs` may construct a
+//!    `ProtocolEvent` or call a conformance sink's `record` directly:
+//!    the handles must be the only emission path.
+
+use hop::core::choreography::{self, validate_spec};
+use hop::core::config::HopConfig;
+use hop::core::Oracle;
+use hop::graph::Topology;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to name `ProtocolEvent` constructors or sink `record`
+/// calls: the grammar module itself and the event/oracle definitions.
+const EMISSION_MODULES: &[&str] = &["choreography.rs", "conformance.rs"];
+
+fn check_specs(failures: &mut Vec<String>) {
+    for spec in choreography::all_specs() {
+        match validate_spec(spec) {
+            Ok(()) => println!("spec `{}`: ok", spec.protocol),
+            Err(errors) => {
+                let mut msg = format!("spec `{}` is malformed:", spec.protocol);
+                for e in errors {
+                    let _ = write!(msg, "\n    {e}");
+                }
+                failures.push(msg);
+            }
+        }
+    }
+}
+
+fn check_reference_trace(failures: &mut Vec<String>) {
+    for n in [2usize, 4, 6] {
+        let iters = 5;
+        let trace = choreography::reference_trace(n, iters);
+        let (cfg, topo) = (HopConfig::standard(), Topology::ring(n));
+        let oracle = Oracle::new(&cfg, &topo, iters);
+        match oracle.check(&trace) {
+            Ok(summary) => println!(
+                "reference trace (ring {n}, {iters} iters): ok ({} events)",
+                summary.events
+            ),
+            Err(v) => failures.push(format!(
+                "handle-driven reference trace (ring {n}) violates the oracle: {v}"
+            )),
+        }
+    }
+}
+
+/// Recursively lists the `.rs` files under `dir`.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries =
+        std::fs::read_dir(dir).unwrap_or_else(|e| panic!("cannot list {}: {e}", dir.display()));
+    for entry in entries {
+        let path = entry.expect("readable directory entry").path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lines that emit protocol events directly: constructing an event
+/// variant or calling a conformance sink's `record`. Whitespace is
+/// stripped first so formatting cannot hide a call.
+fn emission_lines(source: &str) -> Vec<(usize, String)> {
+    source
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| {
+            let squeezed: String = line.split_whitespace().collect();
+            // Doc/comment mentions are fine; code constructing events or
+            // recording on a sink is not.
+            let code = squeezed.split("//").next().unwrap_or("");
+            code.contains("ProtocolEvent::") || code.contains("conformance.record(")
+        })
+        .map(|(i, line)| (i + 1, line.trim().to_string()))
+        .collect()
+}
+
+fn check_source_discipline(failures: &mut Vec<String>) {
+    let core_src = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/core/src");
+    let mut files = Vec::new();
+    rust_sources(&core_src, &mut files);
+    files.sort();
+    let mut scanned = 0usize;
+    for path in &files {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if EMISSION_MODULES.contains(&name) {
+            continue;
+        }
+        scanned += 1;
+        let source = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        for (lineno, line) in emission_lines(&source) {
+            failures.push(format!(
+                "{}:{lineno}: direct event emission outside the choreography module: `{line}`",
+                path.strip_prefix(env!("CARGO_MANIFEST_DIR"))
+                    .unwrap_or(path)
+                    .display()
+            ));
+        }
+    }
+    println!("source discipline: scanned {scanned} files under crates/core/src");
+}
+
+fn main() {
+    let mut failures = Vec::new();
+    check_specs(&mut failures);
+    check_reference_trace(&mut failures);
+    check_source_discipline(&mut failures);
+    if failures.is_empty() {
+        println!("choreo_check: all choreographies conform");
+    } else {
+        for f in &failures {
+            eprintln!("choreo_check: {f}");
+        }
+        eprintln!("choreo_check: {} failure(s)", failures.len());
+        std::process::exit(1);
+    }
+}
