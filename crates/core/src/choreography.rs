@@ -590,6 +590,31 @@ pub fn drop_update(sink: &mut impl EventSink, worker: usize, from: usize, iter: 
     sink.emit(|| ProtocolEvent::Drop { worker, from, iter });
 }
 
+/// `worker` crashed on entering iteration `iter` (emits `Crash`). Like
+/// the rest of the delivery plane, churn happens on the fault plane's
+/// schedule — in whatever phase the worker occupies — so this is a free
+/// function. The fault-aware oracle requires every `Crash` in a trace to
+/// be licensed by a matching [`hop_sim::FaultLog`] entry.
+pub fn crash(sink: &mut impl EventSink, worker: usize, iter: u64) {
+    sink.emit(|| ProtocolEvent::Crash { worker, iter });
+}
+
+/// A crashed `worker` rejoined the run and will re-enter at `target`,
+/// parameters rehydrated from a live neighbor's snapshot (emits
+/// `Rejoin`).
+pub fn rejoin(sink: &mut impl EventSink, worker: usize, target: u64) {
+    sink.emit(|| ProtocolEvent::Rejoin { worker, target });
+}
+
+/// The network lost the update tagged `(from, iter)` on its way to
+/// `worker` (emits `Lost`). Always paired with the preceding `Send` —
+/// the sender published in good faith; the fault plane ate the message —
+/// so replay's outstanding-send accounting stays balanced. The oracle
+/// requires a licensing [`hop_sim::FaultEvent::Loss`] for each.
+pub fn lost_update(sink: &mut impl EventSink, worker: usize, from: usize, iter: u64) {
+    sink.emit(|| ProtocolEvent::Lost { worker, from, iter });
+}
+
 // ---------------------------------------------------------------------------
 // The declarative layer: ChoreographySpec and the canonical grammar
 // ---------------------------------------------------------------------------
@@ -626,6 +651,12 @@ pub enum EventKind {
     StaleReject,
     /// The §5 skip decision.
     Jump,
+    /// Fault plane: a worker crashed.
+    Crash,
+    /// Fault plane: a crashed worker rejoined.
+    Rejoin,
+    /// Fault plane: the network lost a sent update.
+    Lost,
 }
 
 /// One edge of a choreography: in state `from`, event `event` is legal
@@ -673,6 +704,11 @@ pub const GRAMMAR: &[Transition] = &[
     t("*", EventKind::StaleAdmit, "*"),
     t("*", EventKind::StaleReject, "*"),
     t("*", EventKind::Drop, "*"),
+    // Fault plane: churn and loss arrive on the fault schedule, in
+    // whatever state the worker occupies.
+    t("*", EventKind::Crash, "*"),
+    t("*", EventKind::Rejoin, "*"),
+    t("*", EventKind::Lost, "*"),
 ];
 
 /// The states of an `Advance`-only choreography.
@@ -701,6 +737,11 @@ pub struct ChoreographySpec {
     pub staleness: bool,
     /// Whether the protocol may skip iterations (`Jump` + renewal).
     pub jumps: bool,
+    /// Whether the runtime processes worker churn (`Crash`/`Rejoin`) and
+    /// message loss (`Lost`) as first-class events. Round-analytic
+    /// runtimes (PS, ring, Prague) model whole rounds in closed form and
+    /// cannot lose individual messages, so they declare `false`.
+    pub churn: bool,
 }
 
 /// The full-vocabulary spec shared by the simulator's decentralized
@@ -779,6 +820,21 @@ pub fn validate_spec(spec: &ChoreographySpec) -> Result<(), Vec<String>> {
         }
     } else if spec.jumps {
         errors.push("jumps declared but no Jump transition".into());
+    }
+    // Churn obligations: a churn-capable runtime must accept both halves
+    // of the crash/rejoin cycle (a crash with no rejoin path would strand
+    // workers) and the loss event its gate emits; a runtime that does not
+    // process churn must not claim the events.
+    let churn_events = has(EventKind::Crash) || has(EventKind::Rejoin) || has(EventKind::Lost);
+    if spec.churn {
+        if !(has(EventKind::Crash) && has(EventKind::Rejoin)) {
+            errors.push("churn declared but Crash/Rejoin transitions are missing".into());
+        }
+        if !has(EventKind::Lost) {
+            errors.push("churn declared but the Lost transition is missing".into());
+        }
+    } else if churn_events {
+        errors.push("Crash/Rejoin/Lost transitions but churn is not declared".into());
     }
     // A compute cycle must close: begin needs end needs reduce needs the
     // advance back into Idle.
@@ -898,6 +954,7 @@ mod tests {
             tokens: false,
             staleness: false,
             jumps: false,
+            churn: false,
         };
         let errors = validate_spec(&BAD).unwrap_err();
         assert!(
@@ -922,6 +979,7 @@ mod tests {
             tokens: false,
             staleness: false,
             jumps: false,
+            churn: false,
         };
         let errors = validate_spec(&NO_PASS).unwrap_err();
         assert!(errors.iter().any(|e| e.contains("tokens are not declared")));
@@ -941,6 +999,7 @@ mod tests {
             tokens: false,
             staleness: false,
             jumps: false,
+            churn: false,
         };
         let errors = validate_spec(&NO_SEND).unwrap_err();
         assert!(errors.iter().any(|e| e.contains("nothing to consume")));
@@ -962,6 +1021,7 @@ mod tests {
             tokens: true,
             staleness: false,
             jumps: true,
+            churn: false,
         };
         let errors = validate_spec(&NO_RENEW).unwrap_err();
         assert!(errors.iter().any(|e| e.contains("RenewReduce")));

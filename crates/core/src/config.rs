@@ -504,6 +504,12 @@ pub enum ConfigError {
     InvalidQgm(&'static str),
     /// Invalid update-compression codec knobs.
     InvalidCompression(&'static str),
+    /// Invalid fault-injection plan knobs (see
+    /// [`hop_sim::FaultPlan::validate`]).
+    InvalidFaultPlan(&'static str),
+    /// Invalid simulated-link knobs (e.g. a NaN jitter smuggled into a
+    /// [`hop_sim::LinkModel`] literal past the builder assertions).
+    InvalidLink(&'static str),
 }
 
 impl fmt::Display for ConfigError {
@@ -538,6 +544,8 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidCompression(why) => {
                 write!(f, "invalid compression config: {why}")
             }
+            ConfigError::InvalidFaultPlan(why) => write!(f, "invalid fault plan: {why}"),
+            ConfigError::InvalidLink(why) => write!(f, "invalid link model: {why}"),
         }
     }
 }

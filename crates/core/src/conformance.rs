@@ -171,6 +171,36 @@ pub enum ProtocolEvent {
         /// Observed token counts per external out-going neighbor.
         token_counts: Vec<u64>,
     },
+    /// Fault plane: `worker` crashed on entering iteration `iter`. Must
+    /// be licensed by a matching [`hop_sim::FaultEvent::Crash`] when
+    /// checked with [`Oracle::check_with_faults`].
+    Crash {
+        /// Crashed worker.
+        worker: usize,
+        /// Iteration whose entry triggered the crash.
+        iter: u64,
+    },
+    /// Fault plane: a crashed `worker` rejoined and will re-enter at
+    /// `target` (parameters rehydrated from a live neighbor). Licenses
+    /// the otherwise-illegal `Advance` to `target` that follows.
+    Rejoin {
+        /// Rejoining worker.
+        worker: usize,
+        /// Iteration the worker re-enters.
+        target: u64,
+    },
+    /// Fault plane: the network lost the update tagged `(from, iter)` on
+    /// its way to `worker`. Always paired with the preceding `Send`, so
+    /// outstanding-send accounting stays balanced; must be licensed by a
+    /// matching [`hop_sim::FaultEvent::Loss`].
+    Lost {
+        /// Intended receiver.
+        worker: usize,
+        /// Sender of the lost update.
+        from: usize,
+        /// Tag iteration of the lost update.
+        iter: u64,
+    },
 }
 
 impl fmt::Display for ProtocolEvent {
@@ -245,6 +275,13 @@ impl fmt::Display for ProtocolEvent {
                     "jump w={worker} from={from_iter} target={target} tokens={}",
                     counts.join(",")
                 )
+            }
+            ProtocolEvent::Crash { worker, iter } => write!(f, "crash w={worker} iter={iter}"),
+            ProtocolEvent::Rejoin { worker, target } => {
+                write!(f, "rejoin w={worker} target={target}")
+            }
+            ProtocolEvent::Lost { worker, from, iter } => {
+                write!(f, "lost w={worker} from={from} iter={iter}")
             }
         }
     }
@@ -428,6 +465,19 @@ fn parse_event(line: &str) -> Result<ProtocolEvent, String> {
                 token_counts,
             }
         }
+        "crash" => ProtocolEvent::Crash {
+            worker: get_usize("w")?,
+            iter: get_u64("iter")?,
+        },
+        "rejoin" => ProtocolEvent::Rejoin {
+            worker: get_usize("w")?,
+            target: get_u64("target")?,
+        },
+        "lost" => ProtocolEvent::Lost {
+            worker: get_usize("w")?,
+            from: get_usize("from")?,
+            iter: get_u64("iter")?,
+        },
         other => return Err(format!("unknown event kind `{other}`")),
     })
 }
@@ -639,6 +689,25 @@ pub enum ViolationKind {
         /// Which event was misplaced.
         what: &'static str,
     },
+    /// A `Lost` event with no licensing loss in the fault log: the
+    /// runtime claimed the network ate a message the fault plane never
+    /// dropped.
+    UnlicensedLoss {
+        /// Intended receiver.
+        worker: usize,
+        /// Sender of the allegedly lost update.
+        from: usize,
+        /// Its tag iteration.
+        iter: u64,
+    },
+    /// A `Crash`/`Rejoin` event with no licensing entry in the fault log:
+    /// the runtime invented churn the fault plane never scheduled.
+    UnlicensedChurn {
+        /// The worker.
+        worker: usize,
+        /// Which churn event lacked a license (`"crash"`/`"rejoin"`).
+        what: &'static str,
+    },
 }
 
 /// A trace invariant violation: the first event the oracle rejected.
@@ -765,6 +834,14 @@ impl fmt::Display for Violation {
                 f,
                 "worker {worker} recorded a {what} for iteration {iter} while at iteration {current}"
             ),
+            ViolationKind::UnlicensedLoss { worker, from, iter } => write!(
+                f,
+                "update (from={from}, iter={iter}) to worker {worker} reported lost, but the fault log licenses no such loss"
+            ),
+            ViolationKind::UnlicensedChurn { worker, what } => write!(
+                f,
+                "worker {worker} recorded a {what} the fault log does not license"
+            ),
         }
     }
 }
@@ -794,6 +871,12 @@ pub struct ConformanceSummary {
     pub stale_admitted: u64,
     /// Staleness-mode rejections.
     pub stale_rejected: u64,
+    /// Licensed crash events replayed.
+    pub crashes: u64,
+    /// Licensed rejoin events replayed.
+    pub rejoins: u64,
+    /// Licensed message losses replayed.
+    pub messages_lost: u64,
     /// Largest iteration gap observed between any pair.
     pub max_gap: i64,
 }
@@ -860,14 +943,44 @@ impl<'a> Oracle<'a> {
     }
 
     /// Replays `trace`, returning what it exercised or the first
-    /// violation.
+    /// violation. Equivalent to [`Self::check_with_faults`] with an empty
+    /// fault log: any `Crash`/`Rejoin`/`Lost` event in the trace is
+    /// unlicensed and rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`Violation`] encountered, anchored to its event
+    /// index.
+    pub fn check(&self, trace: &ProtocolTrace) -> Result<ConformanceSummary, Violation> {
+        self.check_with_faults(trace, &hop_sim::FaultLog::new())
+    }
+
+    /// Replays `trace` next to the run's [`hop_sim::FaultLog`] sidecar —
+    /// the fault-aware check. The log tells the oracle which invariant
+    /// breaks are *licensed*:
+    ///
+    /// * every `Lost` event must match a logged loss (else
+    ///   [`ViolationKind::UnlicensedLoss`]), and every `Crash`/`Rejoin` a
+    ///   logged churn entry (else [`ViolationKind::UnlicensedChurn`]);
+    /// * a licensed `Rejoin` permits the following `Advance` straight to
+    ///   the rejoin target, without the usual `+1`/reduce preconditions,
+    ///   and mirrors the clamped token drain the runtime performs;
+    /// * Table 1 gap bounds are enforced among *live* workers only —
+    ///   pairs with a crashed endpoint are exempt until the rejoin;
+    /// * everything else — backup quotas, staleness windows, token
+    ///   conservation among live workers, jump legality — must still hold
+    ///   under fire.
     ///
     /// # Errors
     ///
     /// Returns the first [`Violation`] encountered, anchored to its event
     /// index.
     #[allow(clippy::too_many_lines)]
-    pub fn check(&self, trace: &ProtocolTrace) -> Result<ConformanceSummary, Violation> {
+    pub fn check_with_faults(
+        &self,
+        trace: &ProtocolTrace,
+        faults: &hop_sim::FaultLog,
+    ) -> Result<ConformanceSummary, Violation> {
         let n = self.topology.len();
         let sp = ShortestPaths::new(self.topology);
         let mut bounds = vec![vec![Bound::Unbounded; n]; n];
@@ -878,7 +991,7 @@ impl<'a> Oracle<'a> {
                 }
             }
         }
-        let mut st = Replay::new(self.cfg, self.topology, self.max_iters, bounds);
+        let mut st = Replay::new(self.cfg, self.topology, self.max_iters, bounds, faults);
         let mut summary = ConformanceSummary {
             events: trace.len(),
             ..ConformanceSummary::default()
@@ -927,6 +1040,17 @@ struct Replay<'a> {
     newest: HashMap<(usize, usize), u64>,
     /// Token queues by `(owner, consumer)` edge; present iff `max_ig`.
     tokens: HashMap<(usize, usize), u64>,
+    /// Currently crashed workers: gap bounds are suspended for pairs with
+    /// a dead endpoint, and their in-flight compute/consume state died
+    /// with them.
+    dead: Vec<bool>,
+    /// A licensed rejoin whose `Advance` to the target is still owed.
+    rejoin_target: Vec<Option<u64>>,
+    /// Licenses from the fault log: remaining loss credits per
+    /// `(from, to, iter)`, and churn credits per `(worker, iter)`.
+    loss_license: HashMap<(usize, usize, u64), u32>,
+    crash_license: HashMap<(usize, u64), u32>,
+    rejoin_license: HashMap<(usize, u64), u32>,
     max_gap: i64,
 }
 
@@ -936,6 +1060,7 @@ impl<'a> Replay<'a> {
         topology: &'a Topology,
         max_iters: u64,
         bounds: Vec<Vec<Bound>>,
+        faults: &hop_sim::FaultLog,
     ) -> Self {
         let n = topology.len();
         let mut tokens = HashMap::new();
@@ -943,6 +1068,26 @@ impl<'a> Replay<'a> {
             for owner in 0..n {
                 for &consumer in topology.external_in_neighbors(owner) {
                     tokens.insert((owner, consumer), ig);
+                }
+            }
+        }
+        let mut loss_license: HashMap<(usize, usize, u64), u32> = HashMap::new();
+        let mut crash_license: HashMap<(usize, u64), u32> = HashMap::new();
+        let mut rejoin_license: HashMap<(usize, u64), u32> = HashMap::new();
+        for f in faults.events() {
+            match *f {
+                hop_sim::FaultEvent::Loss { from, to, iter } => {
+                    *loss_license.entry((from, to, iter)).or_insert(0) += 1;
+                }
+                hop_sim::FaultEvent::Crash { worker, iter } => {
+                    *crash_license.entry((worker, iter)).or_insert(0) += 1;
+                }
+                hop_sim::FaultEvent::Rejoin { worker, target, .. } => {
+                    *rejoin_license.entry((worker, target)).or_insert(0) += 1;
+                }
+                hop_sim::FaultEvent::Byzantine { .. } => {
+                    // Value corruption is invisible at the protocol-event
+                    // level; nothing to license.
                 }
             }
         }
@@ -962,14 +1107,24 @@ impl<'a> Replay<'a> {
             outstanding: HashMap::new(),
             newest: HashMap::new(),
             tokens,
+            dead: vec![false; n],
+            rejoin_target: vec![None; n],
+            loss_license,
+            crash_license,
+            rejoin_license,
             max_gap: 0,
         }
     }
 
-    /// Gap check after `w`'s logical iteration changed.
+    /// Gap check after `w`'s logical iteration changed. Pairs with a
+    /// crashed endpoint are exempt: Table 1 speaks for live workers, and
+    /// the live cluster legitimately runs ahead of a frozen counter.
     fn check_gaps(&mut self, w: usize) -> Result<(), ViolationKind> {
+        if self.dead[w] {
+            return Ok(());
+        }
         for j in 0..self.logical.len() {
-            if j == w {
+            if j == w || self.dead[j] {
                 continue;
             }
             let gap = self.logical[w] as i64 - self.logical[j] as i64;
@@ -1025,6 +1180,13 @@ impl<'a> Replay<'a> {
                         });
                     }
                     self.started[worker] = true;
+                } else if self.rejoin_target[worker] == Some(iter) {
+                    // A licensed rejoin lands the worker directly at its
+                    // rehydration target: the `prev + 1` and reduce-closure
+                    // rules are suspended for exactly this one advance.
+                    self.rejoin_target[worker] = None;
+                    self.pending_jump[worker] = None;
+                    self.last_reduce[worker] = None;
                 } else {
                     let prev = self.entered[worker];
                     let jumped = self.pending_jump[worker] == Some((prev, iter));
@@ -1318,6 +1480,73 @@ impl<'a> Replay<'a> {
                 self.pending_jump[worker] = Some((from_iter, target));
                 self.logical[worker] = self.logical[worker].max(target);
                 self.check_gaps(worker)?;
+            }
+            ProtocolEvent::Crash { worker, iter } => {
+                summary.crashes += 1;
+                match self.crash_license.get_mut(&(worker, iter)) {
+                    Some(count) if *count > 0 => *count -= 1,
+                    _ => {
+                        return Err(ViolationKind::UnlicensedChurn {
+                            worker,
+                            what: "crash",
+                        })
+                    }
+                }
+                self.dead[worker] = true;
+                // In-flight compute and the consume set die with the
+                // worker; its never-closed reduce is forgiven at rejoin.
+                self.computing[worker] = None;
+                self.consumed[worker].clear();
+                self.pending_jump[worker] = None;
+            }
+            ProtocolEvent::Rejoin { worker, target } => {
+                summary.rejoins += 1;
+                match self.rejoin_license.get_mut(&(worker, target)) {
+                    Some(count) if *count > 0 => *count -= 1,
+                    _ => {
+                        return Err(ViolationKind::UnlicensedChurn {
+                            worker,
+                            what: "rejoin",
+                        })
+                    }
+                }
+                self.dead[worker] = false;
+                self.rejoin_target[worker] = Some(target);
+                // The crash fires at iteration entry, *before* the doomed
+                // iteration's `ComputeBegin` (mid-iteration crash: the
+                // worker enters, sends, begins compute, then the engine
+                // discards the completion). That in-flight compute died
+                // with the worker — forget it, or the revived worker's
+                // first `ComputeBegin` would look nested.
+                self.computing[worker] = None;
+                self.consumed[worker].clear();
+                // Mirror the engine's token drain: skipping from
+                // `entered` to `target` spends exactly `target - entered`
+                // grants per outgoing edge. A deficit means the engine
+                // revived the worker on credit — the exact overdraft that
+                // lets a rejoiner overtake the gap bound.
+                let catchup = target.saturating_sub(self.entered[worker]);
+                for &o in self.topology.external_out_neighbors(worker) {
+                    if let Some(avail) = self.tokens.get_mut(&(o, worker)) {
+                        if *avail < catchup {
+                            return Err(ViolationKind::TokenUnderflow {
+                                owner: o,
+                                consumer: worker,
+                                take: catchup,
+                                available: *avail,
+                            });
+                        }
+                        *avail -= catchup;
+                    }
+                }
+            }
+            ProtocolEvent::Lost { worker, from, iter } => {
+                summary.messages_lost += 1;
+                self.take_send(from, worker, iter)?;
+                match self.loss_license.get_mut(&(from, worker, iter)) {
+                    Some(count) if *count > 0 => *count -= 1,
+                    _ => return Err(ViolationKind::UnlicensedLoss { worker, from, iter }),
+                }
             }
         }
         Ok(())
@@ -1829,9 +2058,190 @@ mod tests {
             from: 1,
             iter: 2,
         });
+        t.push(ProtocolEvent::Crash { worker: 1, iter: 4 });
+        t.push(ProtocolEvent::Rejoin {
+            worker: 1,
+            target: 6,
+        });
+        t.push(ProtocolEvent::Lost {
+            worker: 0,
+            from: 1,
+            iter: 2,
+        });
         let text = t.to_text();
         let back = ProtocolTrace::from_text(&text).expect("parses");
         assert_eq!(t, back);
+    }
+
+    /// The legal 2-worker trace with worker 1 crashing after its last
+    /// advance, plus one of worker 0's sends to it declared lost.
+    fn faulted_trace() -> ProtocolTrace {
+        let mut t = legal_standard_trace();
+        t.push(ProtocolEvent::Crash { worker: 1, iter: 1 });
+        t.push(ProtocolEvent::Send {
+            from: 0,
+            to: 1,
+            iter: 1,
+        });
+        t.push(ProtocolEvent::Lost {
+            worker: 1,
+            from: 0,
+            iter: 1,
+        });
+        t
+    }
+
+    #[test]
+    fn licensed_faults_pass_and_are_counted() {
+        let cfg = HopConfig::standard();
+        let topo = two_ring();
+        let mut log = hop_sim::FaultLog::new();
+        log.push(hop_sim::FaultEvent::Crash { worker: 1, iter: 1 });
+        log.push(hop_sim::FaultEvent::Loss {
+            from: 0,
+            to: 1,
+            iter: 1,
+        });
+        let summary = Oracle::new(&cfg, &topo, 2)
+            .check_with_faults(&faulted_trace(), &log)
+            .expect("licensed faults are legal");
+        assert_eq!(summary.crashes, 1);
+        assert_eq!(summary.messages_lost, 1);
+        assert_eq!(summary.rejoins, 0);
+    }
+
+    #[test]
+    fn unlicensed_crash_is_flagged() {
+        let cfg = HopConfig::standard();
+        let topo = two_ring();
+        let mut t = legal_standard_trace();
+        t.push(ProtocolEvent::Crash { worker: 1, iter: 1 });
+        let v = Oracle::new(&cfg, &topo, 2).check(&t).unwrap_err();
+        assert!(
+            matches!(
+                v.kind,
+                ViolationKind::UnlicensedChurn {
+                    worker: 1,
+                    what: "crash"
+                }
+            ),
+            "{v}"
+        );
+    }
+
+    #[test]
+    fn unlicensed_loss_is_flagged() {
+        let cfg = HopConfig::standard();
+        let topo = two_ring();
+        // Only the crash is licensed; the loss is not.
+        let mut log = hop_sim::FaultLog::new();
+        log.push(hop_sim::FaultEvent::Crash { worker: 1, iter: 1 });
+        let v = Oracle::new(&cfg, &topo, 2)
+            .check_with_faults(&faulted_trace(), &log)
+            .unwrap_err();
+        assert!(
+            matches!(
+                v.kind,
+                ViolationKind::UnlicensedLoss {
+                    worker: 1,
+                    from: 0,
+                    iter: 1
+                }
+            ),
+            "{v}"
+        );
+    }
+
+    #[test]
+    fn licensed_rejoin_resumes_at_target() {
+        // Backup mode (quota 1 of in-degree 2): worker 1 crashes at
+        // iteration 1, worker 0 keeps completing iterations alone, and
+        // worker 1 rejoins landing directly on the rehydration target —
+        // legal only because the rejoin suspends the +1 progression and
+        // reduce-closure rules for exactly one advance.
+        let cfg = HopConfig::backup(1, 8);
+        let topo = two_ring();
+        let mut t = legal_standard_trace();
+        t.push(ProtocolEvent::Crash { worker: 1, iter: 1 });
+        for iter in 1..3 {
+            solo_iteration(&mut t, 0, iter);
+        }
+        t.push(ProtocolEvent::Rejoin {
+            worker: 1,
+            target: 3,
+        });
+        t.push(ProtocolEvent::Advance { worker: 1, iter: 3 });
+        let mut log = hop_sim::FaultLog::new();
+        log.push(hop_sim::FaultEvent::Crash { worker: 1, iter: 1 });
+        log.push(hop_sim::FaultEvent::Rejoin {
+            worker: 1,
+            target: 3,
+            donor: 0,
+        });
+        let summary = Oracle::new(&cfg, &topo, 4)
+            .check_with_faults(&t, &log)
+            .expect("licensed churn cycle is legal");
+        assert_eq!(summary.crashes, 1);
+        assert_eq!(summary.rejoins, 1);
+    }
+
+    /// One complete backup-mode iteration of `w` with its only live
+    /// in-neighbor being itself: send everywhere, compute, consume the
+    /// self-update, reduce with n = quota = 1, and advance.
+    fn solo_iteration(t: &mut ProtocolTrace, w: usize, iter: u64) {
+        t.push(ProtocolEvent::Send {
+            from: w,
+            to: w,
+            iter,
+        });
+        t.push(ProtocolEvent::Send {
+            from: w,
+            to: 1 - w,
+            iter,
+        });
+        t.push(ProtocolEvent::ComputeBegin { worker: w, iter });
+        t.push(ProtocolEvent::ComputeEnd { worker: w, iter });
+        t.push(ProtocolEvent::Consume {
+            worker: w,
+            from: w,
+            iter,
+            at_iter: iter,
+        });
+        t.push(ProtocolEvent::Reduce {
+            worker: w,
+            iter,
+            n_updates: 1,
+            renew: false,
+        });
+        t.push(ProtocolEvent::Advance {
+            worker: w,
+            iter: iter + 1,
+        });
+    }
+
+    #[test]
+    fn dead_workers_are_exempt_from_gap_checks() {
+        // With worker 1 dead, worker 0 may run arbitrarily far ahead; the
+        // same iterations without the crash violate the Table 1 bound.
+        let cfg = HopConfig::backup(1, 2);
+        let topo = two_ring();
+        let far = |crash: bool| {
+            let mut t = legal_standard_trace();
+            if crash {
+                t.push(ProtocolEvent::Crash { worker: 1, iter: 1 });
+            }
+            for iter in 1..9 {
+                solo_iteration(&mut t, 0, iter);
+            }
+            t
+        };
+        let mut log = hop_sim::FaultLog::new();
+        log.push(hop_sim::FaultEvent::Crash { worker: 1, iter: 1 });
+        Oracle::new(&cfg, &topo, 16)
+            .check_with_faults(&far(true), &log)
+            .expect("gap checks skip dead workers");
+        let v = Oracle::new(&cfg, &topo, 16).check(&far(false)).unwrap_err();
+        assert!(matches!(v.kind, ViolationKind::GapBound { .. }), "{v}");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::conformance::ProtocolTrace;
 use hop_metrics::TimeSeries;
-use hop_sim::Trace;
+use hop_sim::{FaultLog, Trace};
 
 /// The outcome of one simulated (or threaded) training run.
 #[derive(Debug, Clone, Default)]
@@ -56,6 +56,23 @@ pub struct TrainingReport {
     /// digests must stay comparable across engine-internal changes that
     /// alter event counts without altering results.
     pub events_processed: u64,
+    /// Payload messages dropped by the fault plane (loss draws, cut/dead
+    /// links). Diagnostic accounting, excluded from
+    /// [`TrainingReport::digest`]: with an empty [`hop_sim::FaultPlan`]
+    /// it is always zero, and chaos sweeps compare digests across fault
+    /// configurations.
+    pub messages_dropped: u64,
+    /// Worker crashes the fault plane fired. Digest-excluded diagnostic,
+    /// like [`TrainingReport::messages_dropped`].
+    pub crashes: u64,
+    /// Crashed workers that rehydrated and rejoined. Digest-excluded
+    /// diagnostic, like [`TrainingReport::messages_dropped`].
+    pub rejoins: u64,
+    /// Ordered sidecar of every fault the plane injected — the licensing
+    /// record [`crate::conformance::Oracle::check_with_faults`] replays
+    /// next to the protocol trace. Digest-excluded diagnostic, like
+    /// [`TrainingReport::conformance`].
+    pub fault_log: FaultLog,
 }
 
 impl TrainingReport {
@@ -259,6 +276,23 @@ mod tests {
         let mut saved = report.clone();
         saved.bytes_saved = 9_876;
         assert_eq!(base, saved.digest(), "bytes_saved must be excluded");
+        // Excluded: fault-plane accounting — chaos sweeps compare digests
+        // across fault configurations, and the empty-plan default keeps
+        // all of these at zero/empty anyway.
+        let mut dropped = report.clone();
+        dropped.messages_dropped = 42;
+        assert_eq!(base, dropped.digest(), "messages_dropped must be excluded");
+        let mut crashed = report.clone();
+        crashed.crashes = 2;
+        assert_eq!(base, crashed.digest(), "crashes must be excluded");
+        let mut rejoined = report.clone();
+        rejoined.rejoins = 2;
+        assert_eq!(base, rejoined.digest(), "rejoins must be excluded");
+        let mut logged = report.clone();
+        logged
+            .fault_log
+            .push(hop_sim::FaultEvent::Crash { worker: 0, iter: 3 });
+        assert_eq!(base, logged.digest(), "fault_log must be excluded");
         // Included: both outcome flags are figure-visible results.
         let mut exhausted = report.clone();
         exhausted.budget_exhausted = true;

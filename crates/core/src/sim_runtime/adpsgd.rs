@@ -39,6 +39,7 @@ pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
     tokens: false,
     staleness: false,
     jumps: false,
+    churn: false,
 };
 
 enum Ev {
@@ -169,16 +170,53 @@ impl AdPsgd<'_> {
         } else {
             (None, eng.param_bytes, eng.param_bytes)
         };
-        let there = eng.net.transfer(now, active, passive, wire_a);
-        let back = eng.net.transfer(there, passive, active, wire_b);
-        eng.events.push(
-            back,
-            Ev::AvgDone {
-                active,
-                passive,
-                recons,
-            },
-        );
+        // Both legs of the round trip run behind the fault plane: losing
+        // either aborts the exchange — atomic averaging is all-or-nothing
+        // — and the active side falls back to a purely local step.
+        let round_trip = eng
+            .transfer_gated(active, passive, wire_a, now, eng.iters[active])
+            .and_then(|there| {
+                eng.transfer_gated(passive, active, wire_b, there, eng.iters[passive])
+            });
+        match round_trip {
+            Some(back) => eng.events.push(
+                back,
+                Ev::AvgDone {
+                    active,
+                    passive,
+                    recons,
+                },
+            ),
+            None => {
+                if let Some((recon_a, recon_b)) = recons {
+                    eng.pool.reclaim(recon_a);
+                    eng.pool.reclaim(recon_b);
+                }
+                self.workers[active].busy = false;
+                self.workers[passive].busy = false;
+                self.finish_iteration(eng, active, now);
+                self.serve_waiters(eng, passive, active, now);
+            }
+        }
+    }
+
+    /// Hands each freed side to its next queued requester, if any.
+    fn serve_waiters(
+        &mut self,
+        eng: &mut SimEngine<'_, Ev>,
+        passive: usize,
+        active: usize,
+        now: f64,
+    ) {
+        for side in [passive, active] {
+            if self.workers[side].busy {
+                continue;
+            }
+            if let Some(req) = self.workers[side].wait_queue.pop_front() {
+                self.workers[req].waiting_on = None;
+                self.start_averaging(eng, req, side, now);
+            }
+        }
     }
 
     fn finish_iteration(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, now: f64) {
@@ -305,16 +343,7 @@ impl WorkerProtocol for AdPsgd<'_> {
                 self.workers[active].busy = false;
                 self.workers[passive].busy = false;
                 self.finish_iteration(eng, active, now);
-                // Serve the next waiter of either side.
-                for side in [passive, active] {
-                    if self.workers[side].busy {
-                        continue;
-                    }
-                    if let Some(req) = self.workers[side].wait_queue.pop_front() {
-                        self.workers[req].waiting_on = None;
-                        self.start_averaging(eng, req, side, now);
-                    }
-                }
+                self.serve_waiters(eng, passive, active, now);
             }
         }
     }

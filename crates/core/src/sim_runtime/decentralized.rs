@@ -55,6 +55,7 @@ pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
     tokens: true,
     staleness: true,
     jumps: true,
+    churn: true,
 };
 
 /// Worker phase, carrying the typed per-iteration handle for the stage
@@ -304,12 +305,27 @@ impl<'a> Decentralized<'a> {
         let params = eng.workers[w].params.snapshot();
         step.send(&mut eng.conformance, w);
         self.deliver_update(eng, w, w, iter, params.snapshot(), now);
-        let (wire, wire_bytes) = if self.plane.is_active() {
+        let (mut wire, wire_bytes) = if self.plane.is_active() {
             self.plane
                 .encode_params(w, params.as_slice(), &mut eng.pool)
         } else {
             (params.snapshot(), eng.param_bytes)
         };
+        // Byzantine corruption hits the *outgoing* copy only: the worker's
+        // own queue (the self-delivery above) stays honest, receivers get
+        // the corrupted values. Applied once per Send, so SignFlip cannot
+        // double-negate across recipients. Guarded by a plan lookup so
+        // honest workers never pay the copy-on-write detach.
+        if !eng.faults.is_empty()
+            && eng
+                .faults
+                .plan()
+                .byzantine()
+                .iter()
+                .any(|b| b.worker == w && iter >= b.from_iter)
+        {
+            eng.faults.corrupt(w, iter, wire.make_mut());
+        }
         let inquiry = self.cfg.effective_send_inquiry();
         let mut delivered = 0u64;
         for &o in self.topology.external_out_neighbors(w) {
@@ -320,17 +336,23 @@ impl<'a> Decentralized<'a> {
                 continue;
             }
             step.send(&mut eng.conformance, o);
-            let arrival = eng.net.transfer(now, w, o, wire_bytes);
+            // The wire is charged either way; only delivery is in doubt.
             delivered += 1;
-            eng.events.push(
-                arrival,
-                Ev::Update {
-                    to: o,
-                    from: w,
-                    iter,
-                    params: wire.snapshot(),
-                },
-            );
+            match eng.transfer_gated(w, o, wire_bytes, now, iter) {
+                Some(arrival) => eng.events.push(
+                    arrival,
+                    Ev::Update {
+                        to: o,
+                        from: w,
+                        iter,
+                        params: wire.snapshot(),
+                    },
+                ),
+                // Send-then-Lost keeps the oracle's outstanding-send
+                // ledger balanced: the sender published in good faith,
+                // the fault plane ate the message.
+                None => choreography::lost_update(&mut eng.conformance, o, w, iter),
+            }
         }
         if self.plane.is_active() {
             self.plane.charge(delivered, eng.param_bytes, wire_bytes);
@@ -348,6 +370,14 @@ impl<'a> Decentralized<'a> {
         params: ParamBlock,
         now: f64,
     ) {
+        // A message already in flight when its receiver crashed arrives at
+        // a dead worker: it vanishes without an event. (Messages *sent*
+        // while an endpoint is dead never get here — the verdict gate
+        // drops them as licensed losses.)
+        if eng.faults.is_dead(to) {
+            eng.pool.reclaim(params);
+            return;
+        }
         let slot = self.in_slot(to, from);
         let state = &mut self.workers[to];
         if self.cfg.staleness.is_some() {
@@ -391,6 +421,12 @@ impl<'a> Decentralized<'a> {
         choreography::token_grant(&mut eng.conformance, from, to, count);
         let slot = self.out_slot(to, from);
         self.workers[to].tokens_from[slot] += count;
+        // A dead worker still *accrues* grants (token conservation: the
+        // queue exists whether or not its consumer is awake) but cannot
+        // wake; the balance is spent at rejoin.
+        if eng.faults.is_dead(to) {
+            return;
+        }
         if matches!(self.workers[to].phase, Phase::WaitTokens(_)) {
             let Phase::WaitTokens(step) =
                 std::mem::replace(&mut self.workers[to].phase, Phase::Stepping)
@@ -403,6 +439,9 @@ impl<'a> Decentralized<'a> {
 
     fn on_ack(&mut self, eng: &mut SimEngine<'_, Ev>, to: usize, now: f64) {
         self.workers[to].acks_received += 1;
+        if eng.faults.is_dead(to) {
+            return;
+        }
         if matches!(self.workers[to].phase, Phase::WaitAck(_))
             && self.workers[to].acks_received >= self.topology.external_out_neighbors(to).len()
         {
@@ -416,7 +455,12 @@ impl<'a> Decentralized<'a> {
     }
 
     fn on_compute_done(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, iter: u64, now: f64) {
-        debug_assert_eq!(eng.iters[w], iter, "stale compute event");
+        // A crashed worker's in-flight compute completion: the iteration
+        // died with the worker (its `ComputeEnd` is never emitted), and
+        // after a rejoin the counter has moved past `iter`.
+        if iter != eng.iters[w] || eng.faults.is_dead(w) {
+            return;
+        }
         let Phase::Computing(step) = std::mem::replace(&mut self.workers[w].phase, Phase::Stepping)
         else {
             unreachable!("ComputeDone for a worker that is not computing");
@@ -743,6 +787,83 @@ impl WorkerProtocol for Decentralized<'_> {
 
     fn bytes_saved(&self, _eng: &SimEngine<'_, Ev>) -> u64 {
         self.plane.bytes_saved()
+    }
+
+    fn rejoin_floor(&self, eng: &SimEngine<'_, Ev>, w: usize) -> u64 {
+        // Staleness mode keeps newest-wins slots that any future send
+        // refreshes, so the default floor is enough. The rotating-queue
+        // modes need, at every iteration `k >= target`, `quota - 1`
+        // external updates *tagged* `k` (the self-update covers one quota
+        // slot). Neighbor `o` only sends tag `k` when it enters `k`, i.e.
+        // only if `iters[o] < k` now — earlier tags were dropped at the
+        // dead endpoint. So the target must leave at least `quota - 1`
+        // live in-neighbors strictly behind it: one more than the
+        // `(quota - 1)`-th smallest of their iteration counters.
+        if self.cfg.staleness.is_some() {
+            return eng.iters[w] + 1;
+        }
+        let mut behind: Vec<u64> = self
+            .topology
+            .external_in_neighbors(w)
+            .iter()
+            .filter(|&&o| !eng.faults.is_dead(o))
+            .map(|&o| eng.iters[o])
+            .collect();
+        behind.sort_unstable();
+        let in_deg = self.topology.in_neighbors(w).len();
+        let ext_needed = semantics::backup_quota(in_deg, self.cfg.n_backup).saturating_sub(1);
+        if ext_needed == 0 {
+            return eng.iters[w] + 1;
+        }
+        match behind.get(ext_needed - 1) {
+            Some(&kth) => kth + 1,
+            // Multi-crash left too few live in-neighbors to ever meet
+            // the quota — best effort: the frontier of whoever is left.
+            None => behind.last().map_or(eng.iters[w], |&top| top) + 1,
+        }
+    }
+
+    fn rejoin_admissible(&self, eng: &SimEngine<'_, Ev>, w: usize, target: u64) -> bool {
+        // Table 1's gap bound holds among *live* workers: re-entering at
+        // `target` while a live straggler sits more than `max_ig` behind
+        // would open an illegal gap the moment the worker is no longer
+        // exempt. Stay dead until the stragglers catch up.
+        let Some(max_ig) = self.max_ig else {
+            return true;
+        };
+        let gap_ok = (0..eng.workers.len())
+            .filter(|&o| o != w && !eng.faults.is_dead(o))
+            .map(|o| eng.iters[o])
+            .min()
+            .is_none_or(|min_live| target <= min_live + max_ig);
+        // The grants accrued while dead must fully cover the skipped
+        // iterations on every outgoing edge — entering on credit (a
+        // grant still in flight) would let the worker overtake the gap
+        // bound by the time the grant lands. Same condition as `gap_ok`
+        // up to visibility lag, checked on the observable ledger.
+        let catchup = target - eng.iters[w];
+        gap_ok && self.workers[w].tokens_from.iter().all(|&t| t >= catchup)
+    }
+
+    fn on_rejoin(&mut self, eng: &mut SimEngine<'_, Ev>, w: usize, target: u64, now: f64) {
+        let st = &mut self.workers[w];
+        // Whatever stage the worker died in is abandoned; the typed
+        // handle parked in `phase` is dropped with it.
+        st.phase = Phase::Stepping;
+        st.acks_received = 0;
+        // Skipping from the crash point to `target` spends exactly one
+        // grant per skipped iteration on every outgoing edge —
+        // `rejoin_admissible` vouched the balance covers it — and the
+        // oracle's `Rejoin` arm drains the same amount, keeping token
+        // conservation checked across churn.
+        let catchup = target - eng.iters[w];
+        for avail in &mut st.tokens_from {
+            debug_assert!(*avail >= catchup, "rejoin admitted on token credit");
+            *avail -= catchup.min(*avail);
+        }
+        // In-neighbors get the grants those skipped iterations owe them,
+        // exactly as a §5 jump grants its whole distance up front.
+        self.enter_iteration(eng, w, target, now, catchup);
     }
 }
 

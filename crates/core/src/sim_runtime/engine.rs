@@ -64,7 +64,9 @@ use crate::sim_runtime::recorder::{EvalConfig, Recorder};
 use crate::trainer::Hyper;
 use hop_data::{BatchSampler, Dataset, InMemoryDataset};
 use hop_model::{GradScratch, Model, Sgd};
-use hop_sim::{ClusterSpec, EventQueue, Network, SlowdownModel, Trace};
+use hop_sim::{
+    ClusterSpec, EventQueue, FaultEvent, NetModel, Network, SlowdownModel, Trace, Verdict,
+};
 use hop_tensor::{BufferPool, ParamBlock};
 use hop_util::Xoshiro256;
 
@@ -138,6 +140,49 @@ pub trait WorkerProtocol {
     fn bytes_saved(&self, _eng: &SimEngine<'_, Self::Event>) -> u64 {
         0
     }
+
+    /// The lowest iteration a revived `worker` can productively re-enter
+    /// at. The engine raises the rejoin target to this floor (still
+    /// clamped to `max_iters`). Protocols whose receive path needs
+    /// updates *tagged* with the current iteration override this: a
+    /// neighbor already past iteration `k` sent its tag-`k` update while
+    /// the worker was dead (dropped at the dead endpoint), so a target
+    /// with too few in-neighbors still behind it stalls forever. The
+    /// default — the iteration after the one the worker died in — suits
+    /// protocols whose receive state is refreshed by any future message.
+    fn rejoin_floor(&self, eng: &SimEngine<'_, Self::Event>, worker: usize) -> u64 {
+        eng.iters[worker] + 1
+    }
+
+    /// Whether a revived `worker` may re-enter at `target` *right now*.
+    /// Protocols with a hard iteration-gap bound veto a target that
+    /// would breach it against a live straggler; the engine then leaves
+    /// the worker dead and retries after the next event, once the
+    /// stragglers have advanced. Default: always admissible.
+    fn rejoin_admissible(
+        &self,
+        _eng: &SimEngine<'_, Self::Event>,
+        _worker: usize,
+        _target: u64,
+    ) -> bool {
+        true
+    }
+
+    /// Called when the engine revives a crashed worker at `target` — the
+    /// parameter replica is already rehydrated from a live donor and the
+    /// `Rejoin` choreography event emitted. Implementations re-arm their
+    /// per-worker protocol state (phases, queues, token ledgers) and
+    /// schedule the events that put the worker back to work. The default
+    /// leaves the worker idle; protocols without churn support are only
+    /// ever driven with empty fault plans, where this hook never fires.
+    fn on_rejoin(
+        &mut self,
+        _eng: &mut SimEngine<'_, Self::Event>,
+        _worker: usize,
+        _target: u64,
+        _now: f64,
+    ) {
+    }
 }
 
 /// Shared driver for the simulated runtimes: event pump, common worker
@@ -161,6 +206,11 @@ pub struct SimEngine<'a, E> {
     pub param_bytes: u64,
     /// The virtual network (NIC contention, latency, bandwidth).
     pub net: Network,
+    /// The fault plane: per-message verdicts, churn state, byzantine
+    /// corruption and the fault log. Built from the cluster spec's
+    /// [`hop_sim::FaultPlan`]; with the (default) empty plan every hook
+    /// short-circuits and the run is bit-identical to one without it.
+    pub faults: NetModel,
     /// The event heap; protocols push their own event payloads.
     pub events: EventQueue<E>,
     /// Per-worker iteration timing records.
@@ -245,6 +295,7 @@ impl<'a, E> SimEngine<'a, E> {
                 scratch: GradScratch::new(),
             })
             .collect();
+        let faults = NetModel::new(spec.faults().clone(), seed, spec.len());
         Self {
             model,
             dataset,
@@ -253,6 +304,7 @@ impl<'a, E> SimEngine<'a, E> {
             max_iters,
             seed,
             param_bytes: init_params.len() as u64 * 4,
+            faults,
             net: Network::new(spec),
             // Pre-size the heap so steady-state pushes never reallocate:
             // pending events scale with workers × protocol fan-out (each
@@ -370,6 +422,29 @@ impl<'a, E> SimEngine<'a, E> {
         self.pool.release(avg);
     }
 
+    /// [`Network::transfer`] behind the fault plane. The sender's NIC is
+    /// charged unconditionally — the bytes left the machine either way —
+    /// then the [`NetModel`] verdict decides the fate: the physical
+    /// arrival time, a retransmission at heal time for cut/partition
+    /// windows, or `None` when the message is lost (loss draw, dead
+    /// endpoint, permanent outage — all logged as [`FaultEvent::Loss`]).
+    /// With an empty plan this is exactly `net.transfer`.
+    pub fn transfer_gated(
+        &mut self,
+        from: usize,
+        to: usize,
+        bytes: u64,
+        now: f64,
+        iter: u64,
+    ) -> Option<f64> {
+        let arrival = self.net.transfer(now, from, to, bytes);
+        match self.faults.verdict(now, from, to, iter) {
+            Verdict::Deliver => Some(arrival),
+            Verdict::Delay(extra) => Some(arrival + extra),
+            Verdict::Drop => None,
+        }
+    }
+
     /// The iteration-entry hook for round-driven protocols (PS, AD-PSGD,
     /// ring, Prague, QGM) whose synchronization is engine-internal:
     /// records the timing trace entry *and* the conformance `Advance`
@@ -380,15 +455,25 @@ impl<'a, E> SimEngine<'a, E> {
     pub fn record_enter(&mut self, w: usize, iter: u64, now: f64) {
         self.trace.record(w, iter, now);
         choreography::advance_only(&mut self.conformance, w, iter);
+        if self.faults.try_crash(w, iter) {
+            choreography::crash(&mut self.conformance, w, iter);
+        }
     }
 
     /// The iteration-entry hook for protocols driving the full
     /// choreography: records the timing trace entry and returns the
     /// typed per-iteration handle (whose construction emits the
     /// `Advance`) that all further exchange events must flow through.
+    /// Scheduled crashes fire here — at iteration entry, after the
+    /// `Advance` — so the worker's sends for this iteration are already
+    /// dead-endpoint losses.
     pub fn enter_step(&mut self, w: usize, iter: u64, now: f64) -> Step<Idle> {
         self.trace.record(w, iter, now);
-        choreography::begin_step(&mut self.conformance, w, iter)
+        let step = choreography::begin_step(&mut self.conformance, w, iter);
+        if self.faults.try_crash(w, iter) {
+            choreography::crash(&mut self.conformance, w, iter);
+        }
+        step
     }
 
     /// Marks worker `w` finished; the pump stops once every worker is.
@@ -461,6 +546,9 @@ impl<'a, E> SimEngine<'a, E> {
             };
             events_processed += 1;
             proto.on_event(&mut self, now, ev);
+            if !self.faults.is_empty() {
+                self.process_rejoins(proto, now);
+            }
             if self.aborted || self.all_finished() {
                 break;
             }
@@ -469,6 +557,16 @@ impl<'a, E> SimEngine<'a, E> {
         }
         let deadlocked = self.aborted || !self.all_finished();
         proto.on_finish(&mut self);
+        let fault_log = self.faults.take_log();
+        let (mut messages_dropped, mut crashes, mut rejoins) = (0u64, 0u64, 0u64);
+        for e in fault_log.events() {
+            match e {
+                FaultEvent::Loss { .. } => messages_dropped += 1,
+                FaultEvent::Crash { .. } => crashes += 1,
+                FaultEvent::Rejoin { .. } => rejoins += 1,
+                FaultEvent::Byzantine { .. } => {}
+            }
+        }
         TrainingReport {
             conformance: self.conformance.take(),
             final_params: proto.final_params(&self),
@@ -484,6 +582,51 @@ impl<'a, E> SimEngine<'a, E> {
             deadlocked,
             budget_exhausted,
             events_processed,
+            messages_dropped,
+            crashes,
+            rejoins,
+            fault_log,
+        }
+    }
+
+    /// Revives every crashed worker whose rejoin condition is met: some
+    /// live worker has progressed `down_iters` past the crash point. The
+    /// rejoiner rehydrates its replica from the slowest live worker (the
+    /// most conservative snapshot), gets a fresh optimizer, and re-enters
+    /// at the protocol's [`WorkerProtocol::rejoin_floor`] (but never
+    /// below the donor's iteration or its own + 1): far enough ahead
+    /// that the updates it will need were not already dropped at its
+    /// dead endpoint, never re-running an iteration it already entered.
+    fn process_rejoins<P: WorkerProtocol<Event = E>>(&mut self, proto: &mut P, now: f64) {
+        loop {
+            let max_live = (0..self.workers.len())
+                .filter(|&w| !self.faults.is_dead(w))
+                .map(|w| self.iters[w])
+                .max();
+            let Some(max_live) = max_live else { return };
+            let Some(w) = self.faults.due_rejoin(max_live) else {
+                return;
+            };
+            let donor = (0..self.workers.len())
+                .filter(|&o| o != w && !self.faults.is_dead(o))
+                .min_by_key(|&o| self.iters[o])
+                .expect("a live donor exists whenever max_live does");
+            let target = proto
+                .rejoin_floor(self, w)
+                .max(self.iters[donor])
+                .max(self.iters[w] + 1)
+                .min(self.max_iters);
+            if !proto.rejoin_admissible(self, w, target) {
+                // Not `continue`: `due_rejoin` would yield the same
+                // worker again. Leave it (and any later crashers) dead
+                // and retry on the next pump step.
+                return;
+            }
+            self.workers[w].params = self.workers[donor].params.snapshot();
+            self.workers[w].opt = self.new_opt();
+            choreography::rejoin(&mut self.conformance, w, target);
+            self.faults.revive(w, target, donor);
+            proto.on_rejoin(self, w, target, now);
         }
     }
 }

@@ -16,7 +16,8 @@
 //! Runs through the shared [`super::engine::SimEngine`]; the intra-group
 //! all-reduce pipeline is modeled analytically (per-step max over the
 //! group's logical ring), so bytes are accounted here rather than via the
-//! virtual network.
+//! virtual network. As with ring all-reduce there is no per-message
+//! delivery to gate, so the fault plane does not apply (`churn: false`).
 
 use crate::choreography::{self, ChoreographySpec};
 use crate::config::PragueConfig;
@@ -43,6 +44,7 @@ pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
     tokens: false,
     staleness: false,
     jumps: false,
+    churn: false,
 };
 
 /// Runs Prague partial all-reduce training over `cluster`'s workers.

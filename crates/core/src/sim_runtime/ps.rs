@@ -35,6 +35,7 @@ pub const BSP_CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
     tokens: false,
     staleness: false,
     jumps: false,
+    churn: false,
 };
 
 /// Async server choreography: the server applies updates as they arrive;
@@ -46,6 +47,7 @@ pub const ASYNC_CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
     tokens: false,
     staleness: false,
     jumps: false,
+    churn: false,
 };
 
 /// Runs a parameter-server experiment. `cluster` describes the workers
@@ -162,6 +164,11 @@ impl WorkerProtocol for BspServer {
         // Broadcast (serialized through the server's egress NIC). Under a
         // lossy codec the server encodes the round's step once and every
         // worker receives (and computes on) the same reconstruction.
+        // The fault plane does not apply here: BSP/SSP rounds are
+        // computed analytically (one event covers the whole round, there
+        // is no per-message delivery to gate), hence `churn: false` in
+        // the choreographies above — chaos experiments use the
+        // per-message protocols.
         let (bcast, bcast_bytes) = if self.plane.is_active() {
             let (recon, wire) = self
                 .plane
@@ -302,9 +309,15 @@ impl WorkerProtocol for AsyncServer {
         // allocation (or, compressed, its stream's reconstruction).
         for w in 0..eng.workers.len() {
             let (snap, bytes) = self.pull_payload(w, &mut eng.pool, eng.param_bytes);
-            let a = eng.net.transfer(0.0, self.server, w, bytes);
-            eng.events
-                .push(a, AsyncEv::ParamsArrive { w, params: snap });
+            // Fault gate: a dropped pull stalls the worker for good (the
+            // async server has no retry) — the degradation chaos sweeps
+            // measure.
+            match eng.transfer_gated(self.server, w, bytes, 0.0, 0) {
+                Some(a) => eng
+                    .events
+                    .push(a, AsyncEv::ParamsArrive { w, params: snap }),
+                None => eng.pool.reclaim(snap),
+            }
         }
     }
 
@@ -329,16 +342,20 @@ impl WorkerProtocol for AsyncServer {
                 } else {
                     eng.param_bytes
                 };
-                let arrival = eng.net.transfer(compute_done, w, self.server, push_bytes);
-                eng.events.push(
-                    arrival,
-                    AsyncEv::GradArrive {
-                        w,
-                        grad,
-                        compute_done,
-                        loss,
-                    },
-                );
+                match eng.transfer_gated(w, self.server, push_bytes, compute_done, k) {
+                    Some(arrival) => eng.events.push(
+                        arrival,
+                        AsyncEv::GradArrive {
+                            w,
+                            grad,
+                            compute_done,
+                            loss,
+                        },
+                    ),
+                    // A lost push strands the worker: the server never
+                    // learns it finished, so no fresh pull is issued.
+                    None => eng.pool.release(grad),
+                }
             }
             AsyncEv::GradArrive {
                 w,
@@ -381,9 +398,12 @@ impl WorkerProtocol for AsyncServer {
                     if ok {
                         self.blocked[v] = false;
                         let (snap, bytes) = self.pull_payload(v, &mut eng.pool, eng.param_bytes);
-                        let a = eng.net.transfer(now, self.server, v, bytes);
-                        eng.events
-                            .push(a, AsyncEv::ParamsArrive { w: v, params: snap });
+                        match eng.transfer_gated(self.server, v, bytes, now, eng.iters[v]) {
+                            Some(a) => eng
+                                .events
+                                .push(a, AsyncEv::ParamsArrive { w: v, params: snap }),
+                            None => eng.pool.reclaim(snap),
+                        }
                     }
                 }
             }

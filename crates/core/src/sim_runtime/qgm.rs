@@ -52,6 +52,7 @@ pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
     tokens: false,
     staleness: false,
     jumps: false,
+    churn: false,
 };
 
 /// Runs QGM gossip training over `topology`.
@@ -193,15 +194,20 @@ impl Qgm<'_> {
         };
         let externals = self.topology.external_out_neighbors(w);
         for &o in externals {
-            let arrival = eng.net.transfer(now, w, o, wire_bytes);
-            eng.events.push(
-                arrival,
-                Ev::Update {
-                    to: o,
-                    iter,
-                    params: wire.snapshot(),
-                },
-            );
+            // Fault gate: QGM's Reduce waits on every in-neighbor's
+            // half-step, so a dropped gossip message stalls the receiver
+            // at this iteration — the degradation the chaos benchmarks
+            // measure, not something the protocol works around.
+            if let Some(arrival) = eng.transfer_gated(w, o, wire_bytes, now, iter) {
+                eng.events.push(
+                    arrival,
+                    Ev::Update {
+                        to: o,
+                        iter,
+                        params: wire.snapshot(),
+                    },
+                );
+            }
         }
         if self.plane.is_active() {
             self.plane

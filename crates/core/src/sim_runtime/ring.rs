@@ -9,7 +9,9 @@
 //! Runs through the shared [`super::engine::SimEngine`] as one event per
 //! round; the pipeline time is modeled analytically (per-step max over
 //! ring hops), so bytes are accounted here rather than via the virtual
-//! network.
+//! network. For the same reason the fault plane does not apply: there is
+//! no per-message delivery to gate (`churn: false` in the choreography) —
+//! chaos experiments use the per-message protocols.
 
 use crate::choreography::{self, ChoreographySpec};
 use crate::report::TrainingReport;
@@ -31,6 +33,7 @@ pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
     tokens: false,
     staleness: false,
     jumps: false,
+    churn: false,
 };
 
 /// Runs ring all-reduce training; the ring follows worker index order.

@@ -187,6 +187,51 @@ impl SweepGrid {
         self
     }
 
+    /// Expands the cluster axis with fault-injection variants: for every
+    /// cluster already on the axis and every `loss_rates` × `churns`
+    /// combination that injects something, adds a copy whose
+    /// [`ClusterSpec`] carries the corresponding [`hop_sim::FaultPlan`].
+    /// Churn means one crash/rejoin cycle of worker 0 a quarter of the way
+    /// into the run. Labels compose as `<cluster>+loss<rate>` and/or
+    /// `+churn`; the all-zero combination is skipped (it would duplicate
+    /// the pristine cluster entry).
+    ///
+    /// Call **after** the base [`cluster`](Self::cluster) entries are on
+    /// the axis — only clusters already added are expanded.
+    pub fn fault_axis(mut self, loss_rates: &[f64], churns: &[bool]) -> Self {
+        let crash = hop_sim::CrashSpec {
+            worker: 0,
+            at_iter: self.max_iters / 4 + 1,
+            down_iters: (self.max_iters / 8).max(2),
+        };
+        let base = self.clusters.clone();
+        for &loss in loss_rates {
+            for &churn in churns {
+                if loss == 0.0 && !churn {
+                    continue;
+                }
+                let mut plan = hop_sim::FaultPlan::none();
+                let mut suffix = String::new();
+                if loss > 0.0 {
+                    plan = plan.with_loss(loss);
+                    suffix.push_str(&format!("+loss{loss}"));
+                }
+                if churn {
+                    plan = plan.with_crash(crash);
+                    suffix.push_str("+churn");
+                }
+                for (label, topology, cluster) in &base {
+                    self.clusters.push((
+                        format!("{label}{suffix}"),
+                        topology.clone(),
+                        cluster.clone().with_faults(plan.clone()),
+                    ));
+                }
+            }
+        }
+        self
+    }
+
     /// Adds one master seed to the seed axis.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seeds.push(seed);
@@ -695,6 +740,33 @@ mod tests {
                 panic!("compression axis must produce Hop points");
             };
             assert!(cfg.validate(&p.experiment.topology).is_ok());
+        }
+    }
+
+    #[test]
+    fn fault_axis_labels_and_plans() {
+        let grid = SweepGrid::new(Hyper::svm(), 16)
+            .protocol("hop", Protocol::Hop(HopConfig::backup(1, 4)))
+            .cluster(
+                "uniform",
+                Topology::ring(4),
+                ClusterSpec::uniform(4, 2, 0.01, LinkModel::ethernet_1gbps()),
+            )
+            .fault_axis(&[0.0, 0.05], &[false, true])
+            .slowdown("none", SlowdownModel::None)
+            .seeds([3]);
+        // 1 pristine + 3 faulted variants (the 0.0/false combo is skipped).
+        let points = grid.points();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].cluster, "uniform");
+        assert!(points[0].experiment.cluster.faults().is_empty());
+        assert_eq!(points[1].cluster, "uniform+churn");
+        assert_eq!(points[1].experiment.cluster.faults().crashes().len(), 1);
+        assert_eq!(points[2].cluster, "uniform+loss0.05");
+        assert_eq!(points[2].experiment.cluster.faults().loss(), 0.05);
+        assert_eq!(points[3].cluster, "uniform+loss0.05+churn");
+        for p in &points {
+            assert!(p.experiment.validate().is_ok(), "{}", p.label());
         }
     }
 

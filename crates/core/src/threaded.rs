@@ -20,6 +20,20 @@
 //! events (consumes, token takes) **after** it, which makes the merged
 //! order consistent with real-time causality (see the
 //! [`crate::conformance`] module docs).
+//!
+//! # Fault injection
+//!
+//! [`ThreadedExperiment::faults`] installs a thread-local shim of the
+//! simulator's fault plane: probabilistic message loss (same keyed
+//! [`hop_sim::faults::loss_draw`] as the simulator, so draws are a pure
+//! function of `(seed, from, to, iter)` across both runtimes) and crashes
+//! modeled as *send omission* — a crashed worker's thread keeps running
+//! but its external sends are dropped for the `down_iters` window, which
+//! is how a dead peer looks from the outside. Every omission is
+//! choreographed as a Send + Lost pair and logged to the report's
+//! [`FaultLog`], so the fault-aware oracle can license each loss.
+//! Time-window faults (cuts, partitions) and byzantine corruption are
+//! simulator-only and ignored here.
 
 use crate::choreography::{self, Arrival, ChoreographySpec, Consuming, EventSink, Renew, SeqSink};
 use crate::config::{ComputeOrder, ConfigError, HopConfig, SyncMode};
@@ -32,6 +46,7 @@ use hop_graph::Topology;
 use hop_model::{GradScratch, Model, Sgd};
 use hop_queue::blocking::{SharedTaggedQueue, SharedTokenQueue};
 use hop_queue::tagged::{Tag, TagFilter};
+use hop_sim::{FaultEvent, FaultLog, FaultPlan};
 use hop_tensor::{BufferPool, ParamBlock};
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
@@ -48,6 +63,7 @@ pub const CHOREOGRAPHY: ChoreographySpec = ChoreographySpec {
     tokens: true,
     staleness: true,
     jumps: true,
+    churn: true,
 };
 
 /// Result of a threaded run.
@@ -60,6 +76,10 @@ pub struct ThreadedReport {
     pub losses: Vec<Vec<f32>>,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Every fault the shim injected, merged across worker threads; feed
+    /// it to [`crate::conformance::Oracle::check_with_faults`] alongside
+    /// the trace from [`ThreadedExperiment::run_traced`].
+    pub fault_log: FaultLog,
 }
 
 impl ThreadedReport {
@@ -177,11 +197,22 @@ pub struct ThreadedExperiment {
     pub slow_worker: Option<(usize, u32)>,
     /// Timeout for any single blocking operation before declaring a stall.
     pub stall_timeout: Duration,
+    /// Fault-injection plan (loss + crash-as-send-omission; see the
+    /// module docs). The default empty plan injects nothing.
+    pub faults: FaultPlan,
 }
 
-/// Final `(params, train-loss curve, conformance events)` of one worker
-/// thread.
-type WorkerOutcome = Result<(Vec<f32>, Vec<f32>, Vec<(u64, ProtocolEvent)>), ThreadedError>;
+/// Final `(params, train-loss curve, conformance events, injected
+/// faults)` of one worker thread.
+type WorkerOutcome = Result<
+    (
+        Vec<f32>,
+        Vec<f32>,
+        Vec<(u64, ProtocolEvent)>,
+        Vec<FaultEvent>,
+    ),
+    ThreadedError,
+>;
 
 impl ThreadedExperiment {
     /// Runs the experiment with one OS thread per worker.
@@ -222,6 +253,9 @@ impl ThreadedExperiment {
         traced: bool,
     ) -> Result<(ThreadedReport, Option<ProtocolTrace>), ThreadedError> {
         self.config.validate(&self.topology)?;
+        self.faults
+            .validate()
+            .map_err(|why| ThreadedError::Config(ConfigError::InvalidFaultPlan(why)))?;
         if self.config.order != ComputeOrder::Parallel || self.config.sync == SyncMode::NotifyAck {
             return Err(ThreadedError::SerialUnsupported);
         }
@@ -265,6 +299,7 @@ impl ThreadedExperiment {
                     _ => self.compute_sleep,
                 };
                 let timeout = self.stall_timeout;
+                let faults = &self.faults;
                 let conf = traced.then(|| SeqSink::new(&seq));
                 handles.push(scope.spawn(move || {
                     worker_loop(
@@ -281,6 +316,7 @@ impl ThreadedExperiment {
                         &init,
                         update_queues,
                         &token_queues,
+                        faults,
                         conf,
                     )
                 }));
@@ -293,11 +329,15 @@ impl ThreadedExperiment {
         let mut final_params = Vec::with_capacity(n);
         let mut losses = Vec::with_capacity(n);
         let mut all_events = Vec::new();
+        let mut fault_log = FaultLog::new();
         for r in results {
-            let (p, l, ev) = r?;
+            let (p, l, ev, faults) = r?;
             final_params.push(p);
             losses.push(l);
             all_events.extend(ev);
+            for fault in faults {
+                fault_log.push(fault);
+            }
         }
         let trace = traced.then(|| {
             all_events.sort_by_key(|&(s, _)| s);
@@ -312,6 +352,7 @@ impl ThreadedExperiment {
                 final_params,
                 losses,
                 elapsed: start.elapsed(),
+                fault_log,
             },
             trace,
         ))
@@ -437,6 +478,7 @@ fn worker_loop(
     init_params: &ParamBlock,
     update_queues: &[SharedTaggedQueue<ParamBlock>],
     token_queues: &HashMap<(usize, usize), SharedTokenQueue>,
+    faults: &FaultPlan,
     mut conf: Option<SeqSink<'_>>,
 ) -> WorkerOutcome {
     // All workers start on one shared allocation; the first write
@@ -466,6 +508,7 @@ fn worker_loop(
         newest_from: HashMap::new(),
         last_consumed: None,
     };
+    let mut fault_events: Vec<FaultEvent> = Vec::new();
     let mut k: u64 = 0;
     // Tokens granted to in-neighbors at the next iteration entry: the
     // k = 0 allotment is pre-loaded in the queues, a normal advance grants
@@ -495,6 +538,27 @@ fn worker_loop(
         };
         for &o in externals_out {
             step.send(&mut conf, o);
+            // Fault shim: a crash window omits every external send (the
+            // thread keeps running — from the outside that is what a dead
+            // worker looks like); otherwise the keyed loss draw decides.
+            // Each omission stays in the ledger as a Send + Lost pair and
+            // is logged so the oracle can license it.
+            if !faults.is_empty() {
+                let crashed = faults
+                    .crashes()
+                    .iter()
+                    .any(|c| c.worker == w && k >= c.at_iter && k < c.at_iter + c.down_iters);
+                let rate = faults.loss_rate(w, o);
+                if crashed || (rate > 0.0 && hop_sim::faults::loss_draw(seed, w, o, k) < rate) {
+                    choreography::lost_update(&mut conf, o, w, k);
+                    fault_events.push(FaultEvent::Loss {
+                        from: w,
+                        to: o,
+                        iter: k,
+                    });
+                    continue;
+                }
+            }
             let payload = match &wire {
                 Some(recon) => recon.snapshot(),
                 None => params.snapshot(),
@@ -636,6 +700,7 @@ fn worker_loop(
         params.to_vec(),
         losses,
         conf.map(SeqSink::into_events).unwrap_or_default(),
+        fault_events,
     ))
 }
 
@@ -772,6 +837,7 @@ mod tests {
             compute_sleep: Duration::ZERO,
             slow_worker: None,
             stall_timeout: Duration::from_secs(20),
+            faults: FaultPlan::none(),
         }
     }
 
@@ -884,6 +950,7 @@ mod tests {
             final_params: Vec::new(),
             losses: Vec::new(),
             elapsed: Duration::ZERO,
+            fault_log: FaultLog::new(),
         };
         assert!(report.averaged_params().is_empty());
     }

@@ -115,10 +115,21 @@ impl SimExperiment {
     /// Returns [`ConfigError`] if the protocol configuration is invalid
     /// for the topology (see [`crate::config::HopConfig::validate`]),
     /// [`ConfigError::NotBipartite`] for AD-PSGD with `require_bipartite`
-    /// on a non-bipartite graph, or the Prague/QGM knob errors (see
+    /// on a non-bipartite graph, the Prague/QGM knob errors (see
     /// [`crate::config::PragueConfig::validate`] and
-    /// [`crate::config::QgmConfig::validate`]).
+    /// [`crate::config::QgmConfig::validate`]),
+    /// [`ConfigError::InvalidLink`] for malformed link knobs, or
+    /// [`ConfigError::InvalidFaultPlan`] for a malformed fault plan (see
+    /// [`hop_sim::FaultPlan::validate`]).
     pub fn validate(&self) -> Result<(), ConfigError> {
+        self.cluster
+            .link()
+            .validate()
+            .map_err(ConfigError::InvalidLink)?;
+        self.cluster
+            .faults()
+            .validate()
+            .map_err(ConfigError::InvalidFaultPlan)?;
         match &self.protocol {
             Protocol::Hop(cfg) => cfg.validate(&self.topology),
             Protocol::Ps(_) | Protocol::RingAllReduce => Ok(()),

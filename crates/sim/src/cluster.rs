@@ -57,7 +57,11 @@ impl LinkModel {
     ///
     /// # Panics
     ///
-    /// Panics if `jitter` is negative.
+    /// Panics if `jitter` is negative or NaN (the assertion below rejects
+    /// NaN too, since `NaN >= 0.0` is false). Code that builds a
+    /// [`LinkModel`] literal directly can still smuggle in a NaN; the
+    /// experiment-level configuration validation catches that case and
+    /// reports it as a configuration error instead of a panic.
     pub fn with_jitter(mut self, jitter: f64) -> Self {
         assert!(jitter >= 0.0, "jitter must be non-negative");
         self.jitter = jitter;
@@ -74,6 +78,19 @@ impl LinkModel {
         self.payload_scale = scale;
         self
     }
+
+    /// Checks the knobs a struct literal can smuggle past the builder
+    /// assertions: the jitter bound must be finite and non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a static description of the first problem found.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !self.jitter.is_finite() || self.jitter < 0.0 {
+            return Err("jitter must be finite and non-negative");
+        }
+        Ok(())
+    }
 }
 
 impl Default for LinkModel {
@@ -88,6 +105,7 @@ pub struct ClusterSpec {
     machine_of: Vec<usize>,
     base_compute: Vec<f64>,
     link: LinkModel,
+    faults: crate::faults::FaultPlan,
 }
 
 impl ClusterSpec {
@@ -104,6 +122,7 @@ impl ClusterSpec {
             machine_of: (0..n).map(|i| i * machines / n).collect(),
             base_compute: vec![base_compute; n],
             link,
+            faults: crate::faults::FaultPlan::default(),
         }
     }
 
@@ -126,7 +145,22 @@ impl ClusterSpec {
             machine_of,
             base_compute: vec![base_compute; n],
             link,
+            faults: crate::faults::FaultPlan::default(),
         }
+    }
+
+    /// Returns a copy carrying the given fault plan. The default plan is
+    /// empty (no faults); engines read the plan from the spec, so fault
+    /// injection rides along wherever a `ClusterSpec` already travels.
+    #[must_use]
+    pub fn with_faults(mut self, faults: crate::faults::FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fault plan (empty unless set via [`Self::with_faults`]).
+    pub fn faults(&self) -> &crate::faults::FaultPlan {
+        &self.faults
     }
 
     /// Overrides one node's base compute time.

@@ -15,6 +15,10 @@
 //! * [`hetero::SlowdownModel`] — the paper's slowdown processes, sampled
 //!   deterministically from `(seed, worker, iteration)` so event order
 //!   cannot perturb the experiment.
+//! * [`faults::FaultPlan`] — deterministic fault injection (message loss,
+//!   link cuts, partitions, worker churn, byzantine updates) consumed by
+//!   the engine through [`faults::NetModel`] verdicts, with a
+//!   [`faults::FaultLog`] sidecar for the fault-aware conformance oracle.
 //! * [`trace::Trace`] — per-iteration timing records with iteration-gap
 //!   accounting used to validate Table 1 empirically.
 //!
@@ -31,10 +35,15 @@
 
 pub mod cluster;
 pub mod events;
+pub mod faults;
 pub mod hetero;
 pub mod trace;
 
 pub use cluster::{ClusterSpec, LinkModel, Network};
 pub use events::{EventQueue, HeapEventQueue};
+pub use faults::{
+    ByzSpec, ByzVariant, CrashSpec, FaultEvent, FaultLog, FaultPlan, LinkCut, NetModel, Partition,
+    Verdict,
+};
 pub use hetero::SlowdownModel;
 pub use trace::{IterationRecord, Trace};

@@ -1,7 +1,11 @@
 //! Scenario sweep over the heterogeneity-tolerant variants: Prague's
-//! `group_size` × `regen_every` knob grid and a QGM `mu` axis, against a
-//! uniform machine placement and a Fig.-21-style hierarchical (uneven)
-//! one, with one permanent 6× straggler.
+//! `group_size` × `regen_every` knob grid, a QGM `mu` axis and Hop with
+//! backup workers, against a uniform machine placement and a
+//! Fig.-21-style hierarchical (uneven) one, with one permanent 6×
+//! straggler — plus a chaos column (`+loss2%` cluster variants from
+//! `SweepGrid::fault_axis`) showing which protocols tolerate message
+//! loss (backup quorums) and which stall (gossip that waits on every
+//! neighbor).
 //!
 //! This is the ROADMAP scenario-diversity sweep, run as one
 //! `hop::sweep::SweepGrid` across every core by `SweepRunner` — results
@@ -27,12 +31,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = Svm::log_loss(dataset.feature_dim());
     let link = LinkModel::ethernet_1gbps();
 
-    // Axes: Prague knobs × QGM momentum × two machine placements, one
-    // permanent 6× straggler (worker 1), one seed. 7 protocol entries ×
-    // 2 clusters = 14 grid points.
+    // Axes: Prague knobs × QGM momentum × Hop-with-backup × two machine
+    // placements (each doubled by the 2% loss chaos variant), one
+    // permanent 6× straggler (worker 1), one seed. 8 protocol entries ×
+    // 4 clusters = 32 grid points.
     let grid = SweepGrid::new(Hyper::svm(), 60)
         .prague_axis(&[2, 4], &[1, 4])
         .qgm_axis(&[0.5, 0.9, 0.99], 0.1)
+        .protocol(
+            "hop_backup",
+            hop::core::config::Protocol::Hop(hop::core::config::HopConfig::backup(1, 4)),
+        )
         .cluster(
             "uniform_8x4",
             Topology::ring(n),
@@ -46,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             // straggler's amplifier.
             ClusterSpec::with_machine_sizes(&[5, 1, 1, 1], 0.05, link),
         )
+        .fault_axis(&[0.02], &[false])
         .slowdown("straggler6x", SlowdownModel::paper_straggler(n, 1, 6.0))
         .seed(7)
         .eval(30, 256);
@@ -78,10 +88,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             best.protocol, best.wall_time, best.final_eval_loss
         );
     }
+    let stalled = summary
+        .rows()
+        .iter()
+        .filter(|r| r.deadlocked)
+        .map(|r| format!("{}/{}", r.protocol, r.cluster))
+        .collect::<Vec<_>>();
     println!(
         "\nsmall Prague groups shrink the straggler's blast radius; frequent\n\
          regeneration and higher QGM momentum trade mixing for per-round cost.\n\
-         (SweepSummary::to_csv / to_json emit the same rows machine-readably.)"
+         under 2% loss, protocols that wait on every neighbor stall while\n\
+         backup quorums keep going: {} point(s) deadlocked.\n\
+         (SweepSummary::to_csv / to_json emit the same rows machine-readably.)",
+        stalled.len()
     );
     Ok(())
 }

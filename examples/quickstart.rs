@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compute_sleep: Duration::from_micros(200),
         slow_worker: None,
         stall_timeout: Duration::from_secs(30),
+        faults: hop_sim::FaultPlan::none(),
     };
     println!("running 4 worker threads on a ring, 100 iterations each...");
     let report = experiment.run(model.clone(), dataset.clone())?;

@@ -163,6 +163,7 @@ fn threaded_experiment(cfg: &HopConfig, topo: &Topology, straggle: bool) -> Thre
         },
         slow_worker: straggle.then_some((0, 15)),
         stall_timeout: Duration::from_secs(30),
+        faults: hop_sim::FaultPlan::none(),
     }
 }
 

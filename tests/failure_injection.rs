@@ -7,13 +7,14 @@
 //! mode still terminates, still converges, and still respects the
 //! iteration-gap bounds.
 
+use hop::core::config::ConfigError;
 use hop::core::{HopConfig, Hyper, Protocol, SimExperiment};
 use hop::data::webspam::SyntheticWebspam;
 use hop::data::Dataset;
 use hop::graph::bounds;
 use hop::graph::{ShortestPaths, Topology};
 use hop::model::svm::Svm;
-use hop::sim::{ClusterSpec, LinkModel, SlowdownModel};
+use hop::sim::{ClusterSpec, FaultPlan, LinkModel, SlowdownModel};
 
 fn jittery_experiment(cfg: HopConfig, jitter: f64) -> SimExperiment {
     let n = 6;
@@ -88,6 +89,43 @@ fn jittered_runs_remain_deterministic() {
     let b = exp.run(&model, &dataset).expect("valid");
     assert_eq!(a.final_params, b.final_params);
     assert_eq!(a.wall_time, b.wall_time);
+}
+
+#[test]
+fn malformed_link_knobs_are_rejected_up_front() {
+    // `with_jitter` asserts on negative/NaN bounds, but a struct literal
+    // can smuggle one past the builder; experiment-level validation must
+    // catch it as a configuration error before any simulation runs.
+    for bad in [f64::NAN, -0.01, f64::INFINITY] {
+        let mut exp = jittery_experiment(HopConfig::standard(), 0.0);
+        let link = LinkModel {
+            jitter: bad,
+            ..LinkModel::ethernet_1gbps()
+        };
+        exp.cluster = ClusterSpec::uniform(6, 2, 0.01, link);
+        assert!(
+            matches!(exp.validate(), Err(ConfigError::InvalidLink(_))),
+            "jitter {bad} must be rejected"
+        );
+    }
+    let ok = jittery_experiment(HopConfig::standard(), 0.02);
+    assert!(ok.validate().is_ok());
+}
+
+#[test]
+fn malformed_fault_plans_are_rejected_up_front() {
+    // Loss is a probability: 1.0 (every message lost) and above make
+    // every protocol trivially deadlock, so the plan refuses them the
+    // same way it refuses NaN.
+    for bad in [1.5, 1.0, -0.2, f64::NAN] {
+        let mut exp = jittery_experiment(HopConfig::standard(), 0.0);
+        exp.cluster = ClusterSpec::uniform(6, 2, 0.01, LinkModel::ethernet_1gbps())
+            .with_faults(FaultPlan::none().with_loss(bad));
+        assert!(
+            matches!(exp.validate(), Err(ConfigError::InvalidFaultPlan(_))),
+            "loss rate {bad} must be rejected"
+        );
+    }
 }
 
 #[test]

@@ -22,6 +22,7 @@ fn experiment(config: HopConfig, topology: Topology) -> ThreadedExperiment {
         compute_sleep: Duration::ZERO,
         slow_worker: None,
         stall_timeout: Duration::from_secs(30),
+        faults: hop_sim::FaultPlan::none(),
     }
 }
 
@@ -91,6 +92,46 @@ fn threaded_handles_larger_rings() {
     for losses in &report.losses {
         assert_eq!(losses.len(), 30);
     }
+}
+
+#[test]
+fn threaded_fault_shim_is_oracle_licensed_end_to_end() {
+    // The thread-local fault shim drops sends (probabilistic loss plus a
+    // crash window modeled as send omission) and logs every omission;
+    // the merged trace must replay clean through the fault-aware oracle
+    // with every Lost event licensed by the log, and a 1-backup quorum
+    // must ride out the silence and still learn.
+    let dataset = Arc::new(SyntheticWebspam::generate(1024, 5));
+    let model = Arc::new(Svm::log_loss(dataset.feature_dim()));
+    let cfg = HopConfig::backup(1, 4);
+    let mut exp = experiment(cfg.clone(), Topology::ring(6));
+    // Moderate chaos: a 1-of-2 quorum legitimately stalls forever when
+    // both externals' updates for one iteration go silent, and during
+    // the omission window each of worker 2's neighbors leans on a single
+    // external — these knobs (and the deterministic keyed loss draws)
+    // keep the run completable.
+    exp.faults = hop_sim::FaultPlan::none()
+        .with_loss(0.01)
+        .with_crash(hop_sim::CrashSpec {
+            worker: 2,
+            at_iter: 10,
+            down_iters: 4,
+        });
+    let (report, trace) = exp
+        .run_traced(model.clone(), dataset.clone())
+        .expect("faulty run completes");
+    assert!(
+        !report.fault_log.is_empty(),
+        "the shim injected nothing over 60 iterations"
+    );
+    let topo = Topology::ring(6);
+    let oracle = hop::core::Oracle::new(&cfg, &topo, 60);
+    oracle
+        .check_with_faults(&trace, &report.fault_log)
+        .expect("licensed trace replays clean");
+    let eval: Vec<usize> = (0..256).collect();
+    let loss = model.loss(&report.averaged_params(), &dataset.batch(&eval));
+    assert!(loss < 0.5, "faulty threaded run failed to learn: {loss}");
 }
 
 #[test]
