@@ -672,8 +672,10 @@ pub struct Transition {
     pub to: &'static str,
 }
 
-/// Shorthand for building `const` transition tables.
-const fn t(from: &'static str, event: EventKind, to: &'static str) -> Transition {
+/// Shorthand for building `const` transition tables (also used by the
+/// runtime modules declaring grammar subsets, e.g. the process runtime's
+/// churn-free table).
+pub(crate) const fn t(from: &'static str, event: EventKind, to: &'static str) -> Transition {
     Transition { from, event, to }
 }
 
@@ -856,9 +858,9 @@ pub fn validate_spec(spec: &ChoreographySpec) -> Result<(), Vec<String>> {
 }
 
 /// Every declared spec: the seven simulator plug-ins plus the threaded
-/// runtime — the list `choreo_check` walks.
+/// and process runtimes — the list `choreo_check` walks.
 #[must_use]
-pub fn all_specs() -> [&'static ChoreographySpec; 8] {
+pub fn all_specs() -> [&'static ChoreographySpec; 9] {
     [
         &crate::sim_runtime::decentralized::CHOREOGRAPHY,
         &crate::sim_runtime::ps::BSP_CHOREOGRAPHY,
@@ -868,6 +870,7 @@ pub fn all_specs() -> [&'static ChoreographySpec; 8] {
         &crate::sim_runtime::prague::CHOREOGRAPHY,
         &crate::sim_runtime::qgm::CHOREOGRAPHY,
         &crate::threaded::CHOREOGRAPHY,
+        &crate::process::CHOREOGRAPHY,
     ]
 }
 

@@ -23,6 +23,10 @@
 //!   statistics and loss curves for every figure in the paper.
 //! * [`threaded`] — the same protocol on real OS threads with blocking
 //!   queues from [`hop_queue`].
+//! * [`process`] — the same protocol on real OS *processes* over
+//!   localhost TCP, speaking [`hop_wire`] length-prefixed frames; its
+//!   measured socket bytes equal the simulator's `bytes_sent` by
+//!   construction.
 //! * [`trainer`] — the high-level [`trainer::SimExperiment`] API.
 //! * [`sweep`] — cartesian experiment grids ([`sweep::SweepGrid`])
 //!   executed across all cores by [`sweep::SweepRunner`], bit-identical
@@ -59,6 +63,7 @@
 pub mod choreography;
 pub mod config;
 pub mod conformance;
+pub mod process;
 pub mod report;
 pub mod semantics;
 pub mod sim_runtime;
@@ -72,6 +77,7 @@ pub use config::{
 };
 pub use conformance::{ConformanceSummary, Oracle, ProtocolEvent, ProtocolTrace, Violation};
 pub use hop_tensor::CompressionConfig;
+pub use process::{ProcessError, ProcessExperiment, ProcessReport};
 pub use report::TrainingReport;
 pub use sim_runtime::recorder::EvalConfig;
 pub use sweep::{SweepGrid, SweepResult, SweepRunner, SweepSummary};

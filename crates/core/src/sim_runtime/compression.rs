@@ -165,6 +165,65 @@ impl CompressionPlane {
         (ParamBlock::from_vec(buf), self.block.encoded_bytes())
     }
 
+    /// Like [`Self::encode_params`], but returns the encoded wire block
+    /// itself instead of the reconstruction. This is the transport-facing
+    /// variant: the process runtime ships the *block* over the socket and
+    /// lets each receiver advance its own mirrored reference, so the
+    /// bytes charged here are exactly the bytes that cross the wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane is inactive or `slot` is not a parameter
+    /// stream of `params.len()` elements.
+    pub fn encode_params_block(
+        &mut self,
+        slot: usize,
+        params: &[f32],
+        pool: &mut BufferPool,
+    ) -> (&CompressedBlock, u64) {
+        assert!(self.is_active(), "identity plane must not be driven");
+        let stream = &mut self.streams[slot];
+        assert_eq!(
+            stream.reference.len(),
+            params.len(),
+            "parameter stream {slot} sized for {} elements, got {}",
+            stream.reference.len(),
+            params.len()
+        );
+        self.delta.clear();
+        self.delta.extend_from_slice(params);
+        ops::axpy(-1.0, &stream.reference, &mut self.delta);
+        self.param_ef.reset();
+        self.codec
+            .encode_into(&self.delta, &mut self.param_ef, pool, &mut self.block);
+        self.decoded.clear();
+        self.decoded.resize(params.len(), 0.0);
+        self.codec.decode_into(&self.block, &mut self.decoded);
+        ops::axpy(1.0, &self.decoded, &mut stream.reference);
+        let wire = self.block.encoded_bytes();
+        (&self.block, wire)
+    }
+
+    /// Applies a received parameter-stream block to the local mirror of
+    /// the sender's reference, returning the updated reconstruction. The
+    /// receiving side of [`Self::encode_params_block`]: as long as blocks
+    /// arrive in order (TCP guarantees this per stream), the mirror here
+    /// equals the sender's reference bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plane is inactive, `slot` is out of range, or the
+    /// block's decoded length does not match the stream.
+    pub fn apply_params_block(&mut self, slot: usize, block: &CompressedBlock) -> &[f32] {
+        assert!(self.is_active(), "identity plane must not be driven");
+        let stream = &mut self.streams[slot];
+        self.decoded.clear();
+        self.decoded.resize(stream.reference.len(), 0.0);
+        self.codec.decode_into(block, &mut self.decoded);
+        ops::axpy(1.0, &self.decoded, &mut stream.reference);
+        &stream.reference
+    }
+
     /// Encodes gradient stream `slot`'s message, replacing `grad` with
     /// its lossy reconstruction (EF-SGD) and returning the encoded wire
     /// bytes.
@@ -265,12 +324,12 @@ mod tests {
         plane.add_grad_streams(1);
         let mut grad = [0.5f32, -0.25, 0.1];
         let wire = plane.encode_grad(0, &mut grad, &mut pool);
-        assert_eq!(wire, 4 + 3);
+        assert_eq!(wire, 4 + 4 + 3);
         // Reconstruction error stays within half a quantization step.
         let scale = 0.5 / 127.0;
         assert!((grad[0] - 0.5).abs() <= scale * 0.5000001);
         plane.charge(1, 12, wire);
-        assert_eq!(plane.bytes_saved(), 12 - 7);
+        assert_eq!(plane.bytes_saved(), 12 - 11);
     }
 
     #[test]

@@ -98,6 +98,67 @@ impl ThreadedReport {
     }
 }
 
+/// The queue state a stalled worker reports: the snapshot of whichever
+/// queue the timed-out wait was actually blocked on. A token stall shows
+/// token availability, not the (irrelevant) update queue's pending tags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StallDiag {
+    /// The wait was on the worker's tagged update queue.
+    Updates {
+        /// Entries sitting in the update queue at stall time.
+        queue_depth: usize,
+        /// The first few pending tags in the queue (FIFO order,
+        /// truncated).
+        pending: Vec<Tag>,
+        /// Tag of the last update this worker consumed, if any.
+        last_consumed: Option<Tag>,
+    },
+    /// The wait was on the token queues of the worker's external
+    /// out-going neighbors.
+    Tokens {
+        /// `(owner, tokens currently available)` for every
+        /// `TokenQ(owner -> this worker)`, in
+        /// [`Topology::external_out_neighbors`] order.
+        available: Vec<(usize, u64)>,
+    },
+}
+
+impl std::fmt::Display for StallDiag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StallDiag::Updates {
+                queue_depth,
+                pending,
+                last_consumed,
+            } => {
+                write!(f, "update-queue depth {queue_depth}, pending")?;
+                if pending.is_empty() {
+                    write!(f, " none")?;
+                } else {
+                    for tag in pending {
+                        write!(f, " (iter {}, w {})", tag.iter, tag.w_id)?;
+                    }
+                }
+                match last_consumed {
+                    Some(tag) => write!(
+                        f,
+                        ", last consumed iter {} from worker {}",
+                        tag.iter, tag.w_id
+                    ),
+                    None => write!(f, ", nothing consumed yet"),
+                }
+            }
+            StallDiag::Tokens { available } => {
+                write!(f, "token queues")?;
+                for (owner, n) in available {
+                    write!(f, " TokenQ({owner}): {n}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// Error from the threaded runtime.
 #[derive(Debug)]
 pub enum ThreadedError {
@@ -112,13 +173,8 @@ pub enum ThreadedError {
         iter: u64,
         /// What it was waiting for.
         waiting_for: &'static str,
-        /// Entries sitting in the worker's update queue at stall time.
-        queue_depth: usize,
-        /// The first few pending tags in the queue (FIFO order,
-        /// truncated).
-        pending: Vec<Tag>,
-        /// Tag of the last update this worker consumed, if any.
-        last_consumed: Option<Tag>,
+        /// Snapshot of the queue the wait was blocked on.
+        diag: StallDiag,
     },
     /// The serial order / NOTIFY-ACK path is only exercised in the
     /// simulator runtime.
@@ -133,31 +189,11 @@ impl std::fmt::Display for ThreadedError {
                 worker,
                 iter,
                 waiting_for,
-                queue_depth,
-                pending,
-                last_consumed,
-            } => {
-                write!(
-                    f,
-                    "worker {worker} stalled at iteration {iter} waiting for {waiting_for} \
-                     (update-queue depth {queue_depth}, pending"
-                )?;
-                if pending.is_empty() {
-                    write!(f, " none")?;
-                } else {
-                    for tag in pending {
-                        write!(f, " (iter {}, w {})", tag.iter, tag.w_id)?;
-                    }
-                }
-                match last_consumed {
-                    Some(tag) => write!(
-                        f,
-                        ", last consumed iter {} from worker {})",
-                        tag.iter, tag.w_id
-                    ),
-                    None => write!(f, ", nothing consumed yet)"),
-                }
-            }
+                diag,
+            } => write!(
+                f,
+                "worker {worker} stalled at iteration {iter} waiting for {waiting_for} ({diag})"
+            ),
             ThreadedError::SerialUnsupported => {
                 write!(f, "threaded runtime implements the parallel order only")
             }
@@ -381,19 +417,22 @@ fn note_newest(
     newer
 }
 
-/// Shared per-worker loop state passed between the recv/renew helpers.
-struct WorkerCtx<'a> {
-    w: usize,
-    cfg: &'a HopConfig,
-    timeout: Duration,
-    pool: BufferPool,
-    newest_from: HashMap<usize, (u64, ParamBlock)>,
-    last_consumed: Option<Tag>,
+/// Shared per-worker loop state passed between the recv/renew helpers
+/// (also driven by the process runtime, whose worker half runs the same
+/// loop over socket-fed queues).
+pub(crate) struct WorkerCtx<'a> {
+    pub(crate) w: usize,
+    pub(crate) cfg: &'a HopConfig,
+    pub(crate) timeout: Duration,
+    pub(crate) pool: BufferPool,
+    pub(crate) newest_from: HashMap<usize, (u64, ParamBlock)>,
+    pub(crate) last_consumed: Option<Tag>,
 }
 
 impl WorkerCtx<'_> {
-    /// Builds the enriched stall error from the worker's live queue state.
-    fn stall(
+    /// Builds the enriched stall error from the update queue the wait was
+    /// blocked on.
+    pub(crate) fn stall(
         &self,
         iter: u64,
         waiting_for: &'static str,
@@ -405,9 +444,23 @@ impl WorkerCtx<'_> {
             worker: self.w,
             iter,
             waiting_for,
-            queue_depth: queue.len(),
-            pending,
-            last_consumed: self.last_consumed,
+            diag: StallDiag::Updates {
+                queue_depth: queue.len(),
+                pending,
+                last_consumed: self.last_consumed,
+            },
+        }
+    }
+
+    /// Builds the stall error for a token wait: reports the availability
+    /// of every `TokenQ(owner -> w)` the worker advances through, not the
+    /// update queue (whose pending tags are irrelevant to a token stall).
+    pub(crate) fn stall_tokens(&self, iter: u64, available: Vec<(usize, u64)>) -> ThreadedError {
+        ThreadedError::Stalled {
+            worker: self.w,
+            iter,
+            waiting_for: "tokens",
+            diag: StallDiag::Tokens { available },
         }
     }
 
@@ -444,7 +497,7 @@ impl WorkerCtx<'_> {
     /// `neighbors`; each is consumed through `step` (an exchanging
     /// [`Step`](choreography::Step) or a [`Renew`]), which is what pins
     /// the Consume events to the handle's iteration.
-    fn collect_newest(
+    pub(crate) fn collect_newest(
         &mut self,
         neighbors: &[usize],
         step: &mut impl Consuming,
@@ -675,9 +728,15 @@ fn worker_loop(
                 )?;
             } else {
                 for &o in externals_out {
-                    token_queues[&(o, w)]
-                        .remove(1, timeout)
-                        .map_err(|_| ctx.stall(k, "tokens", &update_queues[w]))?;
+                    token_queues[&(o, w)].remove(1, timeout).map_err(|_| {
+                        // Snapshot every out-edge token queue, not the
+                        // update queue: this wait is on tokens.
+                        let available = externals_out
+                            .iter()
+                            .map(|&q| (q, token_queues[&(q, w)].available()))
+                            .collect();
+                        ctx.stall_tokens(k, available)
+                    })?;
                     step.take_token(&mut conf, o);
                 }
                 step.complete();
@@ -707,7 +766,7 @@ fn worker_loop(
 /// The staleness-mode Recv: block until every listed neighbor's newest
 /// update satisfies the window at `k` (the Recv's iteration, or
 /// `target - 1` for a jump renew — `waiting_for` labels the stall).
-fn stale_recv(
+pub(crate) fn stale_recv(
     ctx: &mut WorkerCtx<'_>,
     queue: &SharedTaggedQueue<ParamBlock>,
     neighbors: &[usize],
@@ -743,7 +802,7 @@ fn stale_recv(
 /// momentum (its history refers to an abandoned trajectory) and discard
 /// queued updates for the skipped iterations.
 #[allow(clippy::too_many_arguments)]
-fn jump_renew(
+pub(crate) fn jump_renew(
     ctx: &mut WorkerCtx<'_>,
     queue: &SharedTaggedQueue<ParamBlock>,
     externals_in: &[usize],
@@ -961,14 +1020,73 @@ mod tests {
             worker: 2,
             iter: 7,
             waiting_for: "updates",
-            queue_depth: 3,
-            pending: vec![Tag { iter: 6, w_id: 1 }],
-            last_consumed: Some(Tag { iter: 6, w_id: 3 }),
+            diag: StallDiag::Updates {
+                queue_depth: 3,
+                pending: vec![Tag { iter: 6, w_id: 1 }],
+                last_consumed: Some(Tag { iter: 6, w_id: 3 }),
+            },
         };
         let s = format!("{e}");
         assert!(s.contains("worker 2"), "{s}");
         assert!(s.contains("depth 3"), "{s}");
         assert!(s.contains("(iter 6, w 1)"), "{s}");
         assert!(s.contains("last consumed iter 6 from worker 3"), "{s}");
+        let e = ThreadedError::Stalled {
+            worker: 1,
+            iter: 2,
+            waiting_for: "tokens",
+            diag: StallDiag::Tokens {
+                available: vec![(0, 0), (3, 2)],
+            },
+        };
+        let s = format!("{e}");
+        assert!(s.contains("waiting for tokens"), "{s}");
+        assert!(s.contains("TokenQ(0): 0"), "{s}");
+        assert!(s.contains("TokenQ(3): 2"), "{s}");
+    }
+
+    #[test]
+    fn token_stall_reports_token_queue_state() {
+        // Regression: the token-wait stall used to report the *update*
+        // queue's diagnostics while claiming to wait for tokens. Force a
+        // genuine token stall: backup(1, 2) on a 2-ring lets worker 1
+        // reduce on its own update alone (quota 1), so the only thing
+        // binding it to the sleeping worker 0 is the token queue — the
+        // ig = 2 preload runs dry at iteration 2 while worker 0 is still
+        // asleep in its first compute.
+        let dataset = Arc::new(SyntheticWebspam::generate(64, 3));
+        let model = Arc::new(Svm::log_loss(hop_data::Dataset::feature_dim(
+            dataset.as_ref(),
+        )));
+        let exp = ThreadedExperiment {
+            config: HopConfig::backup(1, 2),
+            topology: Topology::ring(2),
+            max_iters: 3,
+            seed: 9,
+            hyper: Hyper::svm(),
+            compute_sleep: Duration::from_millis(10),
+            slow_worker: Some((0, 40)),
+            stall_timeout: Duration::from_millis(60),
+            faults: FaultPlan::none(),
+        };
+        let err = exp.run(model, dataset).unwrap_err();
+        match &err {
+            ThreadedError::Stalled {
+                worker,
+                waiting_for,
+                diag,
+                ..
+            } => {
+                assert_eq!(*worker, 1, "{err}");
+                assert_eq!(*waiting_for, "tokens", "{err}");
+                match diag {
+                    StallDiag::Tokens { available } => {
+                        assert_eq!(available.as_slice(), &[(0, 0)], "{err}");
+                    }
+                    other => panic!("token stall carried update diagnostics: {other:?}"),
+                }
+            }
+            other => panic!("expected a stall, got {other:?}"),
+        }
     }
 }

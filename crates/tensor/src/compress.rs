@@ -142,7 +142,8 @@ pub enum CompressedBlock {
         /// Kept values, parallel to `indices`.
         values: Vec<f32>,
     },
-    /// [`Int8Uniform`] output: a 4-byte scale plus one byte per entry.
+    /// [`Int8Uniform`] output: a 4-byte length word, the 4-byte f32
+    /// scale, then one byte per entry.
     Quantized {
         /// Dequantization step: `value = q as f32 * scale`.
         scale: f32,
@@ -158,12 +159,16 @@ impl Default for CompressedBlock {
 }
 
 impl CompressedBlock {
-    /// Bytes this block occupies on the (virtual) wire.
+    /// Bytes this block occupies on the wire — virtual (the simulated
+    /// network's transfer charge) and real (`hop_wire` frames a block in
+    /// exactly this many payload bytes): dense `4·len`, sparse
+    /// `4 + 8·k` (length word + `(index, value)` pairs), int8
+    /// `4 + 4 + len` (length word + the f32 scale + one byte per entry).
     pub fn encoded_bytes(&self) -> u64 {
         match self {
             CompressedBlock::Dense { values } => 4 * values.len() as u64,
             CompressedBlock::Sparse { indices, .. } => 4 + 8 * indices.len() as u64,
-            CompressedBlock::Quantized { values, .. } => 4 + values.len() as u64,
+            CompressedBlock::Quantized { values, .. } => 4 + 4 + values.len() as u64,
         }
     }
 
@@ -574,7 +579,9 @@ mod tests {
     fn int8_all_zero_block() {
         let input = [0.0f32; 5];
         let (block, out, residual) = roundtrip(CompressionConfig::Int8Uniform, &input);
-        assert_eq!(block.encoded_bytes(), 4 + 5);
+        // Length word + f32 scale + one byte per entry: the scale must be
+        // accounted even when zero — a real frame still carries it.
+        assert_eq!(block.encoded_bytes(), 4 + 4 + 5);
         assert_eq!(out, vec![0.0; 5]);
         assert_eq!(residual, vec![0.0; 5]);
     }

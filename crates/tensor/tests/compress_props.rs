@@ -133,7 +133,7 @@ proptest! {
         let mut codec = Codec::new(CompressionConfig::Int8Uniform);
         let mut ef = ErrorFeedback::new();
         let (block, decoded) = encode(&mut codec, &input, &mut ef);
-        prop_assert_eq!(block.encoded_bytes(), 4 + len as u64);
+        prop_assert_eq!(block.encoded_bytes(), 4 + 4 + len as u64);
         let max = input.iter().fold(0.0f32, |m, v| m.max(v.abs()));
         let step = max / 127.0;
         for (i, (&x, &d)) in input.iter().zip(&decoded).enumerate() {

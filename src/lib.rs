@@ -27,3 +27,4 @@ pub use hop_queue as queue;
 pub use hop_sim as sim;
 pub use hop_tensor as tensor;
 pub use hop_util as util;
+pub use hop_wire as wire;

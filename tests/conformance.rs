@@ -1,28 +1,37 @@
-//! The sim-vs-threaded differential conformance suite.
+//! The three-runtime differential conformance suite.
 //!
 //! The same `(HopConfig, Topology, seed)` grid — standard / token /
-//! backup / staleness / skip × ring / clique / torus — runs through both
-//! runtimes; every run emits a structured [`ProtocolTrace`] and every
-//! trace is replayed by the invariant [`Oracle`] (gap bounds, backup
-//! quota, staleness window, jump legality). On a violation the offending
-//! trace is serialized to `target/conformance-failures/<label>.trace` so
-//! CI can upload it as an artifact and the failure can be replayed
-//! offline.
+//! backup / staleness / skip × ring / clique / torus — runs through the
+//! deterministic simulator, the threaded runtime, and the multi-process
+//! runtime (real OS processes over localhost TCP); every run emits a
+//! structured [`ProtocolTrace`] and every trace is replayed by the
+//! invariant [`Oracle`] (gap bounds, backup quota, staleness window,
+//! jump legality). On a violation the offending trace is serialized to
+//! `target/conformance-failures/<label>.trace` so CI can upload it as an
+//! artifact and the failure can be replayed offline.
+//!
+//! The process leg additionally pins wire accounting: the update bytes a
+//! worker actually frames onto its sockets must equal the simulator's
+//! modeled `bytes_sent` for the same grid point, identity and int8
+//! codecs alike.
 
 use hop::core::conformance::{ConformanceSummary, Oracle, ProtocolTrace};
+use hop::core::process::ProcessExperiment;
 use hop::core::threaded::ThreadedExperiment;
-use hop::core::{HopConfig, Hyper, Protocol, SimExperiment, SkipConfig};
+use hop::core::{CompressionConfig, HopConfig, Hyper, Protocol, SimExperiment, SkipConfig};
 use hop::data::webspam::SyntheticWebspam;
 use hop::data::{Dataset, InMemoryDataset};
 use hop::graph::Topology;
 use hop::model::svm::Svm;
 use hop::model::Model;
 use hop::sim::{ClusterSpec, LinkModel, SlowdownModel};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
 const SIM_ITERS: u64 = 20;
 const THREADED_ITERS: u64 = 12;
+const PROCESS_ITERS: u64 = 8;
 const SEED: u64 = 17;
 
 fn modes() -> Vec<(&'static str, HopConfig)> {
@@ -191,6 +200,122 @@ fn threaded_traces_satisfy_the_oracle_on_the_full_grid() {
                 summary.advances
             );
             assert!(summary.reduces > 0, "{label}: no reduces recorded");
+        }
+    }
+}
+
+fn process_experiment(cfg: &HopConfig, topo: &Topology, straggle: bool) -> ProcessExperiment {
+    let mut exp = ProcessExperiment::new(
+        cfg.clone(),
+        topo.clone(),
+        PROCESS_ITERS,
+        PathBuf::from(env!("CARGO_BIN_EXE_hop_worker")),
+    );
+    exp.seed = SEED;
+    exp.examples = 128;
+    exp.data_seed = 5;
+    if straggle {
+        exp.compute_sleep = Duration::from_micros(300);
+        exp.slow_worker = Some((0, 15));
+    }
+    exp.stall_timeout = Duration::from_secs(30);
+    exp
+}
+
+#[test]
+fn process_traces_satisfy_the_oracle_on_the_grid() {
+    // The third leg of the differential grid: one OS process per worker,
+    // updates and tokens over localhost TCP, traces Lamport-merged by
+    // the coordinator.
+    for (mode, cfg) in modes() {
+        for (topo_name, topo) in [
+            ("ring6", Topology::ring(6)),
+            ("clique5", Topology::complete(5)),
+        ] {
+            let label = format!("process-{mode}-{topo_name}");
+            let mut exp = process_experiment(&cfg, &topo, mode == "skip");
+            exp.failure_label = Some(label.clone());
+            let (report, trace) = exp.run_traced().unwrap_or_else(|e| panic!("{label}: {e}"));
+            assert_eq!(report.final_params.len(), topo.len(), "{label}");
+            let summary = oracle_check(&label, &cfg, &topo, PROCESS_ITERS, &trace);
+            let n = topo.len() as u64;
+            assert!(
+                summary.advances <= n * (PROCESS_ITERS + 1),
+                "{label}: more advances than iterations"
+            );
+            assert!(
+                summary.advances > n,
+                "{label}: vacuously small trace ({} advances)",
+                summary.advances
+            );
+            assert!(summary.reduces > 0, "{label}: no reduces recorded");
+            assert!(summary.consumed > 0, "{label}: no consumes recorded");
+            match mode {
+                "token" | "backup" | "skip" => assert!(
+                    summary.tokens_passed > 0,
+                    "{label}: token mode passed no tokens"
+                ),
+                "staleness" => assert!(
+                    summary.stale_admitted > 0,
+                    "{label}: staleness mode admitted nothing"
+                ),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn process_wire_bytes_equal_simulated_bytes() {
+    // The wire-accounting pin: the simulator's modeled `bytes_sent` and
+    // the process runtime's measured socket bytes must be the same
+    // number for the same grid point — by construction, because an
+    // update frame embeds its block in exactly `encoded_bytes()` payload
+    // bytes and both sides count every *attempted* external send.
+    // Backup mode is excluded (the §6.2(b) inquiry suppresses
+    // timing-dependent sends), as is skip (jump timing changes the send
+    // count on real sockets).
+    let byte_modes = [
+        ("standard", HopConfig::standard()),
+        ("token", HopConfig::standard_with_tokens(3)),
+        ("staleness", HopConfig::staleness(2, 4)),
+    ];
+    let codecs = [
+        ("identity", CompressionConfig::Identity),
+        ("int8", CompressionConfig::Int8Uniform),
+    ];
+    for (mode, base) in byte_modes {
+        for (topo_name, topo) in [
+            ("ring6", Topology::ring(6)),
+            ("clique5", Topology::complete(5)),
+        ] {
+            for (codec_name, codec) in codecs {
+                let label = format!("bytes-{mode}-{topo_name}-{codec_name}");
+                let cfg = base.clone().with_compression(codec);
+                let n = topo.len();
+                let (model, dataset) = workload(128);
+                let sim = SimExperiment {
+                    topology: topo.clone(),
+                    cluster: ClusterSpec::uniform(n, 2, 0.01, LinkModel::ethernet_1gbps()),
+                    slowdown: SlowdownModel::paper_random(n),
+                    protocol: Protocol::Hop(cfg.clone()),
+                    hyper: Hyper::svm(),
+                    max_iters: PROCESS_ITERS,
+                    seed: SEED,
+                    eval_every: 0,
+                    eval_examples: 32,
+                }
+                .run(&model, &dataset)
+                .unwrap_or_else(|e| panic!("{label}: {e}"));
+                let process = process_experiment(&cfg, &topo, false)
+                    .run()
+                    .unwrap_or_else(|e| panic!("{label}: {e}"));
+                assert_eq!(
+                    process.total_update_wire_bytes(),
+                    sim.bytes_sent,
+                    "{label}: socket bytes diverged from the simulated accounting"
+                );
+            }
         }
     }
 }

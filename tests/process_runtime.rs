@@ -1,0 +1,100 @@
+//! End-to-end tests for the multi-process runtime: real worker
+//! processes (the `hop_worker` binary, re-exec'd by the coordinator)
+//! exchanging updates and tokens over localhost TCP.
+//!
+//! The conformance grid lives in `tests/conformance.rs`; this file
+//! covers the lifecycle edges — does a fleet of OS processes actually
+//! learn, and does a killed worker surface as a clean peer-loss error
+//! (with the partial trace serialized for offline replay) instead of a
+//! hang or a bare stall.
+
+use hop::core::process::{ProcessError, ProcessExperiment};
+use hop::core::HopConfig;
+use hop::data::webspam::SyntheticWebspam;
+use hop::data::Dataset;
+use hop::graph::Topology;
+use hop::model::svm::Svm;
+use hop::model::Model;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_hop_worker"))
+}
+
+#[test]
+fn a_process_fleet_learns_the_synthetic_workload() {
+    let mut exp =
+        ProcessExperiment::new(HopConfig::standard(), Topology::ring(4), 20, worker_bin());
+    exp.examples = 256;
+    let report = exp.run().expect("process run succeeds");
+    assert_eq!(report.final_params.len(), 4);
+    assert_eq!(report.update_wire_bytes.len(), 4);
+    for (w, losses) in report.losses.iter().enumerate() {
+        assert_eq!(losses.len(), 20, "worker {w} recorded a loss per iteration");
+    }
+    assert!(
+        report.total_update_wire_bytes() > 0,
+        "external updates crossed the sockets"
+    );
+    // Evaluate the averaged model against the identically reconstructed
+    // workload: the fleet must have actually learned, not just finished.
+    let dataset = SyntheticWebspam::generate(exp.examples, exp.data_seed);
+    let model = Svm::log_loss(dataset.feature_dim());
+    let eval: Vec<usize> = (0..dataset.len()).collect();
+    let loss = model.loss(&report.averaged_params(), &dataset.batch(&eval));
+    assert!(loss < 0.6, "process fleet failed to learn (loss {loss})");
+}
+
+#[test]
+fn a_killed_worker_surfaces_as_peer_loss_with_a_partial_trace() {
+    let label = "process-killed-worker";
+    let trace_path = PathBuf::from(format!("target/conformance-failures/{label}.trace"));
+    let _ = std::fs::remove_file(&trace_path);
+    let mut exp = ProcessExperiment::new(
+        HopConfig::standard_with_tokens(2),
+        Topology::ring(3),
+        6,
+        worker_bin(),
+    );
+    exp.examples = 64;
+    // Worker 1 exits(101) at iteration 2 — no Finished frame, no
+    // summary: exactly what a crashed process looks like to its peers.
+    exp.die_at = Some((1, 2));
+    exp.stall_timeout = Duration::from_millis(500);
+    exp.failure_label = Some(label.to_string());
+    let err = exp
+        .run_traced()
+        .expect_err("a killed worker must fail the run");
+    match &err {
+        ProcessError::PeerLost { failures } => {
+            assert!(
+                failures.iter().any(|(w, _)| *w == 1),
+                "worker 1 was the one killed, got {failures:?}"
+            );
+        }
+        other => panic!("expected PeerLost, got {other}"),
+    }
+    // Survivors report rather than hang, and the coordinator serialized
+    // whatever trace fragments it collected for offline replay.
+    let text = std::fs::read_to_string(&trace_path)
+        .expect("partial trace was serialized for the failed run");
+    assert!(
+        !text.trim().is_empty(),
+        "partial trace should contain the events recorded before the crash"
+    );
+    assert!(
+        text.lines().any(|l| l.starts_with("advance")),
+        "partial trace should hold real protocol events, got:\n{text}"
+    );
+}
+
+#[test]
+fn unsupported_configs_are_rejected_up_front() {
+    let mut exp = ProcessExperiment::new(HopConfig::standard(), Topology::ring(3), 4, worker_bin());
+    exp.config.order = hop::core::ComputeOrder::Serial;
+    match exp.run() {
+        Err(ProcessError::Unsupported(_)) => {}
+        other => panic!("serial order must be rejected, got {other:?}"),
+    }
+}
